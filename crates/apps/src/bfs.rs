@@ -1,0 +1,525 @@
+//! Bitmap-based breadth-first search (Table 1's Graph workload, after \[5\]).
+//!
+//! The traversal keeps three bitmaps in PIM memory — `visited`, the
+//! frontier's reachable set, and the next frontier — and advances one
+//! level with three bulk operations:
+//!
+//! 1. `reach = OR(adjacency rows of all frontier vertices)` — the multi-row
+//!    operation Pinatubo executes in one activation per 128 rows;
+//! 2. `next = reach AND (NOT visited)`;
+//! 3. `visited = visited OR next`.
+//!
+//! Extracting the next frontier's vertex list and finding the next
+//! unvisited component are *scalar* work, accounted into the [`AppRun`];
+//! on loose graphs this dominates, which is why eswiki/amazon see little
+//! overall speedup in the paper's Fig. 12 while dblp sees 1.37×.
+
+use crate::graph::Graph;
+use crate::AppRun;
+use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
+
+/// The outcome of a full-graph bitmap traversal.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// BFS level of each vertex (every vertex is eventually visited; the
+    /// traversal restarts on each unvisited component).
+    pub levels: Vec<u32>,
+    /// Levels processed across all components.
+    pub total_levels: u64,
+    /// Connected components found.
+    pub components: u64,
+    /// The recorded work.
+    pub run: AppRun,
+}
+
+/// Scalar reference BFS (component-restarting), for verification.
+#[must_use]
+pub fn bfs_levels_reference(graph: &Graph) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut levels = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if levels[start] != u32::MAX {
+            continue;
+        }
+        levels[start] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                let u = u as usize;
+                if levels[u] == u32::MAX {
+                    levels[u] = levels[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    levels
+}
+
+/// Runs the bitmap BFS over every component of `graph` on `sys`.
+///
+/// Adjacency bitmaps are stored first (workload setup, uncharged); the
+/// measured region is the traversal. The system's trace and statistics are
+/// reset at the start so the returned [`AppRun`] contains exactly this
+/// traversal's work.
+///
+/// # Errors
+///
+/// Propagates allocation and operation failures from the runtime.
+pub fn bitmap_bfs(graph: &Graph, sys: &mut PimSystem) -> Result<BfsResult, RuntimeError> {
+    let n = graph.node_count();
+    let bits = n as u64;
+
+    // Setup: adjacency bitmaps, one row-aligned vector per vertex.
+    let adj: Vec<PimBitVec> = (0..n)
+        .map(|v| {
+            let vec = sys.alloc(bits)?;
+            sys.store(&vec, &graph.adjacency_bits(v))?;
+            Ok(vec)
+        })
+        .collect::<Result<_, RuntimeError>>()?;
+    let visited = sys.alloc(bits)?;
+    let reach = sys.alloc(bits)?;
+    let not_visited = sys.alloc(bits)?;
+    let next = sys.alloc(bits)?;
+
+    // Measured region starts here.
+    sys.take_stats();
+    let _ = sys.take_trace();
+    let mut scalar_instructions: u64 = 0;
+    let mut scalar_bytes: u64 = 0;
+
+    let mut levels = vec![u32::MAX; n];
+    let mut visited_host = vec![false; n];
+    let mut total_levels = 0u64;
+    let mut components = 0u64;
+
+    let mut cursor = 0usize;
+    loop {
+        // Scalar: scan for the next unvisited vertex ("searching for an
+        // unvisited bit-vector", the loose-graph bottleneck).
+        let mut source = None;
+        while cursor < n {
+            scalar_instructions += 4;
+            if !visited_host[cursor] {
+                source = Some(cursor);
+                break;
+            }
+            cursor += 1;
+        }
+        scalar_bytes += 8;
+        let Some(source) = source else { break };
+        components += 1;
+
+        // Seed the component: the host writes the source bit into the
+        // visited bitmap (a one-row write, counted as scalar work).
+        visited_host[source] = true;
+        levels[source] = 0;
+        sys.store(&visited, &visited_host)?;
+        scalar_instructions += 6;
+        let mut frontier = vec![source];
+
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            total_levels += 1;
+            level += 1;
+
+            // 1. reach = OR of the frontier's adjacency rows.
+            let operands: Vec<&PimBitVec> = frontier.iter().map(|&v| &adj[v]).collect();
+            if operands.len() == 1 {
+                // A 1-vertex frontier still senses as a (degenerate) 2-row
+                // OR of the row with itself.
+                sys.or_many(&[operands[0], operands[0]], &reach)?;
+            } else {
+                sys.or_many(&operands, &reach)?;
+            }
+            // Scalar: assembling the operand list.
+            scalar_instructions += 8 * frontier.len() as u64;
+
+            // 2. next = reach AND NOT visited.
+            sys.not(&visited, &not_visited)?;
+            sys.bitwise(
+                pinatubo_core::BitwiseOp::And,
+                &[&reach, &not_visited],
+                &next,
+            )?;
+
+            // 3. visited |= next.
+            sys.or_many(&[&visited, &next], &visited)?;
+
+            // Scalar: extract the next frontier from the bitmap.
+            let next_bits = sys.load(&next);
+            scalar_instructions += 2 * bits; // full bitmap scan
+            scalar_bytes += bits / 8;
+            frontier.clear();
+            for (v, &set) in next_bits.iter().enumerate() {
+                if set && !visited_host[v] {
+                    visited_host[v] = true;
+                    levels[v] = level;
+                    frontier.push(v);
+                    scalar_instructions += 12;
+                }
+            }
+        }
+    }
+
+    let trace = sys.take_trace();
+    let footprint_bytes = (n as u64 + 4) * bits / 8;
+    Ok(BfsResult {
+        levels,
+        total_levels,
+        components,
+        run: AppRun {
+            name: String::new(), // filled by the workload registry
+            trace,
+            scalar_instructions,
+            scalar_bytes,
+            footprint_bytes,
+        },
+    })
+}
+
+/// The outcome of a direction-optimizing frontier-bitmap traversal.
+#[derive(Debug, Clone)]
+pub struct FrontierBfsResult {
+    /// BFS level of each vertex.
+    pub levels: Vec<u32>,
+    /// Levels advanced with bitmap (bulk bitwise) steps.
+    pub bitmap_levels: u64,
+    /// Levels advanced with scalar-only steps (small frontiers).
+    pub scalar_levels: u64,
+    /// Connected components found.
+    pub components: u64,
+    /// The recorded work.
+    pub run: AppRun,
+}
+
+/// Direction-optimizing frontier-bitmap BFS — the paper-scale Graph
+/// workload (after \[5\]).
+///
+/// The traversal keeps `visited`, `reach`, `not_visited`, `pruned` and a
+/// prune-delta bitmap of `n` bits each, co-allocated for intra-subarray
+/// operation, and picks a regime per level by frontier size:
+///
+/// * **bitmap regime** (frontier > n/16, bottom-up): four bulk ops —
+///   `not_visited = NOT visited`; `pruned = reach AND not_visited`
+///   (reach = the frontier's neighbor union from the scalar edge scan);
+///   `delta = pruned XOR reach`; `visited = visited OR pruned`;
+/// * **hybrid regime** (n/256 < frontier ≤ n/16): scalar expansion plus a
+///   single bulk `visited OR next` merge;
+/// * **scalar regime** (frontier ≤ n/256, top-down): no bulk operations.
+///
+/// Loose graphs (eswiki/amazon) rarely leave the scalar regime and spend
+/// their time scanning for unvisited vertices, which is why Fig. 12 shows
+/// them gaining little from PIM while dense dblp gains 1.37×.
+///
+/// # Errors
+///
+/// Propagates allocation and operation failures from the runtime.
+pub fn frontier_bfs(graph: &Graph, sys: &mut PimSystem) -> Result<FrontierBfsResult, RuntimeError> {
+    let n = graph.node_count();
+    let bits = n as u64;
+    // Regime thresholds: relative to the graph, with absolute floors so a
+    // bitmap-width operation is never spent on a frontier of a few dozen
+    // vertices (a sane implementation updates those sparsely).
+    let bitmap_threshold = (n / 16).max(512);
+    let hybrid_threshold = (n / 256).max(256);
+
+    // The working bitmaps, co-allocated for intra-subarray operation.
+    let group = sys.alloc_group(5, bits)?;
+    let [visited, reach, not_visited, pruned, delta]: [PimBitVec; 5] = group
+        .try_into()
+        .expect("alloc_group returns exactly the requested count");
+
+    sys.take_stats();
+    let _ = sys.take_trace();
+    let mut scalar_instructions = 0u64;
+    let mut scalar_bytes = 0u64;
+
+    let mut levels = vec![u32::MAX; n];
+    let mut visited_host = vec![false; n];
+    let mut visited_count = 0usize;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut bitmap_levels = 0u64;
+    let mut scalar_levels = 0u64;
+    let mut components = 0u64;
+
+    // The PIM-side visited bitmap is synced lazily: pure-scalar levels set
+    // this flag instead of rewriting the whole row per step. Assigned at
+    // each component start, before any read.
+    let mut visited_stale;
+    // Reused scratch for the frontier's neighbor union.
+    let mut reach_host = vec![false; n];
+    let mut reach_touched: Vec<u32> = Vec::new();
+
+    let mut cursor = 0usize;
+    loop {
+        // Scalar: scan for the next unvisited vertex ("searching for an
+        // unvisited bit-vector") — the loose-graph bottleneck.
+        let mut source = None;
+        while cursor < n {
+            scalar_instructions += 2;
+            if !visited_host[cursor] {
+                source = Some(cursor);
+                break;
+            }
+            cursor += 1;
+        }
+        scalar_bytes += 8;
+        let Some(source) = source else { break };
+        components += 1;
+        visited_host[source] = true;
+        visited_count += 1;
+        levels[source] = 0;
+        visited_stale = true;
+        frontier.clear();
+        frontier.push(source as u32);
+
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            // Assemble the frontier's neighbor union (functionally; the
+            // scalar *charge* depends on the regime below: top-down scans
+            // the frontier's edges, bottom-up checks unvisited vertices).
+            for &v in &reach_touched {
+                reach_host[v as usize] = false;
+            }
+            reach_touched.clear();
+            let mut edges_scanned = 0u64;
+            for &v in &frontier {
+                for &u in graph.neighbors(v as usize) {
+                    if !reach_host[u as usize] {
+                        reach_host[u as usize] = true;
+                        reach_touched.push(u);
+                    }
+                    edges_scanned += 1;
+                }
+            }
+
+            if frontier.len() > bitmap_threshold {
+                // Bitmap (bottom-up) regime: each still-unvisited vertex
+                // probes its adjacency until it hits a frontier member.
+                let unvisited = (n - visited_count) as u64;
+                scalar_instructions += 4 * unvisited + bits / 16 + 50;
+                scalar_bytes += 12 * unvisited + bits / 8;
+                bitmap_levels += 1;
+
+                if visited_stale {
+                    sys.store(&visited, &visited_host)?;
+                    visited_stale = false;
+                }
+                sys.store(&reach, &reach_host)?;
+                scalar_instructions += bits / 16; // bitmap assembly, word-granular
+                scalar_bytes += bits / 8;
+
+                sys.not(&visited, &not_visited)?;
+                sys.bitwise(
+                    pinatubo_core::BitwiseOp::And,
+                    &[&reach, &not_visited],
+                    &pruned,
+                )?;
+                sys.bitwise(pinatubo_core::BitwiseOp::Xor, &[&pruned, &reach], &delta)?;
+                sys.or_many(&[&visited, &pruned], &visited)?;
+
+                // Scalar: read the pruned bitmap back into the frontier.
+                let next_bits = sys.load(&pruned);
+                scalar_instructions += bits / 16;
+                scalar_bytes += bits / 8;
+                frontier.clear();
+                for (v, &set) in next_bits.iter().enumerate() {
+                    if set {
+                        visited_host[v] = true;
+                        visited_count += 1;
+                        levels[v] = level;
+                        frontier.push(v as u32);
+                    }
+                }
+            } else {
+                // Scalar expansion (top-down): walk the reach set directly.
+                scalar_instructions += 3 * edges_scanned + 8 * frontier.len() as u64 + 50;
+                scalar_bytes += edges_scanned * 4;
+                scalar_levels += 1;
+
+                let mut next = Vec::new();
+                for &u in &reach_touched {
+                    let v = u as usize;
+                    if !visited_host[v] {
+                        visited_host[v] = true;
+                        visited_count += 1;
+                        levels[v] = level;
+                        next.push(u);
+                        scalar_instructions += 10;
+                    }
+                }
+                if frontier.len() > hybrid_threshold {
+                    // Hybrid regime: merge the discovered set into the
+                    // visited bitmap with one bulk OR.
+                    let mut next_bits = vec![false; n];
+                    for &u in &next {
+                        next_bits[u as usize] = true;
+                    }
+                    if visited_stale {
+                        sys.store(&visited, &visited_host)?;
+                        visited_stale = false;
+                    }
+                    sys.store(&reach, &next_bits)?;
+                    sys.or_many(&[&visited, &reach], &visited)?;
+                    scalar_bytes += bits / 8;
+                } else {
+                    // Pure scalar regime: the PIM-side bitmap is synced
+                    // lazily before the next bulk operation.
+                    visited_stale = true;
+                }
+                frontier = next;
+            }
+        }
+    }
+
+    let trace = sys.take_trace();
+    // CSR edges + per-vertex records (labels, offsets, queue slots) + the
+    // working bitmaps: what the processor-side run actually streams.
+    let footprint_bytes = graph.edge_count() * 8 + bits * 64 + 5 * bits / 8;
+    Ok(FrontierBfsResult {
+        levels,
+        bitmap_levels,
+        scalar_levels,
+        components,
+        run: AppRun {
+            name: String::new(),
+            trace,
+            scalar_instructions,
+            scalar_bytes,
+            footprint_bytes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphProfile;
+    use pinatubo_runtime::MappingPolicy;
+
+    fn sys() -> PimSystem {
+        PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_a_path() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut s = sys();
+        let result = bitmap_bfs(&g, &mut s).expect("bfs");
+        assert_eq!(result.levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(result.components, 1);
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (3, 4), (4, 5)]);
+        let mut s = sys();
+        let result = bitmap_bfs(&g, &mut s).expect("bfs");
+        assert_eq!(result.levels, bfs_levels_reference(&g));
+        assert_eq!(result.components, 3); // {0,1}, {2}, {3,4,5}
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_synthetic_graphs() {
+        for profile in [GraphProfile::eswiki(), GraphProfile::amazon()] {
+            let mut small = profile;
+            small.nodes = 256;
+            let g = Graph::synthetic(&small);
+            let mut s = sys();
+            let result = bitmap_bfs(&g, &mut s).expect("bfs");
+            assert_eq!(
+                result.levels,
+                bfs_levels_reference(&g),
+                "profile {}",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_records_bitwise_work() {
+        let g = Graph::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut s = sys();
+        let result = bitmap_bfs(&g, &mut s).expect("bfs");
+        assert!(!result.run.trace.is_empty());
+        assert!(result.run.scalar_instructions > 0);
+        // Every level issues OR + NOT + AND + OR.
+        assert!(result.run.trace.len() as u64 >= result.total_levels * 4);
+    }
+
+    #[test]
+    fn frontier_bfs_matches_reference() {
+        for profile in [
+            GraphProfile::dblp().scaled(512),
+            GraphProfile::eswiki().scaled(512),
+        ] {
+            let g = Graph::synthetic(&profile);
+            let mut s = sys();
+            let result = frontier_bfs(&g, &mut s).expect("frontier bfs");
+            assert_eq!(
+                result.levels,
+                bfs_levels_reference(&g),
+                "profile {}",
+                profile.name
+            );
+            // The PIM-side visited bitmap agrees with the host truth.
+            assert!(result.components > 0);
+        }
+    }
+
+    #[test]
+    fn dense_graphs_use_bitmap_levels_loose_graphs_do_not() {
+        let dense = Graph::synthetic(&GraphProfile::dblp().scaled(8192));
+        let loose = Graph::synthetic(&GraphProfile::eswiki().scaled(8192));
+        let d = frontier_bfs(&dense, &mut sys()).expect("dense");
+        let l = frontier_bfs(&loose, &mut sys()).expect("loose");
+        assert!(
+            d.bitmap_levels >= 2,
+            "dblp-like BFS must hit the bitmap regime ({}/{})",
+            d.bitmap_levels,
+            d.scalar_levels
+        );
+        // The loose traversal covers far fewer of its vertices through
+        // bitmap-regime levels; its op trace is correspondingly lighter.
+        assert!(
+            l.run.bitwise_operand_bits() < d.run.bitwise_operand_bits() / 2,
+            "loose traversal should do far less bulk bitwise work ({} vs {})",
+            l.run.bitwise_operand_bits(),
+            d.run.bitwise_operand_bits()
+        );
+    }
+
+    #[test]
+    fn frontier_bfs_records_all_four_op_kinds() {
+        let g = Graph::synthetic(&GraphProfile::dblp().scaled(1024));
+        let mut s = sys();
+        let result = frontier_bfs(&g, &mut s).expect("bfs");
+        use pinatubo_core::BitwiseOp;
+        for op in [
+            BitwiseOp::Or,
+            BitwiseOp::And,
+            BitwiseOp::Xor,
+            BitwiseOp::Not,
+        ] {
+            assert!(
+                result.run.trace.iter().any(|o| o.op == op),
+                "trace should contain {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_graph_has_fewer_levels_than_loose() {
+        let mut dense_p = GraphProfile::dblp();
+        dense_p.nodes = 256;
+        let mut loose_p = GraphProfile::eswiki();
+        loose_p.nodes = 256;
+        let dense = bitmap_bfs(&Graph::synthetic(&dense_p), &mut sys()).expect("dense");
+        let loose = bitmap_bfs(&Graph::synthetic(&loose_p), &mut sys()).expect("loose");
+        assert!(dense.components < loose.components);
+    }
+}

@@ -1,0 +1,442 @@
+//! K-mer set operations — the paper's §3 motivates bulk bitwise
+//! operations with bioinformatics \[21\]; this module builds that workload.
+//!
+//! Each DNA sample is summarized as an exact k-mer *presence bitmap*:
+//! bit `i` is set when the k-mer whose 2-bit encoding equals `i` occurs in
+//! the sample (for k = 8 the universe is 4^8 = 65 536 k-mers — one row).
+//! Comparative genomics then reduces to bulk bitwise operations over
+//! co-located bitmaps:
+//!
+//! * **core genome** of a cohort — AND over all sample bitmaps (a chained
+//!   2-row AND in hardware);
+//! * **pan genome** — one multi-row OR over all samples;
+//! * **distinctive k-mers** of a sample — `sample AND NOT pan(others)`;
+//! * **Jaccard similarity** — popcounts of intersection and union.
+
+use crate::AppRun;
+use pinatubo_core::BitwiseOp;
+use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Nucleotide alphabet used by the synthetic generator.
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// 2-bit encoding of one base.
+fn encode_base(base: u8) -> Option<u64> {
+    match base {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// Exact k-mer presence bitmap of a sequence (universe 4^k bits).
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or greater than 12 (the exact-universe
+/// representation is meant for small k; 4^12 bits = 2 MiB is the ceiling).
+#[must_use]
+pub fn kmer_presence_bits(sequence: &[u8], k: usize) -> Vec<bool> {
+    assert!((1..=12).contains(&k), "k must be in 1..=12, got {k}");
+    let universe = 1usize << (2 * k);
+    let mask = (universe - 1) as u64;
+    let mut bits = vec![false; universe];
+    let mut current = 0u64;
+    let mut valid = 0usize;
+    for &base in sequence {
+        match encode_base(base) {
+            Some(code) => {
+                current = (current << 2 | code) & mask;
+                valid += 1;
+                if valid >= k {
+                    bits[current as usize] = true;
+                }
+            }
+            None => valid = 0, // ambiguous base breaks the window
+        }
+    }
+    bits
+}
+
+/// A cohort of samples resident in PIM memory as k-mer bitmaps.
+#[derive(Debug)]
+pub struct KmerCohort {
+    k: usize,
+    names: Vec<String>,
+    sequences: Vec<Vec<u8>>,
+    bitmaps: Vec<PimBitVec>,
+    /// Reusable scratch co-located with the bitmaps.
+    scratch: Vec<PimBitVec>,
+}
+
+impl KmerCohort {
+    /// Loads sequences as k-mer bitmaps (setup, uncharged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/store failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `k` is out of range.
+    pub fn load(
+        samples: Vec<(String, Vec<u8>)>,
+        k: usize,
+        sys: &mut PimSystem,
+    ) -> Result<Self, RuntimeError> {
+        assert!(!samples.is_empty(), "a cohort needs at least one sample");
+        let universe = 1u64 << (2 * k);
+        let mut group = sys.alloc_group(samples.len() + 3, universe)?;
+        let scratch = group.split_off(samples.len());
+        let mut names = Vec::with_capacity(samples.len());
+        let mut sequences = Vec::with_capacity(samples.len());
+        for ((name, sequence), bitmap) in samples.into_iter().zip(&group) {
+            sys.store(bitmap, &kmer_presence_bits(&sequence, k))?;
+            names.push(name);
+            sequences.push(sequence);
+        }
+        Ok(KmerCohort {
+            k,
+            names,
+            sequences,
+            bitmaps: group,
+            scratch,
+        })
+    }
+
+    /// Synthetic cohort: a random ancestor genome plus `samples − 1`
+    /// mutated descendants (per-base substitution rate `mutation_rate`),
+    /// so related samples share most of their k-mers.
+    #[must_use]
+    pub fn synthetic_samples(
+        samples: usize,
+        genome_len: usize,
+        mutation_rate: f64,
+        seed: u64,
+    ) -> Vec<(String, Vec<u8>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ancestor: Vec<u8> = (0..genome_len)
+            .map(|_| BASES[rng.gen_range(0..4)])
+            .collect();
+        let mut out = vec![("s0".to_owned(), ancestor.clone())];
+        for i in 1..samples {
+            let descendant: Vec<u8> = ancestor
+                .iter()
+                .map(|&b| {
+                    if rng.gen_bool(mutation_rate) {
+                        BASES[rng.gen_range(0..4)]
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            out.push((format!("s{i}"), descendant));
+        }
+        out
+    }
+
+    /// Sample count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Whether the cohort is empty (never true — `load` requires samples).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bitmaps.is_empty()
+    }
+
+    /// Sample names.
+    #[must_use]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// k-mer universe size in bits.
+    #[must_use]
+    pub fn universe_bits(&self) -> u64 {
+        1 << (2 * self.k)
+    }
+
+    /// Core genome: k-mers present in *every* sample (chained AND),
+    /// returned as a popcount.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operation failures.
+    pub fn core_kmer_count(&self, sys: &mut PimSystem) -> Result<u64, RuntimeError> {
+        let refs: Vec<&PimBitVec> = self.bitmaps.iter().collect();
+        let acc = &self.scratch[0];
+        if refs.len() == 1 {
+            sys.bitwise(BitwiseOp::And, &[refs[0], refs[0]], acc)?;
+        } else {
+            sys.bitwise(BitwiseOp::And, &refs, acc)?;
+        }
+        Ok(sys.count_ones(acc))
+    }
+
+    /// Pan genome: k-mers present in *any* sample (one multi-row OR),
+    /// returned as a popcount.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operation failures.
+    pub fn pan_kmer_count(&self, sys: &mut PimSystem) -> Result<u64, RuntimeError> {
+        let refs: Vec<&PimBitVec> = self.bitmaps.iter().collect();
+        let acc = &self.scratch[0];
+        if refs.len() == 1 {
+            sys.or_many(&[refs[0], refs[0]], acc)?;
+        } else {
+            sys.or_many(&refs, acc)?;
+        }
+        Ok(sys.count_ones(acc))
+    }
+
+    /// K-mers unique to sample `idx` (present there, absent everywhere
+    /// else): `sample AND NOT (OR of the others)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the cohort has a single sample.
+    pub fn distinctive_kmer_count(
+        &self,
+        idx: usize,
+        sys: &mut PimSystem,
+    ) -> Result<u64, RuntimeError> {
+        assert!(idx < self.len(), "sample {idx} out of range");
+        assert!(self.len() > 1, "distinctiveness needs at least two samples");
+        let others: Vec<&PimBitVec> = self
+            .bitmaps
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != idx)
+            .map(|(_, b)| b)
+            .collect();
+        let union = &self.scratch[0];
+        if others.len() == 1 {
+            sys.or_many(&[others[0], others[0]], union)?;
+        } else {
+            sys.or_many(&others, union)?;
+        }
+        let not_union = &self.scratch[1];
+        sys.not(union, not_union)?;
+        let unique = &self.scratch[2];
+        sys.bitwise(BitwiseOp::And, &[&self.bitmaps[idx], not_union], unique)?;
+        Ok(sys.count_ones(unique))
+    }
+
+    /// Jaccard similarity `|A∩B| / |A∪B|` between two samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn jaccard(&self, a: usize, b: usize, sys: &mut PimSystem) -> Result<f64, RuntimeError> {
+        assert!(
+            a < self.len() && b < self.len(),
+            "sample index out of range"
+        );
+        let (va, vb) = (&self.bitmaps[a], &self.bitmaps[b]);
+        let inter = &self.scratch[0];
+        sys.bitwise(BitwiseOp::And, &[va, vb], inter)?;
+        let intersection = sys.count_ones(inter);
+        let uni = &self.scratch[1];
+        sys.or_many(&[va, vb], uni)?;
+        let union = sys.count_ones(uni);
+        Ok(if union == 0 {
+            1.0
+        } else {
+            intersection as f64 / union as f64
+        })
+    }
+
+    /// Scalar reference: the k-mer set of sample `idx` as a bit vector.
+    #[must_use]
+    pub fn reference_bits(&self, idx: usize) -> Vec<bool> {
+        kmer_presence_bits(&self.sequences[idx], self.k)
+    }
+}
+
+/// Runs the genomics workload: pan/core analysis, all-pairs Jaccard and
+/// per-sample distinctiveness over a synthetic cohort.
+///
+/// # Errors
+///
+/// Propagates operation failures.
+pub fn run_genomics_workload(
+    samples: usize,
+    genome_len: usize,
+    sys: &mut PimSystem,
+) -> Result<AppRun, RuntimeError> {
+    let cohort = KmerCohort::load(
+        KmerCohort::synthetic_samples(samples, genome_len, 0.01, 0x6E40),
+        8,
+        sys,
+    )?;
+    sys.take_stats();
+    let _ = sys.take_trace();
+    let mut scalar_instructions = 0u64;
+    let mut scalar_bytes = 0u64;
+
+    let pan = cohort.pan_kmer_count(sys)?;
+    let core = cohort.core_kmer_count(sys)?;
+    scalar_instructions += 2 * cohort.universe_bits() / 16;
+    for a in 0..cohort.len() {
+        for b in (a + 1)..cohort.len() {
+            let _ = cohort.jaccard(a, b, sys)?;
+            scalar_instructions += cohort.universe_bits() / 16;
+            scalar_bytes += cohort.universe_bits() / 8;
+        }
+        let _ = cohort.distinctive_kmer_count(a, sys)?;
+    }
+    debug_assert!(core <= pan);
+
+    Ok(AppRun {
+        name: format!("genomics-{samples}x{genome_len}"),
+        trace: sys.take_trace(),
+        scalar_instructions,
+        scalar_bytes,
+        footprint_bytes: cohort.len() as u64 * cohort.universe_bits() / 8
+            + genome_len as u64 * samples as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinatubo_runtime::MappingPolicy;
+    use std::collections::HashSet;
+
+    fn sys() -> PimSystem {
+        PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
+    }
+
+    /// Scalar k-mer set of a sequence.
+    fn kmer_set(sequence: &[u8], k: usize) -> HashSet<usize> {
+        kmer_presence_bits(sequence, k)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn presence_bits_match_hand_computed_kmers() {
+        // "ACGT" with k=2: AC=0b0001, CG=0b0110, GT=0b1011.
+        let bits = kmer_presence_bits(b"ACGT", 2);
+        let set: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(set, vec![0b0001, 0b0110, 0b1011]);
+    }
+
+    #[test]
+    fn ambiguous_bases_break_the_window() {
+        let with_n = kmer_presence_bits(b"ACNGT", 2);
+        let set: Vec<usize> = with_n
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        // Only AC (before the N) and GT (after) survive; CG spans the N.
+        assert_eq!(set, vec![0b0001, 0b1011]);
+    }
+
+    fn small_cohort(sys: &mut PimSystem) -> KmerCohort {
+        KmerCohort::load(KmerCohort::synthetic_samples(4, 3000, 0.02, 77), 6, sys)
+            .expect("cohort loads")
+    }
+
+    #[test]
+    fn pan_and_core_match_scalar_sets() {
+        let mut s = sys();
+        let cohort = small_cohort(&mut s);
+        let sets: Vec<HashSet<usize>> = (0..cohort.len())
+            .map(|i| kmer_set(&cohort.sequences[i], cohort.k))
+            .collect();
+        let pan_ref = sets.iter().fold(HashSet::new(), |acc, s| &acc | s).len() as u64;
+        let core_ref = sets
+            .iter()
+            .skip(1)
+            .fold(sets[0].clone(), |acc, s| &acc & s)
+            .len() as u64;
+        assert_eq!(cohort.pan_kmer_count(&mut s).expect("pan"), pan_ref);
+        assert_eq!(cohort.core_kmer_count(&mut s).expect("core"), core_ref);
+    }
+
+    #[test]
+    fn jaccard_matches_scalar_and_orders_by_relatedness() {
+        let mut s = sys();
+        // Two close samples (low mutation) + one distant (re-mutated).
+        let mut samples = KmerCohort::synthetic_samples(2, 3000, 0.005, 3);
+        samples.extend(KmerCohort::synthetic_samples(1, 3000, 0.0, 999));
+        let cohort = KmerCohort::load(samples, 6, &mut s).expect("loads");
+
+        let j01 = cohort.jaccard(0, 1, &mut s).expect("j01");
+        let j02 = cohort.jaccard(0, 2, &mut s).expect("j02");
+        // Scalar check.
+        let sa = kmer_set(&cohort.sequences[0], 6);
+        let sb = kmer_set(&cohort.sequences[1], 6);
+        let expect = sa.intersection(&sb).count() as f64 / sa.union(&sb).count() as f64;
+        assert!((j01 - expect).abs() < 1e-12);
+        // Related pair is more similar than the unrelated one.
+        assert!(j01 > j02 + 0.2, "j01={j01}, j02={j02}");
+    }
+
+    #[test]
+    fn distinctive_kmers_match_scalar() {
+        let mut s = sys();
+        let cohort = small_cohort(&mut s);
+        let sets: Vec<HashSet<usize>> = (0..cohort.len())
+            .map(|i| kmer_set(&cohort.sequences[i], cohort.k))
+            .collect();
+        for idx in 0..cohort.len() {
+            let others = sets
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != idx)
+                .fold(HashSet::new(), |acc, (_, s)| &acc | s);
+            let expect = sets[idx].difference(&others).count() as u64;
+            assert_eq!(
+                cohort.distinctive_kmer_count(idx, &mut s).expect("unique"),
+                expect,
+                "sample {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_issues_multi_row_ors() {
+        let mut s = sys();
+        let run = run_genomics_workload(6, 2000, &mut s).expect("workload");
+        assert!(run
+            .trace
+            .iter()
+            .any(|o| o.op == BitwiseOp::Or && o.operand_count >= 6));
+        assert!(run.trace.iter().any(|o| o.op == BitwiseOp::And));
+        assert!(run.trace.iter().any(|o| o.op == BitwiseOp::Not));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=12")]
+    fn oversized_k_is_rejected() {
+        let _ = kmer_presence_bits(b"ACGT", 13);
+    }
+}

@@ -1,0 +1,313 @@
+//! The graph substrate: adjacency lists plus synthetic generators.
+//!
+//! Bitmap-based BFS (\[5\] in the paper) keeps frontier/visited/next as
+//! bitmaps and advances with bulk bitwise operations; the graph itself is
+//! stored as adjacency lists (CSR-style) so paper-scale vertex counts are
+//! cheap. For small graphs the adjacency can also be viewed as per-vertex
+//! bitmap rows ([`Graph::adjacency_bits`]), which the multi-row-OR BFS
+//! variant in [`crate::bfs`] exploits.
+//!
+//! The paper evaluates on dblp-2010, eswiki-2013 and amazon-2008 from the
+//! LAW collection; those are not redistributable here, so
+//! [`GraphProfile`]s generate synthetic graphs with the matched
+//! *connectivity character*: dblp-like graphs are dense with a short
+//! diameter (big frontiers → bitwise-dominated BFS), eswiki/amazon-like
+//! graphs are loose (small frontiers, many components → the traversal
+//! spends its time "searching for an unvisited bit-vector", paper §6.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Connectivity profile of a synthetic graph.
+///
+/// Real link/co-purchase graphs are core–periphery structured: a modest
+/// densely-connected core plus a large loose fringe. The profile captures
+/// that with a periphery degree over all vertices and an extra dense core
+/// over the first `core_fraction` of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphProfile {
+    /// Name as it appears in the figures.
+    pub name: &'static str,
+    /// Vertex count.
+    pub nodes: usize,
+    /// Average (undirected) degree of the periphery edges, over all
+    /// vertices.
+    pub avg_degree: f64,
+    /// Fraction of vertices forming the dense core (0 for none).
+    pub core_fraction: f64,
+    /// Average degree of the extra core-internal edges.
+    pub core_degree: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GraphProfile {
+    /// dblp-2010-like: a dense collaboration network — short diameter,
+    /// large BFS frontiers everywhere.
+    #[must_use]
+    pub fn dblp() -> Self {
+        GraphProfile {
+            name: "dblp",
+            nodes: 1 << 18,
+            avg_degree: 12.0,
+            core_fraction: 0.0,
+            core_degree: 0.0,
+            seed: 0xD81F,
+        }
+    }
+
+    /// eswiki-2013-like: a small dense core inside a very loose fringe —
+    /// small frontiers, many components.
+    #[must_use]
+    pub fn eswiki() -> Self {
+        GraphProfile {
+            name: "eswiki",
+            nodes: 1 << 18,
+            avg_degree: 0.6,
+            core_fraction: 0.06,
+            core_degree: 10.0,
+            seed: 0xE5A1,
+        }
+    }
+
+    /// amazon-2008-like: a loose co-purchase graph with a slightly larger
+    /// core than eswiki.
+    #[must_use]
+    pub fn amazon() -> Self {
+        GraphProfile {
+            name: "amazon",
+            nodes: 1 << 18,
+            avg_degree: 0.8,
+            core_fraction: 0.09,
+            core_degree: 10.0,
+            seed: 0xA3A2,
+        }
+    }
+
+    /// The three paper datasets, in figure order.
+    #[must_use]
+    pub fn table1() -> Vec<GraphProfile> {
+        vec![
+            GraphProfile::dblp(),
+            GraphProfile::eswiki(),
+            GraphProfile::amazon(),
+        ]
+    }
+
+    /// The same profile at a smaller vertex count (tests, examples).
+    #[must_use]
+    pub fn scaled(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+}
+
+/// An undirected graph stored as per-vertex adjacency lists.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    neighbors: Vec<Vec<u32>>,
+    edges: u64,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a graph needs at least one vertex");
+        Graph {
+            n,
+            neighbors: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Generates a core–periphery random graph matching `profile`:
+    /// `n · d / 2` periphery edges over all vertices plus
+    /// `core_n · d_core / 2` edges among the first `core_n` vertices.
+    #[must_use]
+    pub fn synthetic(profile: &GraphProfile) -> Self {
+        let mut g = Graph::new(profile.nodes);
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+
+        let sample = |g: &mut Graph,
+                      rng: &mut StdRng,
+                      seen: &mut HashSet<(u32, u32)>,
+                      pool: u32,
+                      target: u64| {
+            if pool < 2 {
+                return;
+            }
+            let mut added = 0u64;
+            let mut attempts = 0u64;
+            while added < target && attempts < target * 20 {
+                attempts += 1;
+                let u = rng.gen_range(0..pool);
+                let v = rng.gen_range(0..pool);
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    g.push_edge(u as usize, v as usize);
+                    added += 1;
+                }
+            }
+        };
+
+        let periphery_target = (profile.nodes as f64 * profile.avg_degree / 2.0) as u64;
+        sample(
+            &mut g,
+            &mut rng,
+            &mut seen,
+            profile.nodes as u32,
+            periphery_target,
+        );
+        let core_n = (profile.nodes as f64 * profile.core_fraction) as u32;
+        let core_target = (f64::from(core_n) * profile.core_degree / 2.0) as u64;
+        sample(&mut g, &mut rng, &mut seen, core_n, core_target);
+        g
+    }
+
+    /// A graph from an explicit edge list (self-loops and duplicates are
+    /// ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge (u, v), ignoring self-loops and
+    /// duplicates. O(deg) duplicate check — use [`Graph::synthetic`] or
+    /// [`Graph::from_edges`] for bulk construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge ({u}, {v}) out of range");
+        if u == v || self.has_edge(u, v) {
+            return;
+        }
+        self.push_edge(u, v);
+    }
+
+    /// Unchecked insert used by the bulk constructors.
+    fn push_edge(&mut self, u: usize, v: usize) {
+        self.neighbors[u].push(v as u32);
+        self.neighbors[v].push(u as u32);
+        self.edges += 1;
+    }
+
+    /// Vertex count.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Undirected edge count.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Whether the edge (u, v) exists (O(deg u)).
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors[u].contains(&(v as u32))
+    }
+
+    /// Degree of `v`.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> u64 {
+        self.neighbors[v].len() as u64
+    }
+
+    /// Neighbors of `v`.
+    #[must_use]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[v]
+    }
+
+    /// The adjacency bitmap of `v` as booleans (one per vertex) — the
+    /// per-vertex bitmap-row view used by the multi-row-OR BFS variant on
+    /// small graphs.
+    #[must_use]
+    pub fn adjacency_bits(&self, v: usize) -> Vec<bool> {
+        let mut bits = vec![false; self.n];
+        for &u in &self.neighbors[v] {
+            bits[u as usize] = true;
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_symmetric_and_counted_once() {
+        let mut g = Graph::new(8);
+        g.add_edge(1, 5);
+        g.add_edge(5, 1); // duplicate
+        g.add_edge(3, 3); // self-loop
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(1, 5) && g.has_edge(5, 1));
+        assert!(!g.has_edge(3, 3));
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.neighbors(5), &[1]);
+    }
+
+    #[test]
+    fn adjacency_bits_match_has_edge() {
+        let g = Graph::from_edges(70, &[(0, 65), (0, 3)]);
+        let bits = g.adjacency_bits(0);
+        assert!(bits[65] && bits[3]);
+        assert_eq!(bits.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn synthetic_degree_is_near_target() {
+        let g = Graph::synthetic(&GraphProfile::dblp().scaled(4096));
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            (avg - 12.0).abs() < 2.0,
+            "average degree {avg} should be near the profile's 12"
+        );
+    }
+
+    #[test]
+    fn synthetic_is_reproducible() {
+        let a = Graph::synthetic(&GraphProfile::amazon().scaled(1024));
+        let b = Graph::synthetic(&GraphProfile::amazon().scaled(1024));
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.adjacency_bits(17), b.adjacency_bits(17));
+    }
+
+    #[test]
+    fn profiles_span_dense_and_loose() {
+        let dblp = Graph::synthetic(&GraphProfile::dblp().scaled(2048));
+        let eswiki = Graph::synthetic(&GraphProfile::eswiki().scaled(2048));
+        assert!(dblp.edge_count() > 4 * eswiki.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn empty_graph_is_rejected() {
+        let _ = Graph::new(0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Bit-plane image processing — the paper's §3 motivates bulk bitwise
+//! operations with image processing \[6\] (fast color segmentation); this
+//! module builds that workload on Pinatubo.
+//!
+//! An 8-bit grayscale channel is stored as eight *bit planes*, each a
+//! `width × height`-bit vector. A threshold test `pixel > t` then becomes
+//! a bit-serial magnitude comparison — a fixed sequence of AND / OR / NOT
+//! / XOR operations over the planes, entirely inter-row work:
+//!
+//! ```text
+//! gt ← 0, eq ← 1
+//! for k = 7 … 0:
+//!     if t_k == 0:  gt ← gt OR (eq AND plane_k);  eq ← eq AND NOT plane_k
+//!     else:         eq ← eq AND plane_k
+//! ```
+//!
+//! Color segmentation ANDs per-channel threshold masks together — the
+//! same conjunctive structure as the database workload, on image data.
+
+use crate::AppRun;
+use pinatubo_core::BitwiseOp;
+use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One 8-bit image channel resident in PIM memory as bit planes.
+#[derive(Debug)]
+pub struct BitPlaneChannel {
+    pixels: Vec<u8>,
+    /// `planes[k]` holds bit `k` of every pixel.
+    planes: Vec<PimBitVec>,
+    /// Reusable scratch vectors co-allocated with the planes.
+    scratch: Vec<PimBitVec>,
+}
+
+impl BitPlaneChannel {
+    /// Bit planes per 8-bit channel.
+    pub const PLANES: usize = 8;
+
+    /// Loads a pixel buffer into bit planes (setup, uncharged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/store failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` is empty.
+    pub fn load(pixels: Vec<u8>, sys: &mut PimSystem) -> Result<Self, RuntimeError> {
+        assert!(!pixels.is_empty(), "an image needs at least one pixel");
+        let bits = pixels.len() as u64;
+        // Planes + comparator scratch (gt, eq, tmp) in one placement group.
+        let mut group = sys.alloc_group(Self::PLANES + 3, bits)?;
+        let scratch = group.split_off(Self::PLANES);
+        for (k, plane) in group.iter().enumerate() {
+            let plane_bits: Vec<bool> = pixels.iter().map(|&p| p >> k & 1 == 1).collect();
+            sys.store(plane, &plane_bits)?;
+        }
+        Ok(BitPlaneChannel {
+            pixels,
+            planes: group,
+            scratch,
+        })
+    }
+
+    /// A synthetic test image: a smooth gradient with bright blobs, the
+    /// kind of content segmentation thresholds carve up.
+    #[must_use]
+    pub fn synthetic_pixels(width: usize, height: usize, seed: u64) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blobs: Vec<(f64, f64, f64)> = (0..6)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..width as f64),
+                    rng.gen_range(0.0..height as f64),
+                    rng.gen_range(4.0..(width.min(height) as f64 / 3.0).max(5.0)),
+                )
+            })
+            .collect();
+        (0..height)
+            .flat_map(|y| (0..width).map(move |x| (x, y)))
+            .map(|(x, y)| {
+                let gradient = 96.0 * x as f64 / width as f64;
+                let blob: f64 = blobs
+                    .iter()
+                    .map(|&(bx, by, r)| {
+                        let d2 = (x as f64 - bx).powi(2) + (y as f64 - by).powi(2);
+                        150.0 * (-d2 / (r * r)).exp()
+                    })
+                    .sum();
+                (gradient + blob).min(255.0) as u8
+            })
+            .collect()
+    }
+
+    /// Pixel count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Whether the channel is empty (never true — `load` requires pixels).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// The raw pixels (ground truth for verification).
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Computes the mask `pixel > threshold` with the bit-serial
+    /// comparator, returning a freshly allocated mask vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/operation failures.
+    pub fn threshold_mask(
+        &self,
+        threshold: u8,
+        sys: &mut PimSystem,
+    ) -> Result<PimBitVec, RuntimeError> {
+        let bits = self.pixels.len() as u64;
+        let mask = sys.alloc(bits)?;
+        let [gt, eq, tmp] = [&self.scratch[0], &self.scratch[1], &self.scratch[2]];
+
+        // gt ← 0, eq ← 1 (setup writes).
+        sys.store(gt, &vec![false; bits as usize])?;
+        sys.store(eq, &vec![true; bits as usize])?;
+
+        for k in (0..Self::PLANES).rev() {
+            let plane = &self.planes[k];
+            if threshold >> k & 1 == 0 {
+                // gt |= eq & plane ; eq &= !plane
+                sys.bitwise(BitwiseOp::And, &[eq, plane], tmp)?;
+                sys.bitwise(BitwiseOp::Or, &[gt, tmp], gt)?;
+                sys.bitwise(BitwiseOp::Not, &[plane], tmp)?;
+                sys.bitwise(BitwiseOp::And, &[eq, tmp], eq)?;
+            } else {
+                // eq &= plane
+                sys.bitwise(BitwiseOp::And, &[eq, plane], eq)?;
+            }
+        }
+        // Materialize the result out of the scratch register.
+        sys.bitwise(BitwiseOp::Or, &[gt, gt], &mask)?;
+        Ok(mask)
+    }
+
+    /// Scalar reference mask.
+    #[must_use]
+    pub fn threshold_reference(&self, threshold: u8) -> Vec<bool> {
+        self.pixels.iter().map(|&p| p > threshold).collect()
+    }
+}
+
+/// A band segmentation `lo < pixel ≤ hi` across several channels:
+/// per-channel masks ANDed together (the color-segmentation pattern).
+///
+/// # Errors
+///
+/// Propagates allocation/operation failures.
+pub fn segment_band(
+    channels: &[&BitPlaneChannel],
+    lo: u8,
+    hi: u8,
+    sys: &mut PimSystem,
+) -> Result<PimBitVec, RuntimeError> {
+    assert!(
+        !channels.is_empty(),
+        "segmentation needs at least one channel"
+    );
+    assert!(lo <= hi, "band bounds out of order");
+    let bits = channels[0].len() as u64;
+    let mut masks = Vec::with_capacity(channels.len() * 2);
+    for channel in channels {
+        // pixel > lo
+        masks.push(channel.threshold_mask(lo, sys)?);
+        // NOT (pixel > hi)
+        let above_hi = channel.threshold_mask(hi, sys)?;
+        let in_range = sys.alloc(bits)?;
+        sys.not(&above_hi, &in_range)?;
+        masks.push(in_range);
+    }
+    let out = sys.alloc(bits)?;
+    let refs: Vec<&PimBitVec> = masks.iter().collect();
+    sys.bitwise(BitwiseOp::And, &refs, &out)?;
+    Ok(out)
+}
+
+/// Runs the image workload: load a synthetic frame, compute a batch of
+/// threshold masks and band segmentations, and account the work.
+///
+/// # Errors
+///
+/// Propagates allocation/operation failures.
+pub fn run_image_workload(
+    width: usize,
+    height: usize,
+    mask_count: usize,
+    sys: &mut PimSystem,
+) -> Result<AppRun, RuntimeError> {
+    let channel = BitPlaneChannel::load(
+        BitPlaneChannel::synthetic_pixels(width, height, 0x1AA6E),
+        sys,
+    )?;
+    sys.take_stats();
+    let _ = sys.take_trace();
+    let mut scalar_instructions = 0u64;
+    let mut scalar_bytes = 0u64;
+    let mut rng = StdRng::seed_from_u64(0x5E6);
+    for _ in 0..mask_count {
+        let t = rng.gen_range(16..240u8);
+        let mask = channel.threshold_mask(t, sys)?;
+        // Scalar: consume the mask (connected components, moments, …).
+        let hits = sys.count_ones(&mask);
+        scalar_instructions += 40 * hits + channel.len() as u64 / 16;
+        scalar_bytes += 16 * hits + channel.len() as u64 / 8;
+    }
+    Ok(AppRun {
+        name: format!("image-{width}x{height}"),
+        trace: sys.take_trace(),
+        scalar_instructions,
+        scalar_bytes,
+        footprint_bytes: channel.len() as u64 * 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinatubo_runtime::MappingPolicy;
+
+    fn sys() -> PimSystem {
+        PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
+    }
+
+    #[test]
+    fn threshold_mask_matches_reference() {
+        let mut s = sys();
+        let pixels = BitPlaneChannel::synthetic_pixels(64, 32, 7);
+        let channel = BitPlaneChannel::load(pixels, &mut s).expect("load");
+        for t in [0u8, 1, 63, 64, 127, 128, 200, 254, 255] {
+            let mask = channel.threshold_mask(t, &mut s).expect("mask");
+            let got = s.load(&mask);
+            assert_eq!(got, channel.threshold_reference(t), "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_comparator_on_all_pixel_values() {
+        // One pixel of every possible value: the comparator must be exact
+        // for the full 256 x sample-thresholds matrix.
+        let mut s = sys();
+        let pixels: Vec<u8> = (0..=255).collect();
+        let channel = BitPlaneChannel::load(pixels, &mut s).expect("load");
+        for t in (0..=255u8).step_by(17) {
+            let mask = channel.threshold_mask(t, &mut s).expect("mask");
+            let got = s.load(&mask);
+            for (p, &m) in got.iter().enumerate() {
+                assert_eq!(
+                    m,
+                    p as u8 as usize > t as usize,
+                    "pixel {p} vs threshold {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn band_segmentation_matches_reference() {
+        let mut s = sys();
+        let pixels = BitPlaneChannel::synthetic_pixels(48, 48, 9);
+        let channel = BitPlaneChannel::load(pixels.clone(), &mut s).expect("load");
+        let seg = segment_band(&[&channel], 80, 160, &mut s).expect("segment");
+        let got = s.load(&seg);
+        let want: Vec<bool> = pixels.iter().map(|&p| p > 80 && p <= 160).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn workload_uses_all_four_ops() {
+        let mut s = sys();
+        let run = run_image_workload(64, 64, 3, &mut s).expect("workload");
+        for op in [
+            BitwiseOp::And,
+            BitwiseOp::Or,
+            BitwiseOp::Xor,
+            BitwiseOp::Not,
+        ] {
+            let used = run.trace.iter().any(|o| o.op == op);
+            // XOR only appears via thresholds whose comparator needs it —
+            // AND/OR/NOT always do.
+            if op != BitwiseOp::Xor {
+                assert!(used, "trace should contain {op}");
+            }
+        }
+        assert!(run.scalar_instructions > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pixel")]
+    fn empty_image_is_rejected() {
+        let mut s = sys();
+        let _ = BitPlaneChannel::load(Vec::new(), &mut s);
+    }
+}

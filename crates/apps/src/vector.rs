@@ -1,0 +1,235 @@
+//! The Vector micro-benchmark (Table 1): pure bit-vector OR operations.
+//!
+//! A workload named `19-16-7s` performs OR operations over 2^19-bit
+//! vectors, 2^16 vectors in total, 2^7 operand rows per operation, with
+//! sequential (`s`, PIM-aware) or random (`r`, PIM-oblivious) placement.
+//!
+//! The workload produces its trace by *allocating* every vector through
+//! the real [`pinatubo_runtime::PimAllocator`] and classifying each
+//! operation's rows — so locality degradation at subarray boundaries and
+//! under random placement emerges from the allocator, not from an assumed
+//! distribution. No data is materialized (operation cost is
+//! data-independent), which keeps 4 GB workloads cheap to generate.
+
+use crate::AppRun;
+use pinatubo_core::{BitwiseOp, BulkOp, OpClass};
+use pinatubo_mem::{MemGeometry, RowAddr};
+use pinatubo_runtime::{MappingPolicy, PimAllocator};
+use std::fmt;
+
+/// One Vector workload configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorWorkload {
+    /// log2 of the bit-vector length.
+    pub len_log2: u32,
+    /// log2 of the number of vectors.
+    pub count_log2: u32,
+    /// log2 of the operand rows per OR operation.
+    pub rows_per_op_log2: u32,
+    /// Random (`r`) vs sequential (`s`) placement.
+    pub random_access: bool,
+}
+
+impl VectorWorkload {
+    /// Parses a Table 1 style name like `"19-16-7s"` or `"14-16-7r"`.
+    ///
+    /// Returns `None` for malformed names.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        let (body, suffix) = name.split_at(name.len().checked_sub(1)?);
+        let random_access = match suffix {
+            "s" => false,
+            "r" => true,
+            _ => return None,
+        };
+        let mut parts = body.split('-');
+        let len_log2 = parts.next()?.parse().ok()?;
+        let count_log2 = parts.next()?.parse().ok()?;
+        let rows_per_op_log2 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(VectorWorkload {
+            len_log2,
+            count_log2,
+            rows_per_op_log2,
+            random_access,
+        })
+    }
+
+    /// The five Table 1 configurations, in paper order.
+    #[must_use]
+    pub fn table1() -> Vec<VectorWorkload> {
+        ["19-16-1s", "19-16-7s", "14-12-7s", "14-16-7s", "14-16-7r"]
+            .iter()
+            .map(|n| VectorWorkload::parse(n).expect("table constants parse"))
+            .collect()
+    }
+
+    /// Vector length in bits.
+    #[must_use]
+    pub fn len_bits(&self) -> u64 {
+        1 << self.len_log2
+    }
+
+    /// Number of vectors.
+    #[must_use]
+    pub fn vector_count(&self) -> u64 {
+        1 << self.count_log2
+    }
+
+    /// Operand rows per OR operation.
+    #[must_use]
+    pub fn rows_per_op(&self) -> usize {
+        1 << self.rows_per_op_log2
+    }
+
+    /// Operations in the workload.
+    #[must_use]
+    pub fn op_count(&self) -> u64 {
+        self.vector_count() / self.rows_per_op() as u64
+    }
+
+    /// Total data footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.vector_count() * self.len_bits() / 8
+    }
+
+    /// Generates the workload's [`AppRun`].
+    ///
+    /// Vectors are allocated through the real allocator (grouped so that a
+    /// PIM-aware OS would co-locate each operation's operands and result);
+    /// each operation's locality is classified from the rows it actually
+    /// received.
+    #[must_use]
+    pub fn run(&self) -> AppRun {
+        // Random placement models a PIM-oblivious OS inside one rank (the
+        // vectors still share a channel/rank, as the paper's
+        // inter-subarray/bank-dominated 14-16-7r behaviour implies).
+        let mut geometry = MemGeometry::pcm_default();
+        let policy = if self.random_access {
+            geometry.channels = 1;
+            geometry.ranks_per_channel = 1;
+            MappingPolicy::random()
+        } else {
+            MappingPolicy::SubarrayFirst
+        };
+        let mut allocator = PimAllocator::new(geometry.clone(), policy);
+
+        let n = self.rows_per_op();
+        let mut trace = Vec::with_capacity(self.op_count() as usize);
+        for _ in 0..self.op_count() {
+            // Operands + result allocated together, as the PIM-aware OS
+            // lays out an operation group (§5).
+            let group = allocator
+                .alloc_group(n + 1, self.len_bits())
+                .expect("workload fits the 64 GB address space");
+            let rows: Vec<RowAddr> = group.iter().map(|v| v.rows()[0]).collect();
+            trace.push(BulkOp {
+                op: BitwiseOp::Or,
+                operand_count: n,
+                bits: self.len_bits(),
+                locality: OpClass::classify(&rows),
+            });
+        }
+
+        AppRun {
+            name: self.to_string(),
+            trace,
+            // Pure vector kernels: only loop bookkeeping outside the ops.
+            scalar_instructions: self.op_count() * 20,
+            scalar_bytes: self.op_count() * 64,
+            footprint_bytes: self.footprint_bytes(),
+        }
+    }
+}
+
+impl fmt::Display for VectorWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-{}-{}{}",
+            self.len_log2,
+            self.count_log2,
+            self.rows_per_op_log2,
+            if self.random_access { 'r' } else { 's' }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for name in ["19-16-1s", "19-16-7s", "14-12-7s", "14-16-7s", "14-16-7r"] {
+            let w = VectorWorkload::parse(name).expect("parses");
+            assert_eq!(w.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "19-16-1", "19-16s", "a-b-cs", "19-16-1x", "19-16-1-2s"] {
+            assert_eq!(VectorWorkload::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn op_count_divides_vectors() {
+        let w = VectorWorkload::parse("19-16-7s").expect("parses");
+        assert_eq!(w.op_count(), 1 << 9);
+        assert_eq!(w.rows_per_op(), 128);
+        assert_eq!(w.footprint_bytes(), 4 << 30);
+    }
+
+    #[test]
+    fn sequential_placement_is_mostly_intra() {
+        let w = VectorWorkload::parse("14-12-7s").expect("parses");
+        let run = w.run();
+        let intra = run
+            .trace
+            .iter()
+            .filter(|o| o.locality == OpClass::IntraSubarray)
+            .count();
+        assert!(
+            intra * 10 >= run.trace.len() * 8,
+            "sequential placement should be >=80% intra-subarray ({intra}/{})",
+            run.trace.len()
+        );
+    }
+
+    #[test]
+    fn random_placement_degrades_locality() {
+        let w = VectorWorkload::parse("14-16-7r").expect("parses");
+        let run = w.run();
+        let intra = run
+            .trace
+            .iter()
+            .filter(|o| o.locality == OpClass::IntraSubarray)
+            .count();
+        assert!(
+            intra * 10 < run.trace.len(),
+            "random placement should almost never stay intra-subarray"
+        );
+        // ... and stays inside the rank, per the paper's characterization.
+        assert!(run
+            .trace
+            .iter()
+            .all(|o| o.locality != OpClass::HostFallback));
+    }
+
+    #[test]
+    fn trace_shape_matches_spec() {
+        let w = VectorWorkload::parse("14-12-7s").expect("parses");
+        let run = w.run();
+        assert_eq!(run.trace.len(), w.op_count() as usize);
+        for op in &run.trace {
+            assert_eq!(op.op, BitwiseOp::Or);
+            assert_eq!(op.operand_count, 128);
+            assert_eq!(op.bits, 1 << 14);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The Table 1 benchmark registry.
+//!
+//! Eleven workloads, exactly the paper's evaluation matrix: five Vector
+//! configurations, three graph datasets, three database query counts.
+
+use crate::bfs::frontier_bfs;
+use crate::database::run_database_workload;
+use crate::graph::{Graph, GraphProfile};
+use crate::vector::VectorWorkload;
+use crate::AppRun;
+use pinatubo_runtime::{MappingPolicy, PimSystem};
+use std::fmt;
+
+/// Which family a benchmark belongs to (the grouping of Fig. 10–12).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchmarkKind {
+    /// Pure bit-vector OR operations.
+    Vector(VectorWorkload),
+    /// Bitmap BFS on a synthetic graph.
+    Graph(GraphProfile),
+    /// Bitmap-index database with N queries.
+    Database {
+        /// Queries to evaluate.
+        queries: usize,
+    },
+}
+
+/// One Table 1 benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// Name as printed in the figures.
+    pub name: String,
+    /// The workload family and parameters.
+    pub kind: BenchmarkKind,
+}
+
+impl Benchmark {
+    /// All eleven Table 1 benchmarks, in figure order.
+    #[must_use]
+    pub fn table1() -> Vec<Benchmark> {
+        let mut benchmarks: Vec<Benchmark> = VectorWorkload::table1()
+            .into_iter()
+            .map(|w| Benchmark {
+                name: w.to_string(),
+                kind: BenchmarkKind::Vector(w),
+            })
+            .collect();
+        benchmarks.extend(GraphProfile::table1().into_iter().map(|p| Benchmark {
+            name: p.name.to_owned(),
+            kind: BenchmarkKind::Graph(p),
+        }));
+        benchmarks.extend([240, 480, 720].into_iter().map(|queries| Benchmark {
+            name: queries.to_string(),
+            kind: BenchmarkKind::Database { queries },
+        }));
+        benchmarks
+    }
+
+    /// Only the application benchmarks (graph + database), for the overall
+    /// results of Fig. 12.
+    #[must_use]
+    pub fn applications() -> Vec<Benchmark> {
+        Benchmark::table1()
+            .into_iter()
+            .filter(|b| !matches!(b.kind, BenchmarkKind::Vector(_)))
+            .collect()
+    }
+
+    /// The figure group this benchmark is printed under.
+    #[must_use]
+    pub fn group(&self) -> &'static str {
+        match self.kind {
+            BenchmarkKind::Vector(_) => "Vector",
+            BenchmarkKind::Graph(_) => "Graph",
+            BenchmarkKind::Database { .. } => "Fastbit",
+        }
+    }
+
+    /// Runs the benchmark and returns its recorded work.
+    ///
+    /// Graph and database workloads run end-to-end on a PIM system with
+    /// the PIM-aware allocator; the Vector micro-benchmark generates its
+    /// trace through the allocator alone (see [`VectorWorkload::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to execute — Table 1 workloads always
+    /// fit the default memory, so a failure is a bug, not an input error.
+    #[must_use]
+    pub fn run(&self) -> AppRun {
+        let mut run = match &self.kind {
+            BenchmarkKind::Vector(w) => w.run(),
+            BenchmarkKind::Graph(profile) => {
+                let graph = Graph::synthetic(profile);
+                let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+                frontier_bfs(&graph, &mut sys)
+                    .expect("Table 1 graph traversal fits the default memory")
+                    .run
+            }
+            BenchmarkKind::Database { queries } => {
+                let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+                run_database_workload(*queries, &mut sys)
+                    .expect("Table 1 database workload fits the default memory")
+            }
+        };
+        run.name = self.name.clone();
+        run
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.group(), self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eleven_benchmarks() {
+        let all = Benchmark::table1();
+        assert_eq!(all.len(), 11);
+        assert_eq!(all.iter().filter(|b| b.group() == "Vector").count(), 5);
+        assert_eq!(all.iter().filter(|b| b.group() == "Graph").count(), 3);
+        assert_eq!(all.iter().filter(|b| b.group() == "Fastbit").count(), 3);
+    }
+
+    #[test]
+    fn applications_excludes_vector() {
+        let apps = Benchmark::applications();
+        assert_eq!(apps.len(), 6);
+        assert!(apps.iter().all(|b| b.group() != "Vector"));
+    }
+
+    #[test]
+    fn display_includes_group() {
+        let all = Benchmark::table1();
+        assert_eq!(all[0].to_string(), "Vector/19-16-1s");
+        assert_eq!(all[5].to_string(), "Graph/dblp");
+        assert_eq!(all[8].to_string(), "Fastbit/240");
+    }
+
+    #[test]
+    fn database_benchmark_runs_end_to_end() {
+        let b = Benchmark {
+            name: "tiny".into(),
+            kind: BenchmarkKind::Database { queries: 3 },
+        };
+        let run = b.run();
+        assert_eq!(run.name, "tiny");
+        assert!(!run.trace.is_empty());
+        assert!(run.footprint_bytes > 0);
+    }
+}

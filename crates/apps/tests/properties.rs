@@ -1,0 +1,91 @@
+//! Property tests for the application layer: every in-memory kernel must
+//! agree with its scalar reference on arbitrary inputs.
+
+use pinatubo_apps::database::{BitmapIndex, Query, TableSpec};
+use pinatubo_apps::genomics::kmer_presence_bits;
+use pinatubo_apps::image::BitPlaneChannel;
+use pinatubo_apps::VectorWorkload;
+use pinatubo_runtime::{MappingPolicy, PimSystem};
+use proptest::prelude::*;
+
+fn sys() -> PimSystem {
+    PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The bit-serial threshold comparator equals `pixel > t` for random
+    /// images and thresholds.
+    #[test]
+    fn image_comparator_is_exact(
+        pixels in prop::collection::vec(any::<u8>(), 1..400),
+        threshold in any::<u8>(),
+    ) {
+        let mut s = sys();
+        let channel = BitPlaneChannel::load(pixels, &mut s).expect("load");
+        let mask = channel.threshold_mask(threshold, &mut s).expect("mask");
+        prop_assert_eq!(s.load(&mask), channel.threshold_reference(threshold));
+    }
+
+    /// Bitmap-index queries equal the scalar filter for arbitrary tables
+    /// and queries.
+    #[test]
+    fn database_queries_are_exact(
+        rows in 64u64..2048,
+        seed in any::<u64>(),
+        query_seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let spec = TableSpec { rows, attributes: 3, bins: 8, seed };
+        let mut s = sys();
+        let index = BitmapIndex::build(spec, &mut s).expect("build");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
+        for _ in 0..4 {
+            let q = Query::random(&spec, &mut rng);
+            let got = index.run_query(&q, &mut s).expect("query").count;
+            prop_assert_eq!(got, index.count_reference(&q));
+        }
+    }
+
+    /// K-mer presence bitmaps: every set bit corresponds to a k-mer that
+    /// actually occurs, and the popcount never exceeds the window count.
+    #[test]
+    fn kmer_bits_are_sound(
+        sequence in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..300),
+        k in 1usize..=6,
+    ) {
+        let bits = kmer_presence_bits(&sequence, k);
+        prop_assert_eq!(bits.len(), 1 << (2 * k));
+        let count = bits.iter().filter(|&&b| b).count();
+        let windows = sequence.len().saturating_sub(k - 1);
+        prop_assert!(count <= windows);
+        // Spot-check every set bit decodes to a substring of the input.
+        for (code, _) in bits.iter().enumerate().filter(|&(_, &b)| b) {
+            let mut kmer = vec![0u8; k];
+            for (j, slot) in kmer.iter_mut().enumerate() {
+                let shift = 2 * (k - 1 - j);
+                *slot = [b'A', b'C', b'G', b'T'][(code >> shift) & 3];
+            }
+            let found = sequence.windows(k).any(|w| w == kmer.as_slice());
+            prop_assert!(found, "k-mer {:?} not in input", String::from_utf8_lossy(&kmer));
+        }
+    }
+
+    /// Vector workload names round-trip through the parser.
+    #[test]
+    fn vector_names_round_trip(
+        len in 1u32..30,
+        count in 1u32..30,
+        rows in 0u32..10,
+        random in any::<bool>(),
+    ) {
+        let w = VectorWorkload {
+            len_log2: len,
+            count_log2: count,
+            rows_per_op_log2: rows,
+            random_access: random,
+        };
+        prop_assert_eq!(VectorWorkload::parse(&w.to_string()), Some(w));
+    }
+}

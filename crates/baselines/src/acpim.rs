@@ -1,0 +1,141 @@
+//! The AC-PIM baseline: an accelerator-in-memory that computes every
+//! bitwise operation with digital logic gates at the buffers (§6.1 —
+//! "even the intra-subarray operations are implemented with digital logic
+//! gates as shown in Fig. 8(b)").
+//!
+//! AC-PIM avoids the DDR bus like Pinatubo does, but pays for it twice:
+//!
+//! * **time** — every operand row must be read out through the SA mux and
+//!   *streamed through a logic datapath* of finite width, instead of being
+//!   combined for free inside one analog sense;
+//! * **energy** — every bit moves over global data lines and toggles CMOS
+//!   gates, instead of staying as an analog current on the bit line;
+//! * **area** — the per-column datapath costs ~6.4% of the chip (Fig. 13).
+
+use crate::{BitwiseExecutor, ExecReport};
+use pinatubo_core::{BitwiseOp, BulkOp};
+use pinatubo_nvm::energy::EnergyParams;
+use pinatubo_nvm::timing::TimingParams;
+
+/// The accelerator-in-memory executor, on the same PCM array as Pinatubo.
+#[derive(Debug, Clone)]
+pub struct AcPimExecutor {
+    timing: TimingParams,
+    energy: EnergyParams,
+    /// Bits of one logical row.
+    row_bits: u64,
+    /// Bits per sense pass through the SA mux.
+    bits_per_pass: u64,
+    /// Width of the digital combine datapath.
+    logic_width_bits: u64,
+}
+
+impl AcPimExecutor {
+    /// AC-PIM on the paper's PCM main memory (512-bit datapath).
+    #[must_use]
+    pub fn new() -> Self {
+        AcPimExecutor {
+            timing: TimingParams::pcm_ddr3_1600(),
+            energy: EnergyParams::pcm(),
+            row_bits: 1 << 19,
+            bits_per_pass: 1 << 14,
+            logic_width_bits: 512,
+        }
+    }
+
+    /// Prices reading one operand segment of `cols` bits and streaming it
+    /// through the logic datapath.
+    fn operand_ns(&self, cols: u64) -> f64 {
+        let passes = cols.div_ceil(self.bits_per_pass);
+        let stream_cycles = cols.div_ceil(self.logic_width_bits);
+        self.timing.t_rcd_ns
+            + passes as f64 * self.timing.t_cl_ns
+            + stream_cycles as f64 * self.timing.t_gdl_cycle_ns
+            + self.timing.t_rp_ns
+    }
+
+    fn segment_report(&self, op: &BulkOp, cols: u64) -> ExecReport {
+        let reads = if op.op == BitwiseOp::Not {
+            1
+        } else {
+            op.operand_count
+        } as u64;
+        let time_ns = reads as f64 * self.operand_ns(cols) + self.timing.t_wr_ns;
+        let moved = reads * cols;
+        let energy_pj = self.energy.activate_pj(reads as usize, self.row_bits)
+            + self.energy.sense_pj(moved)
+            + self.energy.gdl_pj(moved)
+            + self.energy.logic_pj(moved)
+            + self.energy.write_pj(cols)
+            + self.energy.precharge_pj(self.row_bits) * reads as f64;
+        ExecReport { time_ns, energy_pj }
+    }
+}
+
+impl Default for AcPimExecutor {
+    fn default() -> Self {
+        AcPimExecutor::new()
+    }
+}
+
+impl BitwiseExecutor for AcPimExecutor {
+    fn name(&self) -> &str {
+        "AC-PIM"
+    }
+
+    fn execute(&mut self, op: &BulkOp) -> ExecReport {
+        let full = op.bits / self.row_bits;
+        let rem = op.bits % self.row_bits;
+        let mut report = ExecReport::zero();
+        if full > 0 {
+            let per = self.segment_report(op, self.row_bits);
+            report.time_ns += per.time_ns * full as f64;
+            report.energy_pj += per.energy_pj * full as f64;
+        }
+        if rem > 0 {
+            report += self.segment_report(op, rem);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_makes_acpim_slow() {
+        let mut ac = AcPimExecutor::new();
+        let r = ac.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 19));
+        // Two operands × 1024 GDL cycles each at 1.25 ns already exceed
+        // 2.5 µs.
+        assert!(r.time_ns > 2_500.0, "got {}", r.time_ns);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_operands() {
+        let mut ac = AcPimExecutor::new();
+        let two = ac.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 19));
+        let four = ac.execute(&BulkOp::intra(BitwiseOp::Or, 4, 1 << 19));
+        assert!(four.time_ns > 1.8 * two.time_ns);
+        // Energy grows sub-linearly because the single result write is
+        // shared, but per-operand movement still dominates.
+        assert!(four.energy_pj > 1.5 * two.energy_pj);
+    }
+
+    #[test]
+    fn long_vectors_split_into_segments() {
+        let mut ac = AcPimExecutor::new();
+        let one = ac.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 19));
+        let three = ac.execute(&BulkOp::intra(BitwiseOp::Or, 2, 3 << 19));
+        assert!((three.time_ns - 3.0 * one.time_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn not_reads_one_operand() {
+        let mut ac = AcPimExecutor::new();
+        let not = ac.execute(&BulkOp::intra(BitwiseOp::Not, 1, 1 << 19));
+        let or2 = ac.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 19));
+        assert!(not.time_ns < or2.time_ns);
+    }
+}

@@ -1,0 +1,45 @@
+//! The ideal executor: bitwise operations at zero time and zero energy.
+//!
+//! Fig. 12's "Ideal" series uses this to show the upper bound Amdahl's law
+//! allows — Pinatubo "almost achieves the ideal acceleration" because the
+//! bitwise portion all but vanishes from the application.
+
+use crate::{BitwiseExecutor, ExecReport};
+use pinatubo_core::BulkOp;
+
+/// An executor whose bitwise operations are free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealExecutor;
+
+impl IdealExecutor {
+    /// Creates the ideal executor.
+    #[must_use]
+    pub fn new() -> Self {
+        IdealExecutor
+    }
+}
+
+impl BitwiseExecutor for IdealExecutor {
+    fn name(&self) -> &str {
+        "Ideal"
+    }
+
+    fn execute(&mut self, _op: &BulkOp) -> ExecReport {
+        ExecReport::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinatubo_core::{BitwiseOp, BulkOp};
+
+    #[test]
+    fn everything_is_free() {
+        let mut x = IdealExecutor::new();
+        let r = x.execute(&BulkOp::intra(BitwiseOp::Or, 128, 1 << 20));
+        assert_eq!(r, ExecReport::zero());
+        let trace = vec![BulkOp::intra(BitwiseOp::Xor, 2, 1 << 19); 10];
+        assert_eq!(x.execute_trace(&trace), ExecReport::zero());
+    }
+}

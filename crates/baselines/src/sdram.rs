@@ -1,0 +1,163 @@
+//! The S-DRAM baseline: in-DRAM bulk bitwise AND/OR via charge sharing
+//! (Seshadri et al., CAL 2015 — the paper's reference \[22\]).
+//!
+//! Mechanism and costs:
+//!
+//! * DRAM reads are destructive, so operands must first be **copied** into
+//!   a designated compute-row group (RowClone-style: back-to-back
+//!   activations). This copy overhead is the paper's main criticism.
+//! * A **triple-row activation** over the two operand copies plus a
+//!   pre-initialized control row computes a bit-wise majority, giving AND
+//!   (control = 0) or OR (control = 1) — two operands per step, never more.
+//! * The result is copied out to its destination row.
+//! * XOR and INV are not supported in DRAM and fall back to the SIMD/DRAM
+//!   processor path.
+//!
+//! Because DRAM SAs are not column-muxed the way large NVM SAs are, one
+//! activation computes over the full logical row — the "larger row buffer"
+//! advantage that lets S-DRAM beat Pinatubo-2 on very long vectors
+//! (paper §6.2) while losing badly to multi-row Pinatubo-128.
+
+use crate::simd::SimdCpu;
+use crate::{BitwiseExecutor, ExecReport};
+use pinatubo_core::{BitwiseOp, BulkOp};
+use pinatubo_nvm::energy::EnergyParams;
+use pinatubo_nvm::timing::TimingParams;
+
+/// The in-DRAM computation executor.
+#[derive(Debug, Clone)]
+pub struct SdramExecutor {
+    timing: TimingParams,
+    energy: EnergyParams,
+    /// Bits of one logical (rank-wide) DRAM row.
+    row_bits: u64,
+    /// CPU used for the operations DRAM charge sharing cannot express.
+    cpu_fallback: SimdCpu,
+}
+
+impl SdramExecutor {
+    /// A 4-channel DDR3-1600 system with the default 2^19-bit logical row.
+    #[must_use]
+    pub fn new() -> Self {
+        SdramExecutor {
+            timing: TimingParams::ddr3_1600(),
+            energy: EnergyParams::dram(),
+            row_bits: 1 << 19,
+            cpu_fallback: SimdCpu::with_dram(),
+        }
+    }
+
+    /// Forwards the workload-footprint hint to the CPU fallback (XOR/INV
+    /// ops take that path).
+    pub fn set_workload_footprint(&mut self, bytes: Option<u64>) {
+        self.cpu_fallback.set_workload_footprint(bytes);
+    }
+
+    /// One RowClone-style row copy: activate source, activate destination
+    /// before precharge, restore, precharge.
+    fn copy_ns(&self) -> f64 {
+        self.timing.t_rcd_ns + self.timing.t_wr_ns + self.timing.t_rp_ns
+    }
+
+    /// One triple-row activation (simultaneous charge sharing) plus
+    /// precharge.
+    fn triple_activate_ns(&self) -> f64 {
+        1.5 * self.timing.t_rcd_ns + self.timing.t_rp_ns
+    }
+
+    /// Prices an n-operand AND/OR over one row segment.
+    fn segment_report(&self, operand_count: usize) -> ExecReport {
+        let n = operand_count as u64;
+        // Copies: every operand in, one control-row init, one result out.
+        let copies = n + 2;
+        // Chained 2-at-a-time combines.
+        let triple_acts = n - 1;
+        let time_ns =
+            copies as f64 * self.copy_ns() + triple_acts as f64 * self.triple_activate_ns();
+        // Each copy touches two rows (src activate + dst activate), each
+        // triple activation three rows; DRAM activation energy includes the
+        // destructive-read restore.
+        let rows_activated = copies * 2 + triple_acts * 3;
+        let energy_pj = self
+            .energy
+            .activate_pj(rows_activated as usize, self.row_bits)
+            + self.energy.precharge_pj(self.row_bits) * (copies + triple_acts) as f64;
+        ExecReport { time_ns, energy_pj }
+    }
+}
+
+impl Default for SdramExecutor {
+    fn default() -> Self {
+        SdramExecutor::new()
+    }
+}
+
+impl BitwiseExecutor for SdramExecutor {
+    fn name(&self) -> &str {
+        "S-DRAM"
+    }
+
+    fn execute(&mut self, op: &BulkOp) -> ExecReport {
+        match op.op {
+            BitwiseOp::And | BitwiseOp::Or => {
+                // Row-granular: short vectors still pay full-row costs, long
+                // vectors span serial row segments.
+                let segments = op.bits.div_ceil(self.row_bits);
+                let per_segment = self.segment_report(op.operand_count);
+                ExecReport {
+                    time_ns: per_segment.time_ns * segments as f64,
+                    energy_pj: per_segment.energy_pj * segments as f64,
+                }
+            }
+            // Charge sharing cannot produce XOR or INV; the data takes the
+            // conventional path through the CPU.
+            BitwiseOp::Xor | BitwiseOp::Not => self.cpu_fallback.execute(op),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_is_row_granular() {
+        let mut s = SdramExecutor::new();
+        let short = s.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 10));
+        let long = s.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 19));
+        // Same number of row operations → same cost.
+        assert!((short.time_ns - long.time_ns).abs() < 1e-9);
+        // Two rows' worth crosses into a second segment.
+        let double = s.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 20));
+        assert!((double.time_ns - 2.0 * long.time_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xor_falls_back_to_cpu() {
+        let mut s = SdramExecutor::new();
+        let mut cpu = SimdCpu::with_dram();
+        let op = BulkOp::intra(BitwiseOp::Xor, 2, 1 << 19);
+        let via_sdram = s.execute(&op);
+        let via_cpu = cpu.execute(&op);
+        assert!((via_sdram.time_ns - via_cpu.time_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chaining_scales_with_operands() {
+        let mut s = SdramExecutor::new();
+        let two = s.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 19));
+        let eight = s.execute(&BulkOp::intra(BitwiseOp::Or, 8, 1 << 19));
+        assert!(eight.time_ns > 2.0 * two.time_ns);
+    }
+
+    #[test]
+    fn copy_overhead_dominates_a_two_row_op() {
+        let s = SdramExecutor::new();
+        let copies = 4.0 * s.copy_ns();
+        let compute = s.triple_activate_ns();
+        assert!(
+            copies > 2.0 * compute,
+            "the paper's criticism: copies dwarf the op"
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! The SIMD processor baseline.
+//!
+//! An analytic model of the paper's Sniper-simulated host: a 4-core,
+//! 4-issue out-of-order x86 at 3.3 GHz with 128-bit SSE/AVX units and a
+//! 32 KB / 256 KB / 6 MB cache hierarchy (§6.1). Bulk bitwise kernels are
+//! streaming loops, so the model is roofline-shaped: execution time is the
+//! maximum of compute time and data-movement time at the level of the
+//! hierarchy the working set lives in, and energy charges data movement,
+//! pipeline activity and package power over that time.
+//!
+//! The same CPU model prices the *scalar* (non-bitwise) portion of the
+//! real applications, which is what limits overall speedup in Fig. 12.
+
+use crate::{BitwiseExecutor, ExecReport};
+use pinatubo_core::{BitwiseOp, BulkOp};
+
+/// 1 W sustained for 1 ns is 1000 pJ.
+const PJ_PER_WATT_NS: f64 = 1000.0;
+
+/// Which main memory the CPU is attached to. The paper pairs the SIMD
+/// baseline with DRAM when comparing against S-DRAM and with PCM when
+/// comparing against AC-PIM and Pinatubo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostMemory {
+    /// 4-channel DDR3-1600 DRAM.
+    Dram,
+    /// The paper's 1T1R PCM main memory (slow, asymmetric writes).
+    Pcm,
+}
+
+/// One level of the data-supply hierarchy: sustainable bandwidth and
+/// per-bit access energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SupplyLevel {
+    capacity_bytes: u64,
+    bandwidth_gbps: f64,
+    read_pj_per_bit: f64,
+    write_pj_per_bit: f64,
+}
+
+/// The SIMD processor model.
+///
+/// Constructed by [`SimdCpu::with_dram`] or [`SimdCpu::with_pcm`]; fields
+/// are private and calibrated, with the workload-footprint hint as the one
+/// run-time knob (see [`SimdCpu::set_workload_footprint`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdCpu {
+    name: String,
+    memory_kind: HostMemory,
+    cores: u32,
+    freq_ghz: f64,
+    simd_bits: u32,
+    /// SIMD bitwise ops issued per cycle per core (two vector ALU ports).
+    simd_ops_per_cycle: f64,
+    /// Scalar instructions per cycle per core.
+    scalar_ipc: f64,
+    l1: SupplyLevel,
+    l2: SupplyLevel,
+    l3: SupplyLevel,
+    mem: SupplyLevel,
+    /// Pipeline (fetch/decode/issue/retire) energy per data bit processed.
+    pipeline_pj_per_bit: f64,
+    /// Energy per scalar instruction.
+    scalar_pj_per_instr: f64,
+    /// Package power burned while the kernel runs (cores + uncore).
+    package_power_w: f64,
+    /// Fixed per-operation overhead (loop setup, function call).
+    op_overhead_ns: f64,
+    /// If set, cache-level selection uses this workload footprint instead
+    /// of the single op's working set.
+    workload_footprint_bytes: Option<u64>,
+}
+
+impl SimdCpu {
+    fn new(name: &str, memory_kind: HostMemory, mem: SupplyLevel) -> Self {
+        SimdCpu {
+            name: name.to_owned(),
+            memory_kind,
+            cores: 4,
+            freq_ghz: 3.3,
+            simd_bits: 128,
+            simd_ops_per_cycle: 2.0,
+            scalar_ipc: 2.0,
+            l1: SupplyLevel {
+                capacity_bytes: 32 * 1024,
+                bandwidth_gbps: 400.0,
+                read_pj_per_bit: 0.3,
+                write_pj_per_bit: 0.3,
+            },
+            l2: SupplyLevel {
+                capacity_bytes: 256 * 1024,
+                bandwidth_gbps: 200.0,
+                read_pj_per_bit: 0.8,
+                write_pj_per_bit: 0.8,
+            },
+            l3: SupplyLevel {
+                capacity_bytes: 6 * 1024 * 1024,
+                bandwidth_gbps: 100.0,
+                read_pj_per_bit: 2.0,
+                write_pj_per_bit: 2.0,
+            },
+            mem,
+            pipeline_pj_per_bit: 5.0,
+            scalar_pj_per_instr: 60.0,
+            package_power_w: 55.0,
+            op_overhead_ns: 20.0,
+            workload_footprint_bytes: None,
+        }
+    }
+
+    /// CPU attached to 4-channel DDR3-1600 DRAM.
+    #[must_use]
+    pub fn with_dram() -> Self {
+        SimdCpu::new(
+            "SIMD/DRAM",
+            HostMemory::Dram,
+            SupplyLevel {
+                capacity_bytes: u64::MAX,
+                bandwidth_gbps: 35.0,
+                read_pj_per_bit: 16.0,
+                write_pj_per_bit: 16.0,
+            },
+        )
+    }
+
+    /// CPU attached to the paper's PCM main memory. Streaming reads are
+    /// bus/array limited; writes are further throttled by PCM's 151 ns
+    /// write pulse behind the write buffers.
+    #[must_use]
+    pub fn with_pcm() -> Self {
+        SimdCpu::new(
+            "SIMD/PCM",
+            HostMemory::Pcm,
+            SupplyLevel {
+                capacity_bytes: u64::MAX,
+                bandwidth_gbps: 15.4,
+                read_pj_per_bit: 20.0,
+                write_pj_per_bit: 48.0,
+            },
+        )
+    }
+
+    /// Tells the cache model the total footprint of the running workload.
+    ///
+    /// A single 2-row op over short vectors looks L1-resident on its own,
+    /// but when the workload cycles through thousands of such vectors the
+    /// reuse distance exceeds every cache. The figure harnesses set this
+    /// from the workload definition (Table 1's vector counts).
+    pub fn set_workload_footprint(&mut self, bytes: Option<u64>) {
+        self.workload_footprint_bytes = bytes;
+    }
+
+    /// The supply level a working set of `bytes` streams from.
+    fn level_for(&self, bytes: u64) -> &SupplyLevel {
+        let effective = self.workload_footprint_bytes.unwrap_or(bytes).max(bytes);
+        if effective <= self.l1.capacity_bytes {
+            &self.l1
+        } else if effective <= self.l2.capacity_bytes {
+            &self.l2
+        } else if effective <= self.l3.capacity_bytes {
+            &self.l3
+        } else {
+            &self.mem
+        }
+    }
+
+    /// Aggregate SIMD throughput in bits per nanosecond.
+    fn simd_bits_per_ns(&self) -> f64 {
+        f64::from(self.simd_bits) * self.simd_ops_per_cycle * f64::from(self.cores) * self.freq_ghz
+    }
+
+    /// Prices scalar (non-bitwise) application work: `instructions`
+    /// executed while touching `bytes` of data. Used for the overall
+    /// application results (Fig. 12), where this part is common to every
+    /// executor.
+    #[must_use]
+    pub fn scalar_report(&self, instructions: u64, bytes: u64) -> ExecReport {
+        let level = self.level_for(bytes.max(1));
+        let compute_ns =
+            instructions as f64 / (self.scalar_ipc * f64::from(self.cores) * self.freq_ghz);
+        let move_ns = bytes as f64 / level.bandwidth_gbps;
+        let time_ns = compute_ns.max(move_ns);
+        let energy_pj = instructions as f64 * self.scalar_pj_per_instr
+            + bytes as f64 * 8.0 * level.read_pj_per_bit
+            + self.package_power_w * time_ns * PJ_PER_WATT_NS;
+        ExecReport { time_ns, energy_pj }
+    }
+}
+
+impl BitwiseExecutor for SimdCpu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&mut self, op: &BulkOp) -> ExecReport {
+        // NOT reads one vector; everything else reads all operands. Every
+        // op writes one result vector.
+        let read_vectors = if op.op == BitwiseOp::Not {
+            1
+        } else {
+            op.operand_count
+        } as u64;
+        let read_bits = read_vectors * op.bits;
+        let write_bits = op.bits;
+        let working_set = (read_bits + write_bits) / 8;
+        let level = *self.level_for(working_set);
+
+        // Roofline: data movement vs SIMD ALU passes.
+        let move_ns = (read_bits as f64 / 8.0) / level.bandwidth_gbps
+            + (write_bits as f64 / 8.0) / self.mem_or_level_write_bw(&level);
+        let passes = read_vectors.max(2) - 1; // n operands need n-1 combine passes
+        let compute_ns = (passes * op.bits) as f64 / self.simd_bits_per_ns();
+        let time_ns = move_ns.max(compute_ns) + self.op_overhead_ns;
+
+        let energy_pj = read_bits as f64 * (level.read_pj_per_bit + self.pipeline_pj_per_bit)
+            + write_bits as f64 * (level.write_pj_per_bit + self.pipeline_pj_per_bit)
+            + self.package_power_w * time_ns * PJ_PER_WATT_NS;
+        ExecReport { time_ns, energy_pj }
+    }
+}
+
+impl SimdCpu {
+    /// Which main memory this CPU is attached to.
+    #[must_use]
+    pub fn memory_kind(&self) -> HostMemory {
+        self.memory_kind
+    }
+
+    /// Write bandwidth: results are written through to the level the data
+    /// lives in (write-allocate caches push dirty lines down eventually).
+    fn mem_or_level_write_bw(&self, level: &SupplyLevel) -> f64 {
+        if level.capacity_bytes == u64::MAX {
+            // Memory-resident: writes pay the memory write bandwidth, which
+            // PCM's long write pulse throttles hard.
+            match self.memory_kind {
+                HostMemory::Pcm => self.mem.bandwidth_gbps * 0.42,
+                HostMemory::Dram => self.mem.bandwidth_gbps * 0.6,
+            }
+        } else {
+            level.bandwidth_gbps
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinatubo_core::BitwiseOp;
+
+    #[test]
+    fn big_vectors_are_memory_bound() {
+        let mut cpu = SimdCpu::with_pcm();
+        // A workload cycling through many vectors defeats the caches.
+        cpu.set_workload_footprint(Some(4 << 30));
+        let op = BulkOp::intra(BitwiseOp::Or, 2, 1 << 19);
+        let r = cpu.execute(&op);
+        // 2 × 64 KB reads at 15.4 GB/s alone exceed 8 µs.
+        assert!(r.time_ns > 8_000.0, "got {}", r.time_ns);
+    }
+
+    #[test]
+    fn small_cached_vectors_are_fast() {
+        let mut cpu = SimdCpu::with_pcm();
+        let op = BulkOp::intra(BitwiseOp::Or, 2, 1 << 10);
+        let r = cpu.execute(&op);
+        assert!(
+            r.time_ns < 100.0,
+            "L1-resident op should take ~overhead, got {}",
+            r.time_ns
+        );
+    }
+
+    #[test]
+    fn footprint_hint_defeats_caching() {
+        let op = BulkOp::intra(BitwiseOp::Or, 2, 1 << 10);
+        let mut cached = SimdCpu::with_pcm();
+        let fast = cached.execute(&op);
+        let mut streaming = SimdCpu::with_pcm();
+        streaming.set_workload_footprint(Some(4 << 30));
+        let slow = streaming.execute(&op);
+        assert!(slow.time_ns > fast.time_ns);
+        assert!(slow.energy_pj > fast.energy_pj);
+    }
+
+    #[test]
+    fn dram_host_is_faster_than_pcm_host() {
+        let op = BulkOp::intra(BitwiseOp::Or, 4, 1 << 19);
+        let mut dram = SimdCpu::with_dram();
+        let mut pcm = SimdCpu::with_pcm();
+        for cpu in [&mut dram, &mut pcm] {
+            cpu.set_workload_footprint(Some(4 << 30));
+        }
+        let d = dram.execute(&op);
+        let p = pcm.execute(&op);
+        assert!(d.time_ns < p.time_ns);
+    }
+
+    #[test]
+    fn more_operands_cost_more() {
+        let mut cpu = SimdCpu::with_pcm();
+        let small = cpu.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 16));
+        let big = cpu.execute(&BulkOp::intra(BitwiseOp::Or, 64, 1 << 16));
+        assert!(big.time_ns > 10.0 * small.time_ns);
+    }
+
+    #[test]
+    fn not_reads_one_vector() {
+        let mut cpu = SimdCpu::with_pcm();
+        let not = cpu.execute(&BulkOp::intra(BitwiseOp::Not, 1, 1 << 19));
+        let or2 = cpu.execute(&BulkOp::intra(BitwiseOp::Or, 2, 1 << 19));
+        assert!(not.time_ns < or2.time_ns);
+    }
+
+    #[test]
+    fn scalar_report_scales() {
+        let cpu = SimdCpu::with_pcm();
+        let small = cpu.scalar_report(1_000, 1_000);
+        let big = cpu.scalar_report(1_000_000, 1_000_000);
+        assert!(big.time_ns > small.time_ns);
+        assert!(big.energy_pj > small.energy_pj);
+    }
+
+    #[test]
+    fn name_reflects_memory() {
+        assert_eq!(SimdCpu::with_pcm().name(), "SIMD/PCM");
+        assert_eq!(SimdCpu::with_dram().name(), "SIMD/DRAM");
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-executor ordering tests: the qualitative results the paper's
+//! evaluation reports must hold for any reasonable calibration —
+//! who wins, and by roughly what factor.
+
+use pinatubo_baselines::{
+    AcPimExecutor, BitwiseExecutor, ExecReport, IdealExecutor, PinatuboExecutor, SdramExecutor,
+    SimdCpu,
+};
+use pinatubo_core::{BitwiseOp, BulkOp};
+
+fn run(x: &mut dyn BitwiseExecutor, op: &BulkOp) -> ExecReport {
+    x.execute(op)
+}
+
+/// The headline claim: multi-row Pinatubo accelerates bulk OR by hundreds
+/// of times over the SIMD processor and saves four-plus orders of
+/// magnitude of energy (paper abstract: ~500× and ~28000×).
+#[test]
+fn pinatubo_128_headline_ratios() {
+    let op = BulkOp::intra(BitwiseOp::Or, 128, 1 << 19);
+    let mut simd = SimdCpu::with_pcm();
+    simd.set_workload_footprint(Some(4 << 30)); // streaming workload
+    let cpu = run(&mut simd, &op);
+    let pim = run(&mut PinatuboExecutor::multi_row(), &op);
+
+    let speedup = cpu.time_ns / pim.time_ns;
+    assert!(
+        (100.0..3000.0).contains(&speedup),
+        "speedup {speedup:.0}x should be in the paper's ~500x band"
+    );
+    let saving = cpu.energy_pj / pim.energy_pj;
+    assert!(
+        (3.0e3..2.0e5).contains(&saving),
+        "energy saving {saving:.0}x should be in the paper's ~28000x band"
+    );
+}
+
+/// S-DRAM beats Pinatubo-2 on very long vectors (bigger row buffer, no SA
+/// mux serialization) but loses to Pinatubo-128 (paper §6.2: "the advantage
+/// of NVM's multi-row operations still dominates", 22× on average).
+#[test]
+fn sdram_vs_pinatubo_crossover() {
+    let long_2row = BulkOp::intra(BitwiseOp::Or, 2, 1 << 19);
+    let sdram = run(&mut SdramExecutor::new(), &long_2row);
+    let pin2 = run(&mut PinatuboExecutor::two_row(), &long_2row);
+    assert!(
+        sdram.time_ns < pin2.time_ns,
+        "S-DRAM ({} ns) should beat Pinatubo-2 ({} ns) on full-row 2-row ops",
+        sdram.time_ns,
+        pin2.time_ns
+    );
+
+    let wide = BulkOp::intra(BitwiseOp::Or, 128, 1 << 19);
+    let sdram_wide = run(&mut SdramExecutor::new(), &wide);
+    let pin128 = run(&mut PinatuboExecutor::multi_row(), &wide);
+    let ratio = sdram_wide.time_ns / pin128.time_ns;
+    assert!(
+        ratio > 5.0,
+        "Pinatubo-128 should dominate S-DRAM on wide ORs (got {ratio:.1}x, paper reports 22x)"
+    );
+}
+
+/// AC-PIM is slower than Pinatubo in every single case (paper §6.2,
+/// second observation).
+#[test]
+fn acpim_never_beats_pinatubo() {
+    for operands in [2usize, 4, 16, 128] {
+        for bits in [1u64 << 10, 1 << 14, 1 << 19] {
+            let op = BulkOp::intra(BitwiseOp::Or, operands, bits);
+            let ac = run(&mut AcPimExecutor::new(), &op);
+            let pin = run(&mut PinatuboExecutor::multi_row(), &op);
+            assert!(
+                ac.time_ns > pin.time_ns,
+                "AC-PIM must be slower at {operands} operands x {bits} bits"
+            );
+        }
+    }
+}
+
+/// AC-PIM saves the least energy of the in/near-memory solutions: analog
+/// computing (Pinatubo, S-DRAM) beats digital gates (paper §6.2).
+#[test]
+fn acpim_saves_least_energy_of_the_pim_solutions() {
+    let op = BulkOp::intra(BitwiseOp::Or, 2, 1 << 19);
+    let ac = run(&mut AcPimExecutor::new(), &op);
+    let pin2 = run(&mut PinatuboExecutor::two_row(), &op);
+    let sdram = run(&mut SdramExecutor::new(), &op);
+    assert!(ac.energy_pj > pin2.energy_pj);
+    assert!(ac.energy_pj > sdram.energy_pj);
+}
+
+/// Everything in-memory still beats the processor on streaming bulk ops.
+#[test]
+fn every_pim_solution_beats_streaming_simd() {
+    let op = BulkOp::intra(BitwiseOp::Or, 8, 1 << 19);
+    let mut simd = SimdCpu::with_pcm();
+    simd.set_workload_footprint(Some(4 << 30));
+    let cpu = run(&mut simd, &op);
+    for x in [
+        &mut AcPimExecutor::new() as &mut dyn BitwiseExecutor,
+        &mut SdramExecutor::new(),
+        &mut PinatuboExecutor::two_row(),
+        &mut PinatuboExecutor::multi_row(),
+    ] {
+        let r = x.execute(&op);
+        assert!(
+            r.time_ns < cpu.time_ns,
+            "{} must beat SIMD on streaming bulk OR",
+            x.name()
+        );
+        assert!(r.energy_pj < cpu.energy_pj, "{} must save energy", x.name());
+    }
+}
+
+/// The ideal executor bounds everything from below.
+#[test]
+fn ideal_is_a_lower_bound() {
+    let op = BulkOp::intra(BitwiseOp::And, 2, 1 << 16);
+    let ideal = run(&mut IdealExecutor::new(), &op);
+    assert_eq!(ideal.time_ns, 0.0);
+    let pin = run(&mut PinatuboExecutor::multi_row(), &op);
+    assert!(pin.time_ns > ideal.time_ns);
+}
+
+/// Equivalent bandwidth of a 128-row OR exceeds the memory-internal
+/// bandwidth region and approaches the paper's "~1000× DDR3 bus" claim.
+#[test]
+fn multi_row_or_exceeds_internal_bandwidth() {
+    let op = BulkOp::intra(BitwiseOp::Or, 128, 1 << 19);
+    let r = run(&mut PinatuboExecutor::multi_row(), &op);
+    let gbps = r.throughput_gbps(op.operand_bits());
+    // DDR3-1600 x 4 channels = 51.2 GB/s; "beyond internal bandwidth"
+    // means an equivalent bandwidth orders of magnitude above the bus.
+    assert!(
+        gbps > 1_000.0,
+        "128-row OR equivalent bandwidth {gbps:.0} GB/s should be in the TB/s region"
+    );
+}

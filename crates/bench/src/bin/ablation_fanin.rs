@@ -1,0 +1,33 @@
+//! Ablation: the multi-row advantage.
+//!
+//! Executes the same 128-operand, full-row OR under fan-in caps
+//! 2…128 and reports simulated time and equivalent bandwidth — the
+//! design knob behind Fig. 9's family of curves and the Pinatubo-2 vs
+//! Pinatubo-128 split of Fig. 10.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin ablation_fanin`.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor};
+use pinatubo_core::{BitwiseOp, BulkOp};
+
+fn main() {
+    let op = BulkOp::intra(BitwiseOp::Or, 128, 1 << 19);
+    println!("# Ablation — fan-in cap on a 128-operand, 2^19-bit OR");
+    println!(
+        "{:<10}{:>14}{:>18}{:>12}",
+        "fan-in", "time (us)", "equiv GB/s", "vs cap=2"
+    );
+
+    let base = PinatuboExecutor::with_fan_in(2).execute(&op).time_ns;
+    for cap in [2usize, 4, 8, 16, 32, 64, 128] {
+        let mut x = PinatuboExecutor::with_fan_in(cap);
+        let r = x.execute(&op);
+        println!(
+            "{:<10}{:>14.2}{:>18.0}{:>11.1}x",
+            cap,
+            r.time_ns / 1000.0,
+            r.throughput_gbps(op.operand_bits()),
+            base / r.time_ns
+        );
+    }
+}

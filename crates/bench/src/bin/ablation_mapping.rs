@@ -1,0 +1,58 @@
+//! Ablation: mapping policy.
+//!
+//! Runs the same bit-vector workload under the PIM-aware subarray-first
+//! policy, conventional bank interleaving, and random placement, and
+//! reports the resulting locality mix and Pinatubo-128 execution time —
+//! the effect behind the `s` vs `r` workloads of Table 1 and the paper's
+//! §5 OS support.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin ablation_mapping`.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor};
+use pinatubo_core::{BitwiseOp, BulkOp, OpClass};
+use pinatubo_mem::{MemGeometry, RowAddr};
+use pinatubo_runtime::{MappingPolicy, PimAllocator};
+
+/// Builds a 512-op, 8-operand workload trace under one policy.
+fn trace_for(policy: MappingPolicy) -> Vec<BulkOp> {
+    let mut allocator = PimAllocator::new(MemGeometry::pcm_default(), policy);
+    (0..512)
+        .map(|_| {
+            let group = allocator.alloc_group(9, 1 << 14).expect("fits");
+            let rows: Vec<RowAddr> = group.iter().map(|v| v.rows()[0]).collect();
+            BulkOp {
+                op: BitwiseOp::Or,
+                operand_count: 8,
+                bits: 1 << 14,
+                locality: OpClass::classify(&rows),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("# Ablation — mapping policy (512 ops, 8-operand OR, 2^14-bit vectors)");
+    println!(
+        "{:<18}{:>8}{:>10}{:>8}{:>8}{:>14}",
+        "policy", "intra", "inter-sub", "bank", "host", "Pin-128 (us)"
+    );
+    for policy in [
+        MappingPolicy::SubarrayFirst,
+        MappingPolicy::BankInterleave,
+        MappingPolicy::random(),
+    ] {
+        let trace = trace_for(policy);
+        let count = |class: OpClass| trace.iter().filter(|o| o.locality == class).count();
+        let mut x = PinatuboExecutor::multi_row();
+        let r = x.execute_trace(&trace);
+        println!(
+            "{:<18}{:>8}{:>10}{:>8}{:>8}{:>14.1}",
+            policy.to_string(),
+            count(OpClass::IntraSubarray),
+            count(OpClass::InterSubarray),
+            count(OpClass::InterBank),
+            count(OpClass::HostFallback),
+            r.time_ns / 1000.0
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: SA mux ratio.
+//!
+//! NVM sense amplifiers are large, so adjacent columns share one through a
+//! mux (32 in the paper's experiments). The ratio sets how many serial
+//! sense passes a full-row operation needs — i.e. where Fig. 9's turning
+//! point A sits and how steep the post-A slope is.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin ablation_mux`.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor};
+use pinatubo_core::{BitwiseOp, BulkOp, PinatuboConfig};
+use pinatubo_mem::MemConfig;
+
+fn main() {
+    let op = BulkOp::intra(BitwiseOp::Or, 8, 1 << 19);
+    println!("# Ablation — SA mux ratio (8-operand, 2^19-bit OR)");
+    println!(
+        "{:<10}{:>16}{:>14}{:>14}{:>18}",
+        "mux", "bits/pass", "passes", "time (us)", "equiv GB/s"
+    );
+    for mux in [8u32, 16, 32, 64] {
+        let mut mem = MemConfig::pcm_default();
+        mem.geometry.sa_mux_ratio = mux;
+        let bits_per_pass = mem.geometry.bits_per_sense_pass();
+        let passes = mem.geometry.sense_passes(1 << 19);
+        let mut x = PinatuboExecutor::with_config(
+            &format!("Pinatubo/mux{mux}"),
+            mem,
+            PinatuboConfig::multi_row(),
+        );
+        let r = x.execute(&op);
+        println!(
+            "{:<10}{:>16}{:>14}{:>14.2}{:>18.0}",
+            mux,
+            format!("2^{}", bits_per_pass.trailing_zeros()),
+            passes,
+            r.time_ns / 1000.0,
+            r.throughput_gbps(op.operand_bits())
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation: memory technology.
+//!
+//! Compares PCM, STT-MRAM and ReRAM as the Pinatubo substrate: the sense
+//! margin caps the OR fan-in (STT-MRAM's low ON/OFF ratio holds it to
+//! 2-row operations, §4.2), and write energy shifts the per-op cost.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin ablation_technology`.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor};
+use pinatubo_core::{BitwiseOp, BulkOp, PinatuboConfig};
+use pinatubo_mem::MemConfig;
+use pinatubo_nvm::energy::EnergyParams;
+use pinatubo_nvm::sense_amp::CurrentSenseAmp;
+use pinatubo_nvm::technology::Technology;
+
+fn main() {
+    let op = BulkOp::intra(BitwiseOp::Or, 64, 1 << 19);
+    println!("# Ablation — technology (64-operand, 2^19-bit OR)");
+    println!(
+        "{:<10}{:>8}{:>10}{:>14}{:>16}",
+        "tech", "ON/OFF", "fan-in", "time (us)", "energy (uJ)"
+    );
+    for (tech, energy) in [
+        (Technology::pcm(), EnergyParams::pcm()),
+        (Technology::stt_mram(), EnergyParams::stt_mram()),
+        (Technology::reram(), EnergyParams::reram()),
+    ] {
+        let fan_in = CurrentSenseAmp::new(&tech).max_or_fan_in();
+        let mut mem = MemConfig::pcm_default();
+        mem.technology = tech.clone();
+        mem.energy = energy;
+        let mut x = PinatuboExecutor::with_config(
+            &format!("Pinatubo/{}", tech.kind()),
+            mem,
+            PinatuboConfig::multi_row(),
+        );
+        let r = x.execute(&op);
+        println!(
+            "{:<10}{:>8.1}{:>10}{:>14.2}{:>16.2}",
+            tech.kind().to_string(),
+            tech.on_off_ratio(),
+            fan_in,
+            r.time_ns / 1000.0,
+            r.energy_pj / 1e6
+        );
+    }
+    println!();
+    println!("note: timing held at the PCM/DDR3 values so the comparison isolates");
+    println!("the sense-margin (fan-in) and write-energy effects");
+
+    // The §1 non-volatility argument: standby power of a 64 GB system.
+    let capacity_bits = 64u64 << 33;
+    println!();
+    println!("# standby power, 64 GB system (the paper's §1 NVM argument)");
+    println!("{:<10}{:>14}", "memory", "idle power");
+    for (name, energy) in [
+        ("DRAM", EnergyParams::dram()),
+        ("PCM", EnergyParams::pcm()),
+        ("STT-MRAM", EnergyParams::stt_mram()),
+        ("ReRAM", EnergyParams::reram()),
+    ] {
+        println!("{:<10}{:>11.2} W", name, energy.standby_w(capacity_bits));
+    }
+}

@@ -1,0 +1,43 @@
+//! Ablation: the Fig. 8a write-driver modification.
+//!
+//! Pinatubo feeds operation results from the sense amplifiers straight
+//! into the local write drivers (in-place update). Without that path, a
+//! result must be exported over the global data lines and the DDR bus to
+//! the controller and written back conventionally. This study quantifies
+//! what the two added transistors per write driver buy.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin ablation_writeback`.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor};
+use pinatubo_core::{BitwiseOp, BulkOp, PinatuboConfig};
+use pinatubo_mem::MemConfig;
+
+fn main() {
+    println!("# Ablation — in-place write-back (Fig. 8a) vs bus export");
+    println!(
+        "{:<26}{:>14}{:>16}{:>14}{:>16}",
+        "op", "in-place (us)", "in-place (nJ)", "export (us)", "export (nJ)"
+    );
+    for (label, operands, bits) in [
+        ("2-row OR, 2^14 bits", 2usize, 1u64 << 14),
+        ("2-row OR, 2^19 bits", 2, 1 << 19),
+        ("128-row OR, 2^19 bits", 128, 1 << 19),
+    ] {
+        let op = BulkOp::intra(BitwiseOp::Or, operands, bits);
+        let with = PinatuboExecutor::multi_row().execute(&op);
+        let mut without = PinatuboExecutor::with_config(
+            "Pinatubo/no-wd",
+            MemConfig::pcm_default(),
+            PinatuboConfig::multi_row().without_in_place_write_back(),
+        );
+        let exported = without.execute(&op);
+        println!(
+            "{:<26}{:>14.2}{:>16.2}{:>14.2}{:>16.2}",
+            label,
+            with.time_ns / 1000.0,
+            with.energy_pj / 1000.0,
+            exported.time_ns / 1000.0,
+            exported.energy_pj / 1000.0
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig. 10, 11 and 12 from a single (expensive) evaluation
+//! pass over all Table 1 benchmarks. Fig. 9 and 13 have their own cheap
+//! binaries (`fig9`, `fig13`, `fig5_margins`).
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin all_figures`.
+
+use pinatubo_bench::{evaluate_table1, fig10_table, fig11_table, fig12_tables};
+
+fn main() {
+    let evals = evaluate_table1();
+    print!("{}", fig10_table(&evals));
+    println!();
+    print!("{}", fig11_table(&evals));
+    println!();
+    print!("{}", fig12_tables(&evals));
+}

@@ -1,0 +1,134 @@
+//! Interactive cost explorer: price one bulk bitwise operation on every
+//! executor, with a full command-level breakdown for Pinatubo.
+//!
+//! ```console
+//! $ cargo run --release -p pinatubo-bench --bin explore -- \
+//!       --op or --operands 64 --bits 524288 --locality intra
+//! ```
+//!
+//! Flags (all optional): `--op or|and|xor|not`, `--operands N`,
+//! `--bits N`, `--locality intra|intersub|interbank|host`,
+//! `--fan-in N` (Pinatubo cap), `--footprint BYTES` (CPU cache model).
+
+use pinatubo_baselines::{
+    AcPimExecutor, BitwiseExecutor, PinatuboExecutor, SdramExecutor, SimdCpu,
+};
+use pinatubo_core::{BitwiseOp, BulkOp, OpClass};
+
+/// Minimal `--key value` argument parsing (std-only by design).
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    let op = match args.get("--op").unwrap_or("or") {
+        "and" => BitwiseOp::And,
+        "xor" => BitwiseOp::Xor,
+        "not" => BitwiseOp::Not,
+        _ => BitwiseOp::Or,
+    };
+    let operands: usize = args.parse("--operands", if op == BitwiseOp::Not { 1 } else { 2 });
+    let bits: u64 = args.parse("--bits", 1 << 19);
+    let locality = match args.get("--locality").unwrap_or("intra") {
+        "intersub" => OpClass::InterSubarray,
+        "interbank" => OpClass::InterBank,
+        "host" => OpClass::HostFallback,
+        _ => OpClass::IntraSubarray,
+    };
+    let fan_in: usize = args.parse("--fan-in", 1024);
+    let footprint: u64 = args.parse("--footprint", 4 << 30);
+
+    let bulk = BulkOp {
+        op,
+        operand_count: operands,
+        bits,
+        locality,
+    };
+    println!("op: {op} x{operands} over {bits} bits, {locality} placement\n",);
+
+    let mut simd = SimdCpu::with_pcm();
+    simd.set_workload_footprint(Some(footprint));
+    let mut executors: Vec<Box<dyn BitwiseExecutor>> = vec![
+        Box::new(simd),
+        Box::new(SdramExecutor::new()),
+        Box::new(AcPimExecutor::new()),
+        Box::new(PinatuboExecutor::two_row()),
+        Box::new(PinatuboExecutor::with_fan_in(fan_in)),
+    ];
+    println!(
+        "{:<16}{:>14}{:>16}{:>16}",
+        "executor", "time (us)", "energy (nJ)", "equiv GB/s"
+    );
+    let mut reports = Vec::new();
+    for executor in &mut executors {
+        let r = executor.execute(&bulk);
+        println!(
+            "{:<16}{:>14.3}{:>16.2}{:>16.1}",
+            executor.name(),
+            r.time_ns / 1000.0,
+            r.energy_pj / 1000.0,
+            r.throughput_gbps(bulk.operand_bits())
+        );
+        reports.push(r);
+    }
+    let simd_time = reports[0].time_ns;
+    let pin_time = reports.last().expect("pinatubo ran").time_ns;
+    println!(
+        "\nPinatubo-{fan_in} vs SIMD: {:.1}x faster, {:.0}x less energy",
+        simd_time / pin_time,
+        reports[0].energy_pj / reports.last().expect("pinatubo ran").energy_pj
+    );
+
+    // Command-level breakdown from a fresh engine replay.
+    let mut pim = PinatuboExecutor::with_fan_in(fan_in);
+    let _ = pim.execute(&bulk);
+    let stats = pim.engine().memory().stats();
+    println!("\nPinatubo command account:");
+    println!(
+        "  activations (multi/single): {}/{}",
+        stats.events.multi_activates, stats.events.activates
+    );
+    println!(
+        "  rows opened               : {}",
+        stats.events.rows_activated
+    );
+    println!(
+        "  sense passes              : {}",
+        stats.events.sense_passes
+    );
+    println!("  row writes                : {}", stats.events.row_writes);
+    println!(
+        "  GDL transfers             : {}",
+        stats.events.gdl_transfers
+    );
+    println!(
+        "  buffer-logic passes       : {}",
+        stats.events.logic_passes
+    );
+    println!("  DDR bus bits              : {}", stats.events.bus_bits);
+    let e = &stats.energy;
+    println!(
+        "  energy: act {:.1} / sense {:.1} / write {:.1} / gdl {:.1} / logic {:.1} / bus {:.1} nJ",
+        e.activate_pj / 1000.0,
+        e.sense_pj / 1000.0,
+        e.write_pj / 1000.0,
+        e.gdl_pj / 1000.0,
+        e.logic_pj / 1000.0,
+        e.bus_pj / 1000.0
+    );
+}

@@ -1,0 +1,66 @@
+//! Extension workloads beyond the paper's Table 1: bit-plane image
+//! processing and comparative k-mer genomics (both domains the paper's §3
+//! motivation names), priced on every executor like the Fig. 10/11 rows.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin extensions`.
+
+use pinatubo_apps::genomics::run_genomics_workload;
+use pinatubo_apps::image::run_image_workload;
+use pinatubo_apps::AppRun;
+use pinatubo_bench::{format_table, BenchmarkEval};
+use pinatubo_runtime::{MappingPolicy, PimSystem};
+
+fn run_extension(name: &str, f: impl FnOnce(&mut PimSystem) -> AppRun) -> BenchmarkEval {
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+    let mut run = f(&mut sys);
+    run.name = name.to_owned();
+    BenchmarkEval::evaluate("Extension", run)
+}
+
+fn main() {
+    let evals = vec![
+        run_extension("image-512x512", |sys| {
+            run_image_workload(512, 512, 16, sys).expect("image workload runs")
+        }),
+        run_extension("genomics-16", |sys| {
+            run_genomics_workload(16, 50_000, sys).expect("genomics workload runs")
+        }),
+    ];
+
+    let columns = ["S-DRAM", "AC-PIM", "Pinatubo-2", "Pinatubo-128"];
+    let speed_rows: Vec<(String, Vec<f64>)> = evals
+        .iter()
+        .map(|e| (e.display(), e.speedups().to_vec()))
+        .collect();
+    let energy_rows: Vec<(String, Vec<f64>)> = evals
+        .iter()
+        .map(|e| (e.display(), e.energy_savings().to_vec()))
+        .collect();
+    print!(
+        "{}",
+        format_table(
+            "Extensions — bitwise speedup normalized to SIMD",
+            &columns,
+            &speed_rows,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        format_table(
+            "Extensions — bitwise energy saving normalized to SIMD",
+            &columns,
+            &energy_rows,
+        )
+    );
+    println!();
+    println!("# overall (scalar + bitwise), speedup / energy vs SIMD");
+    for eval in &evals {
+        let (s, e) = eval.overall(eval.pinatubo_128);
+        let (is_, ie) = eval.overall_ideal();
+        println!(
+            "{:<28} Pinatubo-128 {s:.2}x / {e:.2}x   (ideal {is_:.2}x / {ie:.2}x)",
+            eval.display()
+        );
+    }
+}

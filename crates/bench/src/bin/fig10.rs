@@ -1,0 +1,18 @@
+//! Fig. 10: bitwise-operation speedup over the SIMD baseline for
+//! S-DRAM, AC-PIM, Pinatubo-2 and Pinatubo-128 across the Table 1
+//! workloads, plus the geometric mean.
+//!
+//! Expected shape (paper §6.2): S-DRAM occasionally beats Pinatubo-2 on
+//! long sequential vectors; AC-PIM trails Pinatubo everywhere;
+//! multi-row Pinatubo-128 dominates except on the random-placement
+//! workload 14-16-7r, where inter-subarray/bank operations erase the
+//! multi-row advantage.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin fig10`
+//! (or `--bin all_figures` to get every figure from one evaluation pass).
+
+use pinatubo_bench::{evaluate_table1, fig10_table};
+
+fn main() {
+    print!("{}", fig10_table(&evaluate_table1()));
+}

@@ -1,0 +1,16 @@
+//! Fig. 11: bitwise-operation energy saving over the SIMD baseline for
+//! S-DRAM, AC-PIM, Pinatubo-2 and Pinatubo-128 across the Table 1
+//! workloads, plus the geometric mean.
+//!
+//! Expected shape (paper §6.2): S-DRAM beats Pinatubo-2 in some cases but
+//! loses to Pinatubo-128 on average; AC-PIM saves the least of the PIM
+//! solutions (digital gates vs analog computing).
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin fig11`
+//! (or `--bin all_figures` to get every figure from one evaluation pass).
+
+use pinatubo_bench::{evaluate_table1, fig11_table};
+
+fn main() {
+    print!("{}", fig11_table(&evaluate_table1()));
+}

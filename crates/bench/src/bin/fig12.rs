@@ -1,0 +1,17 @@
+//! Fig. 12: overall application speedup and energy saving on the
+//! real-world workloads (graph BFS + bitmap database), normalized to the
+//! SIMD baseline, including the Ideal (free-bitwise-ops) bound.
+//!
+//! Expected shape (paper §6.2): Pinatubo almost reaches the Ideal bar;
+//! dblp (dense) gains ~1.37×, eswiki/amazon (loose) gain little because
+//! scalar "searching for an unvisited bit-vector" dominates; database
+//! queries gain ~1.29×.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin fig12`
+//! (or `--bin all_figures` to get every figure from one evaluation pass).
+
+use pinatubo_bench::{evaluate_table1, fig12_tables};
+
+fn main() {
+    print!("{}", fig12_tables(&evaluate_table1()));
+}

@@ -1,0 +1,27 @@
+//! Fig. 13: silicon-area overhead — Pinatubo (~0.9%) vs AC-PIM (~6.4%)
+//! on the left, Pinatubo's per-component breakdown on the right.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin fig13`.
+
+use pinatubo_nvm::area::AreaModel;
+
+fn main() {
+    let model = AreaModel::pcm_65nm();
+
+    println!("# Fig. 13 (left) — area overhead on a 65 nm PCM chip");
+    println!("{:<12}{:>10}", "design", "overhead");
+    println!("{:<12}{:>9.1}%", "Pinatubo", model.pinatubo_overhead_pct());
+    println!("{:<12}{:>9.1}%", "AC-PIM", model.acpim_overhead_pct());
+
+    let b = model.pinatubo_breakdown();
+    println!();
+    println!("# Fig. 13 (right) — Pinatubo overhead breakdown");
+    println!("{:<16}{:>10}", "component", "pct");
+    println!("{:<16}{:>9.2}%", "inter-sub", b.inter_subarray_pct);
+    println!("{:<16}{:>9.2}%", "inter-bank", b.inter_bank_pct);
+    println!("{:<16}{:>9.2}%", "xor", b.xor_pct);
+    println!("{:<16}{:>9.2}%", "wl act", b.wl_activation_pct);
+    println!("{:<16}{:>9.2}%", "and/or", b.and_or_pct);
+    println!("{:<16}{:>9.2}%", "intra-sub total", b.intra_subarray_pct());
+    println!("{:<16}{:>9.2}%", "total", b.total_pct());
+}

@@ -1,0 +1,59 @@
+//! Fig. 5/6: sense-amplifier reference placement and margins.
+//!
+//! Prints, for every technology, the resistance regions and reference
+//! values for READ / OR / AND sensing, and the maximum OR fan-in the
+//! worst-case margin analysis closes at — the reproduction of the paper's
+//! HSPICE validation of the modified CSA.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin fig5_margins`.
+
+use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode};
+use pinatubo_nvm::technology::Technology;
+
+fn main() {
+    for tech in [
+        Technology::pcm(),
+        Technology::stt_mram(),
+        Technology::reram(),
+    ] {
+        let sa = CurrentSenseAmp::new(&tech);
+        println!(
+            "# {} — R_low {} / R_high {} (ON/OFF {}x, variation ±{:.1}%)",
+            tech.kind(),
+            tech.r_low(),
+            tech.r_high(),
+            tech.on_off_ratio(),
+            tech.variation() * 100.0
+        );
+        println!(
+            "{:<10}{:>16}{:>16}{:>16}{:>12}{:>10}",
+            "mode", "'1' region hi", "reference", "'0' region lo", "gap ratio", "closes"
+        );
+
+        let mut modes = vec![SenseMode::Read];
+        for fan_in in [2usize, 4, 16, 64, 128, 129] {
+            if let Ok(mode) = SenseMode::or(fan_in) {
+                modes.push(mode);
+            }
+        }
+        modes.push(SenseMode::and(2).expect("binary AND"));
+
+        for mode in modes {
+            let m = sa.margin(mode);
+            println!(
+                "{:<10}{:>16}{:>16}{:>16}{:>12.3}{:>10}",
+                mode.to_string(),
+                m.one_region().hi().to_string(),
+                m.reference().to_string(),
+                m.zero_region().lo().to_string(),
+                m.gap_ratio(),
+                if m.is_separable() { "yes" } else { "NO" }
+            );
+        }
+        println!(
+            "max OR fan-in (margin analysis ∧ conservative cap): {}",
+            sa.max_or_fan_in()
+        );
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 9: Pinatubo's OR throughput (GB/s of operand bits) versus
+//! bit-vector length, for 2…128-row operations.
+//!
+//! Expected shape (paper §6.2): throughput rises with vector length; a
+//! first turning point at 2^14 bits (the SA-mux serialization limit), a
+//! second at 2^19 bits (the row-length limit, after which rank-serial
+//! segments flatten the curve); larger fan-ins lift the whole curve, with
+//! 128-row operations exceeding the memory-internal bandwidth region.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin fig9`.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor};
+use pinatubo_bench::format_table;
+use pinatubo_core::{BitwiseOp, BulkOp};
+use pinatubo_nvm::timing::TimingParams;
+
+fn main() {
+    let fan_ins = [2usize, 4, 8, 16, 32, 64, 128];
+    let columns: Vec<String> = fan_ins.iter().map(|n| format!("{n}-row OR")).collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+
+    let mut executor = PinatuboExecutor::multi_row();
+    let mut rows = Vec::new();
+    for len_log2 in 10..=20u32 {
+        let bits = 1u64 << len_log2;
+        let values: Vec<f64> = fan_ins
+            .iter()
+            .map(|&n| {
+                let op = BulkOp::intra(BitwiseOp::Or, n, bits);
+                let report = executor.execute(&op);
+                report.throughput_gbps(op.operand_bits())
+            })
+            .collect();
+        rows.push((format!("2^{len_log2} bits"), values));
+    }
+
+    print!(
+        "{}",
+        format_table(
+            "Fig. 9 — Pinatubo OR throughput (GB/s, operand bits)",
+            &column_refs,
+            &rows,
+        )
+    );
+
+    let timing = TimingParams::pcm_ddr3_1600();
+    let bus = timing.bus_bandwidth_gbps() * 4.0; // 4 channels
+    println!();
+    println!("DDR bus bandwidth (4 channels):        {bus:.1} GB/s");
+    println!("turning point A (SA mux):              2^14 bits");
+    println!("turning point B (row length):          2^19 bits");
+    println!("regions: below-bus < {bus:.0} GB/s < internal < ~2000 GB/s < beyond-internal");
+}

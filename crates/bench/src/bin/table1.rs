@@ -1,0 +1,41 @@
+//! Table 1: the benchmark/dataset matrix, with each workload's measured
+//! composition (operations issued, operand volume, locality mix,
+//! footprint) — the concrete form of the paper's benchmark table.
+//!
+//! Run with `cargo run --release -p pinatubo-bench --bin table1`.
+
+use pinatubo_apps::Benchmark;
+use pinatubo_core::{BitwiseOp, OpClass};
+
+fn main() {
+    println!("# Table 1 — benchmarks and data sets (measured composition)");
+    println!(
+        "{:<18}{:>8}{:>14}{:>10}{:>8}{:>8}{:>8}{:>12}",
+        "benchmark", "ops", "operand Gb", "intra%", "OR%", "AND%", "XOR/NOT%", "footprint"
+    );
+    for benchmark in Benchmark::table1() {
+        let run = benchmark.run();
+        let ops = run.trace.len().max(1) as f64;
+        let intra = run
+            .trace
+            .iter()
+            .filter(|o| o.locality == OpClass::IntraSubarray)
+            .count() as f64;
+        let count_op =
+            |kinds: &[BitwiseOp]| run.trace.iter().filter(|o| kinds.contains(&o.op)).count() as f64;
+        println!(
+            "{:<18}{:>8}{:>14.2}{:>9.0}%{:>7.0}%{:>7.0}%{:>8.0}%{:>9} MB",
+            benchmark.to_string(),
+            run.trace.len(),
+            run.bitwise_operand_bits() as f64 / 1e9,
+            100.0 * intra / ops,
+            100.0 * count_op(&[BitwiseOp::Or]) / ops,
+            100.0 * count_op(&[BitwiseOp::And]) / ops,
+            100.0 * count_op(&[BitwiseOp::Xor, BitwiseOp::Not]) / ops,
+            run.footprint_bytes >> 20,
+        );
+    }
+    println!();
+    println!("Vector workloads contain only OR (per Table 1); Graph and Database");
+    println!("exercise all of AND, OR, XOR and INV.");
+}

@@ -1,0 +1,133 @@
+//! Operand-placement classification (paper §4.1).
+//!
+//! Pinatubo performs three kinds of bitwise operations depending on where
+//! the operand rows (including the destination) live. The classification
+//! below is exactly the paper's case split, plus the explicit fallback for
+//! placements Pinatubo "does not deal with" — operands in different ranks
+//! or channels, which must cross the DDR bus.
+
+use pinatubo_mem::RowAddr;
+use std::fmt;
+
+/// Which execution path an operand placement allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// All rows in one subarray: multi-row activation + modified SA.
+    IntraSubarray,
+    /// All rows in one bank: digital logic at the global row buffer.
+    InterSubarray,
+    /// All rows in one lock-step chip group: logic at the I/O buffer.
+    InterBank,
+    /// Rows spread across ranks/channels: operands must cross the DDR bus
+    /// and be combined at the host/controller.
+    HostFallback,
+}
+
+impl OpClass {
+    /// Classifies a set of rows (operands plus destination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty — classification of nothing is a caller
+    /// bug, and every engine entry point validates emptiness first.
+    #[must_use]
+    pub fn classify(rows: &[RowAddr]) -> OpClass {
+        let (first, rest) = rows
+            .split_first()
+            .expect("classification needs at least one row");
+        if rest.iter().all(|r| first.same_subarray(r)) {
+            OpClass::IntraSubarray
+        } else if rest.iter().all(|r| first.same_bank(r)) {
+            OpClass::InterSubarray
+        } else if rest.iter().all(|r| first.same_chip_group(r)) {
+            OpClass::InterBank
+        } else {
+            OpClass::HostFallback
+        }
+    }
+
+    /// Whether this class stays entirely inside the memory (no DDR bus
+    /// traffic for operands or result).
+    #[must_use]
+    pub fn is_in_memory(self) -> bool {
+        self != OpClass::HostFallback
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntraSubarray => "intra-subarray",
+            OpClass::InterSubarray => "inter-subarray",
+            OpClass::InterBank => "inter-bank",
+            OpClass::HostFallback => "host-fallback",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_the_paper_cases() {
+        let base = RowAddr::new(0, 0, 0, 0, 1);
+        let same_sub = RowAddr::new(0, 0, 0, 0, 2);
+        let same_bank = RowAddr::new(0, 0, 0, 5, 2);
+        let same_group = RowAddr::new(0, 0, 3, 5, 2);
+        let other_rank = RowAddr::new(0, 1, 0, 0, 1);
+        let other_channel = RowAddr::new(2, 0, 0, 0, 1);
+
+        assert_eq!(OpClass::classify(&[base, same_sub]), OpClass::IntraSubarray);
+        assert_eq!(
+            OpClass::classify(&[base, same_bank]),
+            OpClass::InterSubarray
+        );
+        assert_eq!(OpClass::classify(&[base, same_group]), OpClass::InterBank);
+        assert_eq!(
+            OpClass::classify(&[base, other_rank]),
+            OpClass::HostFallback
+        );
+        assert_eq!(
+            OpClass::classify(&[base, other_channel]),
+            OpClass::HostFallback
+        );
+    }
+
+    #[test]
+    fn one_stray_row_downgrades_the_class() {
+        let a = RowAddr::new(0, 0, 0, 0, 1);
+        let b = RowAddr::new(0, 0, 0, 0, 2);
+        let stray = RowAddr::new(0, 0, 0, 4, 2);
+        assert_eq!(OpClass::classify(&[a, b, stray]), OpClass::InterSubarray);
+    }
+
+    #[test]
+    fn single_row_is_intra() {
+        assert_eq!(
+            OpClass::classify(&[RowAddr::new(0, 0, 0, 0, 9)]),
+            OpClass::IntraSubarray
+        );
+    }
+
+    #[test]
+    fn in_memory_predicate() {
+        assert!(OpClass::IntraSubarray.is_in_memory());
+        assert!(OpClass::InterSubarray.is_in_memory());
+        assert!(OpClass::InterBank.is_in_memory());
+        assert!(!OpClass::HostFallback.is_in_memory());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OpClass::IntraSubarray.to_string(), "intra-subarray");
+        assert_eq!(OpClass::HostFallback.to_string(), "host-fallback");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_classification_panics() {
+        let _ = OpClass::classify(&[]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Engine configuration.
+
+/// Tunables of the PIM engine.
+///
+/// The defaults describe the full Pinatubo design point of the paper
+/// (128-row multi-row operations on PCM, in-place write-back). The
+/// evaluation's "Pinatubo-2" configuration is [`PinatuboConfig::two_row`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinatuboConfig {
+    /// Upper bound on rows combined in one analog sense. The effective
+    /// fan-in is the minimum of this cap and the technology's sense-margin
+    /// limit, so setting it high simply means "whatever the circuit
+    /// allows".
+    pub max_fan_in: usize,
+    /// Whether intra-subarray results are written back through the
+    /// modified local write drivers (Fig. 8a). Disabling it models a
+    /// design without that modification: every result is exported over
+    /// the GDL + DDR bus and written back conventionally — the
+    /// `ablation_writeback` study quantifies the difference.
+    pub in_place_write_back: bool,
+}
+
+impl PinatuboConfig {
+    /// Full multi-row operation (the paper's "Pinatubo-128" on PCM —
+    /// the circuit margin provides the actual 128 cap).
+    #[must_use]
+    pub fn multi_row() -> Self {
+        PinatuboConfig {
+            max_fan_in: 1024,
+            in_place_write_back: true,
+        }
+    }
+
+    /// Two-row operation only (the paper's "Pinatubo-2").
+    #[must_use]
+    pub fn two_row() -> Self {
+        PinatuboConfig {
+            max_fan_in: 2,
+            ..PinatuboConfig::multi_row()
+        }
+    }
+
+    /// A specific fan-in cap, for the Fig. 9 sweep (2, 4, 8, …, 128).
+    #[must_use]
+    pub fn with_fan_in(max_fan_in: usize) -> Self {
+        PinatuboConfig {
+            max_fan_in,
+            ..PinatuboConfig::multi_row()
+        }
+    }
+
+    /// Disables the Fig. 8a in-place write-back path.
+    #[must_use]
+    pub fn without_in_place_write_back(mut self) -> Self {
+        self.in_place_write_back = false;
+        self
+    }
+}
+
+impl Default for PinatuboConfig {
+    fn default() -> Self {
+        PinatuboConfig::multi_row()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_multi_row() {
+        assert_eq!(PinatuboConfig::default(), PinatuboConfig::multi_row());
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert_eq!(PinatuboConfig::two_row().max_fan_in, 2);
+        assert_eq!(PinatuboConfig::with_fan_in(16).max_fan_in, 16);
+    }
+}

@@ -1,0 +1,887 @@
+//! The bulk-bitwise-operation engine.
+//!
+//! [`PinatuboEngine::bulk_op`] decomposes an n-operand operation into
+//! hardware *primitives* — multi-row OR groups up to the sense-margin
+//! fan-in, 2-row AND senses, XOR micro-step pairs, INV reads — and executes
+//! each primitive on the cheapest path its placement allows (see
+//! [`crate::classify`]). Chaining across groups reuses the destination row
+//! as an accumulator, exactly what the in-place write-back path of the
+//! modified write drivers makes free.
+
+use crate::classify::OpClass;
+use crate::config::PinatuboConfig;
+use crate::op::BitwiseOp;
+use crate::PimError;
+use pinatubo_mem::{MainMemory, MemConfig, MemStats, PimConfig, RowAddr, RowData};
+use pinatubo_nvm::sense_amp::SenseMode;
+
+/// Engine-level counters (on top of the memory's command statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Bulk operations executed.
+    pub bulk_ops: u64,
+    /// Hardware primitives those decomposed into.
+    pub primitives: u64,
+    /// Primitives executed intra-subarray.
+    pub intra_subarray: u64,
+    /// Primitives executed at the global row buffer.
+    pub inter_subarray: u64,
+    /// Primitives executed at the I/O buffer.
+    pub inter_bank: u64,
+    /// Primitives that had to fall back to the host path.
+    pub host_fallback: u64,
+    /// Total operand rows consumed.
+    pub operand_rows: u64,
+}
+
+impl EngineStats {
+    fn count_class(&mut self, class: OpClass) {
+        match class {
+            OpClass::IntraSubarray => self.intra_subarray += 1,
+            OpClass::InterSubarray => self.inter_subarray += 1,
+            OpClass::InterBank => self.inter_bank += 1,
+            OpClass::HostFallback => self.host_fallback += 1,
+        }
+    }
+}
+
+/// What one bulk operation cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpOutcome {
+    /// The worst placement class any primitive of this op used.
+    pub class: OpClass,
+    /// Time/energy/event delta attributable to this op.
+    pub stats: MemStats,
+    /// Hardware primitives the op decomposed into.
+    pub primitives: u64,
+}
+
+impl OpOutcome {
+    /// Simulated time of this op, nanoseconds.
+    #[must_use]
+    pub fn time_ns(&self) -> f64 {
+        self.stats.time_ns
+    }
+
+    /// Energy of this op, picojoules.
+    #[must_use]
+    pub fn energy_pj(&self) -> f64 {
+        self.stats.total_energy_pj()
+    }
+}
+
+/// The Pinatubo engine: an NVM main memory plus the extended controller
+/// that drives PIM operations on it.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct PinatuboEngine {
+    mem: MainMemory,
+    config: PinatuboConfig,
+    stats: EngineStats,
+}
+
+impl PinatuboEngine {
+    /// Builds an engine over a fresh memory.
+    #[must_use]
+    pub fn new(mem_config: MemConfig, config: PinatuboConfig) -> Self {
+        PinatuboEngine {
+            mem: MainMemory::new(mem_config),
+            config,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Builds an engine over an existing memory (keeps its contents and
+    /// statistics).
+    #[must_use]
+    pub fn with_memory(mem: MainMemory, config: PinatuboConfig) -> Self {
+        PinatuboEngine {
+            mem,
+            config,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The underlying memory.
+    #[must_use]
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the underlying memory (workload setup).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Consumes the engine, returning the memory.
+    #[must_use]
+    pub fn into_memory(self) -> MainMemory {
+        self.mem
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &PinatuboConfig {
+        &self.config
+    }
+
+    /// Engine-level counters.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Rows one analog OR sense may combine: the configured cap clipped by
+    /// the technology's sense margin.
+    #[must_use]
+    pub fn effective_fan_in(&self) -> usize {
+        self.config.max_fan_in.min(self.mem.max_or_fan_in())
+    }
+
+    /// Executes one bulk bitwise operation: `dst = op(operands…)` over the
+    /// first `cols` bits of each row.
+    ///
+    /// # Errors
+    ///
+    /// * [`PimError::EmptyOperands`] / [`PimError::NotTakesOneOperand`] /
+    ///   [`PimError::NeedTwoOperands`] on arity violations;
+    /// * [`PimError::FanInCapTooSmall`] when OR is requested but neither
+    ///   the configuration nor the technology allows even a 2-row sense
+    ///   (e.g. the engine was built over DRAM);
+    /// * [`PimError::Mem`] for address/geometry/circuit failures.
+    pub fn bulk_op(
+        &mut self,
+        op: BitwiseOp,
+        operands: &[RowAddr],
+        dst: RowAddr,
+        cols: u64,
+    ) -> Result<OpOutcome, PimError> {
+        if operands.is_empty() {
+            return Err(PimError::EmptyOperands);
+        }
+        match op {
+            BitwiseOp::Not if operands.len() != 1 => {
+                return Err(PimError::NotTakesOneOperand {
+                    got: operands.len(),
+                })
+            }
+            BitwiseOp::Or | BitwiseOp::And | BitwiseOp::Xor if operands.len() < 2 => {
+                return Err(PimError::NeedTwoOperands {
+                    got: operands.len(),
+                })
+            }
+            _ => {}
+        }
+
+        // The placement of the whole operand set (plus dst) decides the
+        // decomposition: intra-subarray sets use analog multi-row sensing
+        // (chunked by the sense-margin fan-in), everything else streams
+        // once through the combining buffer, which has no fan-in limit.
+        let mut all = operands.to_vec();
+        all.push(dst);
+        let class = OpClass::classify(&all);
+
+        // Chained decompositions accumulate through `dst`; if `dst` is also
+        // an operand its original value would be clobbered before being
+        // read, so the driver rejects the aliasing (single-pass executions
+        // read every operand before the write and are safe).
+        let chains = class == OpClass::IntraSubarray
+            && match op {
+                BitwiseOp::Or => operands.len() > self.effective_fan_in().max(2),
+                BitwiseOp::And | BitwiseOp::Xor => operands.len() > 2,
+                BitwiseOp::Not => false,
+            };
+        if chains && operands.contains(&dst) {
+            return Err(PimError::DstAliasesOperands);
+        }
+
+        let before = *self.mem.stats();
+        let mut worst = OpClass::IntraSubarray;
+        let mut primitives = 0u64;
+
+        match op {
+            BitwiseOp::Not => {
+                let class = self.primitive_not(operands[0], dst, cols)?;
+                worst = worst.max(class);
+                primitives += 1;
+            }
+            BitwiseOp::Or | BitwiseOp::And | BitwiseOp::Xor if class != OpClass::IntraSubarray => {
+                // Buffer-logic path: one streaming pass over all operands,
+                // one write-back, regardless of operand count.
+                self.stats.count_class(class);
+                let cfg = match op {
+                    BitwiseOp::Or => PimConfig::Or,
+                    BitwiseOp::And => PimConfig::And,
+                    BitwiseOp::Xor => PimConfig::Xor,
+                    BitwiseOp::Not => unreachable!("NOT is handled above"),
+                };
+                self.buffered_combine(cfg, operands, dst, cols, class)?;
+                worst = worst.max(class);
+                primitives += 1;
+            }
+            BitwiseOp::Or => {
+                let fan = self.effective_fan_in();
+                if fan < 2 {
+                    return Err(PimError::FanInCapTooSmall { cap: fan });
+                }
+                // First group: up to `fan` operands straight into dst.
+                let first_len = operands.len().min(fan);
+                let class = self.primitive_or(&operands[..first_len], dst, cols)?;
+                worst = worst.max(class);
+                primitives += 1;
+                // Remaining groups accumulate onto dst, which occupies one
+                // of the fan-in slots.
+                for chunk in operands[first_len..].chunks(fan - 1) {
+                    let mut group = Vec::with_capacity(chunk.len() + 1);
+                    group.push(dst);
+                    group.extend_from_slice(chunk);
+                    let class = self.primitive_or(&group, dst, cols)?;
+                    worst = worst.max(class);
+                    primitives += 1;
+                }
+            }
+            BitwiseOp::And | BitwiseOp::Xor => {
+                let class = self.primitive_pair(op, operands[0], operands[1], dst, cols)?;
+                worst = worst.max(class);
+                primitives += 1;
+                for &next in &operands[2..] {
+                    let class = self.primitive_pair(op, dst, next, dst, cols)?;
+                    worst = worst.max(class);
+                    primitives += 1;
+                }
+            }
+        }
+
+        self.stats.bulk_ops += 1;
+        self.stats.primitives += primitives;
+        self.stats.operand_rows += operands.len() as u64;
+        let delta = subtract_stats(*self.mem.stats(), before);
+        Ok(OpOutcome {
+            class: worst,
+            stats: delta,
+            primitives,
+        })
+    }
+
+    /// Copies one row to another (`dst = src`), on the cheapest path the
+    /// placement allows. Useful as a data-movement utility and as the
+    /// materialization step applications need around scratch registers.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::Mem`] for address/geometry failures.
+    pub fn copy_row(
+        &mut self,
+        src: RowAddr,
+        dst: RowAddr,
+        cols: u64,
+    ) -> Result<OpOutcome, PimError> {
+        let before = *self.mem.stats();
+        let class = OpClass::classify(&[src, dst]);
+        self.stats.count_class(class);
+        match class {
+            OpClass::IntraSubarray => {
+                let data = self.mem.activate_read(src, cols)?;
+                self.write_back_local(dst, &data)?;
+            }
+            OpClass::InterSubarray => {
+                let data = self.mem.read_row_to_buffer(src, cols)?;
+                self.mem.write_row_from_buffer(dst, &data)?;
+            }
+            OpClass::InterBank => {
+                let data = self.mem.read_row_to_io_buffer(src, cols)?;
+                self.mem.write_row_from_io_buffer(dst, &data)?;
+            }
+            OpClass::HostFallback => {
+                let data = self.mem.read_row_over_bus(src, cols)?;
+                self.mem.write_row_over_bus(dst, &data)?;
+            }
+        }
+        self.stats.bulk_ops += 1;
+        self.stats.primitives += 1;
+        self.stats.operand_rows += 1;
+        Ok(OpOutcome {
+            class,
+            stats: subtract_stats(*self.mem.stats(), before),
+            primitives: 1,
+        })
+    }
+
+    /// Writes an intra-subarray result back: through the modified local
+    /// write drivers when the configuration has the Fig. 8a path, or
+    /// exported over GDL + bus and written conventionally when it does
+    /// not.
+    fn write_back_local(&mut self, dst: RowAddr, data: &RowData) -> Result<(), PimError> {
+        if self.config.in_place_write_back {
+            self.mem.write_row_local(dst, data)?;
+        } else {
+            self.mem.charge_result_export(data.len_bits());
+            self.mem.write_row_over_bus(dst, data)?;
+        }
+        Ok(())
+    }
+
+    // ---- primitives ----
+
+    /// One OR group (2..=fan rows) into `dst`.
+    fn primitive_or(
+        &mut self,
+        rows: &[RowAddr],
+        dst: RowAddr,
+        cols: u64,
+    ) -> Result<OpClass, PimError> {
+        let mut all = rows.to_vec();
+        all.push(dst);
+        let class = OpClass::classify(&all);
+        self.stats.count_class(class);
+        match class {
+            OpClass::IntraSubarray => {
+                self.mem.set_pim_config(PimConfig::Or);
+                let mode = SenseMode::or(rows.len()).map_err(pinatubo_mem::MemError::from)?;
+                let result = self.mem.multi_activate_sense(rows, mode, cols)?;
+                self.write_back_local(dst, &result)?;
+            }
+            _ => self.buffered_combine(PimConfig::Or, rows, dst, cols, class)?,
+        }
+        Ok(class)
+    }
+
+    /// One 2-row AND or XOR pair into `dst`.
+    fn primitive_pair(
+        &mut self,
+        op: BitwiseOp,
+        a: RowAddr,
+        b: RowAddr,
+        dst: RowAddr,
+        cols: u64,
+    ) -> Result<OpClass, PimError> {
+        let class = OpClass::classify(&[a, b, dst]);
+        self.stats.count_class(class);
+        match (op, class) {
+            (BitwiseOp::And, OpClass::IntraSubarray) => {
+                self.mem.set_pim_config(PimConfig::And);
+                let mode = SenseMode::and(2).map_err(pinatubo_mem::MemError::from)?;
+                let result = self.mem.multi_activate_sense(&[a, b], mode, cols)?;
+                self.write_back_local(dst, &result)?;
+            }
+            (BitwiseOp::Xor, OpClass::IntraSubarray) => {
+                // Two micro-steps: operand A sampled onto Ch, operand B into
+                // the latch; the add-on transistors output the XOR (Fig. 6).
+                self.mem.set_pim_config(PimConfig::Xor);
+                let mut sampled = self.mem.activate_read(a, cols)?;
+                let latched = self.mem.activate_read(b, cols)?;
+                sampled.xor_assign(&latched);
+                self.write_back_local(dst, &sampled)?;
+            }
+            (_, class) => {
+                let cfg = match op {
+                    BitwiseOp::And => PimConfig::And,
+                    BitwiseOp::Xor => PimConfig::Xor,
+                    BitwiseOp::Or => PimConfig::Or,
+                    BitwiseOp::Not => unreachable!("NOT never reaches primitive_pair"),
+                };
+                self.buffered_combine(cfg, &[a, b], dst, cols, class)?;
+            }
+        }
+        Ok(class)
+    }
+
+    /// INV of one row into `dst`.
+    fn primitive_not(
+        &mut self,
+        src: RowAddr,
+        dst: RowAddr,
+        cols: u64,
+    ) -> Result<OpClass, PimError> {
+        let class = OpClass::classify(&[src, dst]);
+        self.stats.count_class(class);
+        self.mem.set_pim_config(PimConfig::Inv);
+        match class {
+            OpClass::IntraSubarray => {
+                let data = self.mem.activate_read(src, cols)?;
+                let inverted = self.mem.invert_in_sense_amp(&data);
+                self.write_back_local(dst, &inverted)?;
+            }
+            OpClass::InterSubarray => {
+                let data = self.mem.read_row_to_buffer(src, cols)?;
+                let inverted = self.mem.invert_in_sense_amp(&data);
+                self.mem.write_row_from_buffer(dst, &inverted)?;
+            }
+            OpClass::InterBank => {
+                let data = self.mem.read_row_to_io_buffer(src, cols)?;
+                let inverted = self.mem.invert_in_sense_amp(&data);
+                self.mem.write_row_from_io_buffer(dst, &inverted)?;
+            }
+            OpClass::HostFallback => {
+                let data = self.mem.read_row_over_bus(src, cols)?;
+                let inverted = self.mem.invert_in_sense_amp(&data);
+                self.mem.write_row_over_bus(dst, &inverted)?;
+            }
+        }
+        Ok(class)
+    }
+
+    /// The buffer-logic path shared by inter-subarray, inter-bank and
+    /// host-fallback execution: stream operands to the combining buffer,
+    /// apply the digital logic, write the result to `dst`.
+    fn buffered_combine(
+        &mut self,
+        cfg: PimConfig,
+        rows: &[RowAddr],
+        dst: RowAddr,
+        cols: u64,
+        class: OpClass,
+    ) -> Result<(), PimError> {
+        self.mem.set_pim_config(cfg);
+        let mut acc: Option<RowData> = None;
+        for &row in rows {
+            let data = match class {
+                OpClass::HostFallback => self.mem.read_row_over_bus(row, cols)?,
+                OpClass::InterBank => self.mem.read_row_to_io_buffer(row, cols)?,
+                _ => self.mem.read_row_to_buffer(row, cols)?,
+            };
+            match &mut acc {
+                None => acc = Some(data),
+                Some(acc) => self.mem.buffer_logic(cfg, acc, &data, cols)?,
+            }
+        }
+        let acc = acc.expect("rows is non-empty by construction");
+        match class {
+            OpClass::HostFallback => self.mem.write_row_over_bus(dst, &acc)?,
+            OpClass::InterBank => self.mem.write_row_from_io_buffer(dst, &acc)?,
+            _ => self.mem.write_row_from_buffer(dst, &acc)?,
+        }
+        Ok(())
+    }
+}
+
+/// Componentwise `after - before` for stats deltas.
+fn subtract_stats(after: MemStats, before: MemStats) -> MemStats {
+    use pinatubo_mem::EnergyBreakdown;
+    MemStats {
+        time_ns: after.time_ns - before.time_ns,
+        energy: EnergyBreakdown {
+            activate_pj: after.energy.activate_pj - before.energy.activate_pj,
+            sense_pj: after.energy.sense_pj - before.energy.sense_pj,
+            write_pj: after.energy.write_pj - before.energy.write_pj,
+            bus_pj: after.energy.bus_pj - before.energy.bus_pj,
+            gdl_pj: after.energy.gdl_pj - before.energy.gdl_pj,
+            logic_pj: after.energy.logic_pj - before.energy.logic_pj,
+            precharge_pj: after.energy.precharge_pj - before.energy.precharge_pj,
+        },
+        events: pinatubo_mem::stats::EventCounters {
+            activates: after.events.activates - before.events.activates,
+            multi_activates: after.events.multi_activates - before.events.multi_activates,
+            rows_activated: after.events.rows_activated - before.events.rows_activated,
+            sense_passes: after.events.sense_passes - before.events.sense_passes,
+            row_writes: after.events.row_writes - before.events.row_writes,
+            bus_bursts: after.events.bus_bursts - before.events.bus_bursts,
+            bus_bits: after.events.bus_bits - before.events.bus_bits,
+            gdl_transfers: after.events.gdl_transfers - before.events.gdl_transfers,
+            logic_passes: after.events.logic_passes - before.events.logic_passes,
+            mode_sets: after.events.mode_sets - before.events.mode_sets,
+            precharges: after.events.precharges - before.events.precharges,
+            row_buffer_hits: after.events.row_buffer_hits - before.events.row_buffer_hits,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> PinatuboEngine {
+        PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::default())
+    }
+
+    fn addr(subarray: u32, row: u32) -> RowAddr {
+        RowAddr::new(0, 0, 0, subarray, row)
+    }
+
+    fn bank_addr(bank: u32, subarray: u32, row: u32) -> RowAddr {
+        RowAddr::new(0, 0, bank, subarray, row)
+    }
+
+    /// Reference model: apply `op` across operand bit-vectors.
+    fn reference(op: BitwiseOp, rows: &[Vec<bool>]) -> Vec<bool> {
+        let cols = rows[0].len();
+        (0..cols)
+            .map(|c| {
+                let mut acc = rows[0][c];
+                if op == BitwiseOp::Not {
+                    return !acc;
+                }
+                for row in &rows[1..] {
+                    acc = op.apply(acc, row[c]);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn load(engine: &mut PinatuboEngine, addrs: &[RowAddr], rows: &[Vec<bool>]) {
+        for (a, bits) in addrs.iter().zip(rows) {
+            engine
+                .memory_mut()
+                .poke_row(*a, &RowData::from_bits(bits))
+                .expect("poke");
+        }
+    }
+
+    #[test]
+    fn or_128_rows_is_one_primitive() {
+        let mut e = engine();
+        let rows: Vec<RowAddr> = (0..128).map(|r| addr(0, r)).collect();
+        let dst = addr(0, 200);
+        let data: Vec<Vec<bool>> = (0..128).map(|i| vec![i == 77, false, i % 2 == 0]).collect();
+        load(&mut e, &rows, &data);
+        let outcome = e.bulk_op(BitwiseOp::Or, &rows, dst, 3).expect("128-row OR");
+        assert_eq!(outcome.class, OpClass::IntraSubarray);
+        assert_eq!(outcome.primitives, 1);
+        assert_eq!(
+            e.memory().peek_row(dst).expect("dst written").bits(3),
+            reference(BitwiseOp::Or, &data)
+        );
+        assert_eq!(e.stats().intra_subarray, 1);
+    }
+
+    #[test]
+    fn or_beyond_fan_in_chains_through_dst() {
+        let mut e = engine();
+        // 200 operands with a 128 fan-in: group of 128, then 72 + dst.
+        let rows: Vec<RowAddr> = (0..200).map(|r| addr(0, r)).collect();
+        let dst = addr(0, 300);
+        let data: Vec<Vec<bool>> = (0..200).map(|i| vec![i == 199]).collect();
+        load(&mut e, &rows, &data);
+        let outcome = e.bulk_op(BitwiseOp::Or, &rows, dst, 1).expect("200-row OR");
+        assert_eq!(outcome.primitives, 2);
+        assert!(e.memory().peek_row(dst).expect("dst").get(0));
+    }
+
+    #[test]
+    fn two_row_config_decomposes_or() {
+        let mut e = PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::two_row());
+        assert_eq!(e.effective_fan_in(), 2);
+        let rows: Vec<RowAddr> = (0..8).map(|r| addr(0, r)).collect();
+        let dst = addr(0, 100);
+        let data: Vec<Vec<bool>> = (0..8).map(|i| vec![i == 5]).collect();
+        load(&mut e, &rows, &data);
+        // 2 + accumulate 1-at-a-time: 1 + 6 = 7 primitives.
+        let outcome = e.bulk_op(BitwiseOp::Or, &rows, dst, 1).expect("chained OR");
+        assert_eq!(outcome.primitives, 7);
+        assert!(e.memory().peek_row(dst).expect("dst").get(0));
+    }
+
+    #[test]
+    fn and_chains_pairwise() {
+        let mut e = engine();
+        let rows: Vec<RowAddr> = (0..3).map(|r| addr(0, r)).collect();
+        let dst = addr(0, 50);
+        let data = vec![
+            vec![true, true, false],
+            vec![true, true, true],
+            vec![true, false, true],
+        ];
+        load(&mut e, &rows, &data);
+        let outcome = e.bulk_op(BitwiseOp::And, &rows, dst, 3).expect("3-way AND");
+        assert_eq!(outcome.primitives, 2);
+        assert_eq!(
+            e.memory().peek_row(dst).expect("dst").bits(3),
+            reference(BitwiseOp::And, &data)
+        );
+    }
+
+    #[test]
+    fn xor_uses_two_reads_per_pair() {
+        let mut e = engine();
+        let rows = [addr(0, 0), addr(0, 1)];
+        let dst = addr(0, 9);
+        let data = vec![vec![true, false, true], vec![true, true, false]];
+        load(&mut e, &rows, &data);
+        let outcome = e.bulk_op(BitwiseOp::Xor, &rows, dst, 3).expect("XOR");
+        assert_eq!(outcome.stats.events.activates, 2);
+        assert_eq!(outcome.stats.events.row_writes, 1);
+        assert_eq!(
+            e.memory().peek_row(dst).expect("dst").bits(3),
+            reference(BitwiseOp::Xor, &data)
+        );
+    }
+
+    #[test]
+    fn not_inverts_in_place_path() {
+        let mut e = engine();
+        let src = addr(0, 0);
+        let dst = addr(0, 1);
+        let data = vec![vec![true, false, true]];
+        load(&mut e, &[src], &data);
+        e.bulk_op(BitwiseOp::Not, &[src], dst, 3).expect("NOT");
+        assert_eq!(
+            e.memory().peek_row(dst).expect("dst").bits(3),
+            vec![false, true, false]
+        );
+    }
+
+    #[test]
+    fn inter_subarray_operands_use_buffer_logic() {
+        let mut e = engine();
+        let a = addr(0, 0);
+        let b = addr(1, 0); // different subarray, same bank
+        let dst = addr(0, 5);
+        let data = vec![vec![true, false], vec![false, true]];
+        load(&mut e, &[a, b], &data);
+        let outcome = e
+            .bulk_op(BitwiseOp::Or, &[a, b], dst, 2)
+            .expect("inter-sub OR");
+        assert_eq!(outcome.class, OpClass::InterSubarray);
+        assert!(outcome.stats.events.logic_passes >= 1);
+        assert!(outcome.stats.events.gdl_transfers >= 2);
+        assert_eq!(outcome.stats.events.bus_bits, 0, "no DDR bus traffic");
+        assert_eq!(
+            e.memory().peek_row(dst).expect("dst").bits(2),
+            vec![true, true]
+        );
+    }
+
+    #[test]
+    fn inter_bank_operands_classify_and_compute() {
+        let mut e = engine();
+        let a = bank_addr(0, 0, 0);
+        let b = bank_addr(3, 0, 0);
+        let dst = bank_addr(0, 0, 5);
+        let data = vec![vec![true, true], vec![true, false]];
+        load(&mut e, &[a, b], &data);
+        let outcome = e
+            .bulk_op(BitwiseOp::And, &[a, b], dst, 2)
+            .expect("inter-bank AND");
+        assert_eq!(outcome.class, OpClass::InterBank);
+        assert_eq!(
+            e.memory().peek_row(dst).expect("dst").bits(2),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn cross_rank_operands_fall_back_to_host() {
+        let mut e = engine();
+        let a = RowAddr::new(0, 0, 0, 0, 0);
+        let b = RowAddr::new(0, 1, 0, 0, 0);
+        let dst = RowAddr::new(0, 0, 0, 0, 5);
+        let data = vec![vec![true, false], vec![false, true]];
+        load(&mut e, &[a, b], &data);
+        let outcome = e
+            .bulk_op(BitwiseOp::Xor, &[a, b], dst, 2)
+            .expect("host XOR");
+        assert_eq!(outcome.class, OpClass::HostFallback);
+        assert!(
+            outcome.stats.events.bus_bits > 0,
+            "operands crossed the bus"
+        );
+        assert_eq!(
+            e.memory().peek_row(dst).expect("dst").bits(2),
+            vec![true, true]
+        );
+    }
+
+    #[test]
+    fn intra_is_faster_and_cheaper_than_host_fallback() {
+        let make = || engine();
+        let data = vec![vec![true; 64], vec![false; 64]];
+
+        let mut intra = make();
+        let (a, b, d) = (addr(0, 0), addr(0, 1), addr(0, 2));
+        load(&mut intra, &[a, b], &data);
+        let intra_out = intra.bulk_op(BitwiseOp::Or, &[a, b], d, 64).expect("intra");
+
+        let mut host = make();
+        let (a2, b2) = (RowAddr::new(0, 0, 0, 0, 0), RowAddr::new(1, 0, 0, 0, 0));
+        load(&mut host, &[a2, b2], &data);
+        let host_out = host.bulk_op(BitwiseOp::Or, &[a2, b2], d, 64).expect("host");
+
+        assert!(intra_out.time_ns() < host_out.time_ns());
+        assert!(intra_out.energy_pj() < host_out.energy_pj());
+    }
+
+    #[test]
+    fn arity_violations_are_rejected() {
+        let mut e = engine();
+        assert_eq!(
+            e.bulk_op(BitwiseOp::Or, &[], addr(0, 0), 1),
+            Err(PimError::EmptyOperands)
+        );
+        assert_eq!(
+            e.bulk_op(BitwiseOp::Or, &[addr(0, 0)], addr(0, 1), 1),
+            Err(PimError::NeedTwoOperands { got: 1 })
+        );
+        assert_eq!(
+            e.bulk_op(BitwiseOp::Not, &[addr(0, 0), addr(0, 1)], addr(0, 2), 1),
+            Err(PimError::NotTakesOneOperand { got: 2 })
+        );
+    }
+
+    #[test]
+    fn or_on_dram_memory_is_rejected() {
+        let mut e = PinatuboEngine::new(MemConfig::dram_default(), PinatuboConfig::default());
+        let err = e
+            .bulk_op(BitwiseOp::Or, &[addr(0, 0), addr(0, 1)], addr(0, 2), 1)
+            .expect_err("DRAM cannot multi-row OR");
+        assert_eq!(err, PimError::FanInCapTooSmall { cap: 1 });
+    }
+
+    #[test]
+    fn multi_row_or_beats_two_row_in_time() {
+        let rows: Vec<RowAddr> = (0..64).map(|r| addr(0, r)).collect();
+        let dst = addr(0, 100);
+        let cols = 1 << 14;
+
+        let mut multi = engine();
+        let t_multi = multi
+            .bulk_op(BitwiseOp::Or, &rows, dst, cols)
+            .expect("multi")
+            .time_ns();
+
+        let mut two = PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::two_row());
+        let t_two = two
+            .bulk_op(BitwiseOp::Or, &rows, dst, cols)
+            .expect("two-row")
+            .time_ns();
+
+        assert!(
+            t_multi < t_two / 4.0,
+            "multi-row {t_multi} ns should be far below chained {t_two} ns"
+        );
+    }
+
+    #[test]
+    fn outcome_stats_are_deltas() {
+        let mut e = engine();
+        let rows = [addr(0, 0), addr(0, 1)];
+        let dst = addr(0, 2);
+        let first = e.bulk_op(BitwiseOp::Or, &rows, dst, 8).expect("first");
+        let second = e.bulk_op(BitwiseOp::Or, &rows, dst, 8).expect("second");
+        // The second op includes no MRS (mode cached), so it is no more
+        // expensive than the first.
+        assert!(second.time_ns() <= first.time_ns());
+        assert!(second.time_ns() > 0.0);
+    }
+
+    #[test]
+    fn chained_alias_of_dst_is_rejected() {
+        let mut e = engine();
+        let rows: Vec<RowAddr> = (0..4).map(|r| addr(0, r)).collect();
+        // XOR over 4 operands chains through dst; dst aliasing an operand
+        // would read a clobbered value.
+        assert_eq!(
+            e.bulk_op(BitwiseOp::Xor, &rows, rows[2], 4),
+            Err(PimError::DstAliasesOperands)
+        );
+        // A single-group OR reads every operand before writing: aliasing
+        // is safe and produces the correct result.
+        let data = vec![vec![true, false], vec![false, false]];
+        load(&mut e, &rows[..2], &data);
+        e.bulk_op(BitwiseOp::Or, &rows[..2], rows[1], 2)
+            .expect("single-group alias is fine");
+        assert_eq!(
+            e.memory().peek_row(rows[1]).expect("dst").bits(2),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn copy_row_moves_data_on_every_path() {
+        let mut e = engine();
+        let data = vec![vec![true, false, true]];
+        let cases = [
+            (addr(0, 0), addr(0, 5), OpClass::IntraSubarray),
+            (addr(0, 1), addr(3, 5), OpClass::InterSubarray),
+            (bank_addr(0, 0, 2), bank_addr(5, 0, 2), OpClass::InterBank),
+            (
+                RowAddr::new(0, 0, 0, 0, 3),
+                RowAddr::new(2, 0, 0, 0, 3),
+                OpClass::HostFallback,
+            ),
+        ];
+        for (src, dst, expect_class) in cases {
+            load(&mut e, &[src], &data);
+            let outcome = e.copy_row(src, dst, 3).expect("copy");
+            assert_eq!(outcome.class, expect_class);
+            assert_eq!(
+                e.memory().peek_row(dst).expect("copied").bits(3),
+                data[0],
+                "{expect_class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inter_bank_costs_more_than_inter_subarray() {
+        let cols = 1 << 14;
+        let mut inter_sub = engine();
+        let s = inter_sub
+            .bulk_op(BitwiseOp::Or, &[addr(0, 0), addr(1, 0)], addr(0, 5), cols)
+            .expect("inter-sub");
+        let mut inter_bank = engine();
+        let b = inter_bank
+            .bulk_op(
+                BitwiseOp::Or,
+                &[bank_addr(0, 0, 0), bank_addr(1, 0, 0)],
+                bank_addr(0, 0, 5),
+                cols,
+            )
+            .expect("inter-bank");
+        assert_eq!(s.class, OpClass::InterSubarray);
+        assert_eq!(b.class, OpClass::InterBank);
+        assert!(
+            b.time_ns() > s.time_ns(),
+            "the extra GDL hop to the I/O buffer must cost time ({} vs {})",
+            b.time_ns(),
+            s.time_ns()
+        );
+        assert!(b.energy_pj() > s.energy_pj());
+    }
+
+    #[test]
+    fn disabling_in_place_write_back_costs_bus_traffic() {
+        let rows: Vec<RowAddr> = (0..8).map(|r| addr(0, r)).collect();
+        let dst = addr(0, 100);
+        let cols = 1 << 14;
+
+        let mut with = engine();
+        let fast = with
+            .bulk_op(BitwiseOp::Or, &rows, dst, cols)
+            .expect("in-place");
+        assert_eq!(fast.stats.events.bus_bits, 0);
+
+        let mut without = PinatuboEngine::new(
+            MemConfig::pcm_default(),
+            PinatuboConfig::multi_row().without_in_place_write_back(),
+        );
+        let slow = without
+            .bulk_op(BitwiseOp::Or, &rows, dst, cols)
+            .expect("exported");
+        assert!(
+            slow.stats.events.bus_bits > 0,
+            "result crossed the bus twice"
+        );
+        assert!(slow.time_ns() > fast.time_ns());
+        assert!(slow.energy_pj() > fast.energy_pj());
+        // Functional result identical either way.
+        assert_eq!(
+            with.memory().peek_row(dst).expect("a").count_ones(),
+            without.memory().peek_row(dst).expect("b").count_ones()
+        );
+    }
+
+    #[test]
+    fn engine_counters_accumulate() {
+        let mut e = engine();
+        let rows = [addr(0, 0), addr(0, 1)];
+        e.bulk_op(BitwiseOp::Or, &rows, addr(0, 2), 4).expect("or");
+        e.bulk_op(BitwiseOp::And, &rows, addr(0, 3), 4)
+            .expect("and");
+        assert_eq!(e.stats().bulk_ops, 2);
+        assert_eq!(e.stats().primitives, 2);
+        assert_eq!(e.stats().intra_subarray, 2);
+        assert_eq!(e.stats().operand_rows, 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! The bulk bitwise operations Pinatubo supports (paper §1: OR, AND, XOR
+//! and INV).
+
+use pinatubo_mem::PimConfig;
+use std::fmt;
+
+/// A bulk bitwise operation over one or more operand rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitwiseOp {
+    /// Multi-operand OR — the operation multi-row activation accelerates
+    /// best (up to 128 operands in one step on PCM).
+    Or,
+    /// AND — sensed two rows at a time; wider ANDs decompose into a chain.
+    And,
+    /// XOR — two SA micro-steps per operand pair.
+    Xor,
+    /// INV/NOT — the SA's differential output; takes one operand.
+    Not,
+}
+
+impl BitwiseOp {
+    /// All operations, in a stable order (handy for sweeps).
+    pub const ALL: [BitwiseOp; 4] = [
+        BitwiseOp::Or,
+        BitwiseOp::And,
+        BitwiseOp::Xor,
+        BitwiseOp::Not,
+    ];
+
+    /// Scalar semantics, for reference models and tests.
+    #[must_use]
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            BitwiseOp::Or => a | b,
+            BitwiseOp::And => a & b,
+            BitwiseOp::Xor => a ^ b,
+            BitwiseOp::Not => !a,
+        }
+    }
+
+    /// How many operands a single analog sense can combine on a technology
+    /// whose OR margin allows `max_or_fan_in` rows.
+    ///
+    /// OR scales with the sense margin; AND is pinned at two rows
+    /// (paper footnote 3); XOR works on operand pairs (two micro-steps);
+    /// NOT takes a single row.
+    #[must_use]
+    pub fn analog_fan_in(self, max_or_fan_in: usize) -> usize {
+        match self {
+            BitwiseOp::Or => max_or_fan_in.max(1),
+            BitwiseOp::And | BitwiseOp::Xor => 2,
+            BitwiseOp::Not => 1,
+        }
+    }
+
+    /// The mode-register configuration that selects this operation's SA
+    /// reference / micro-step sequence.
+    #[must_use]
+    pub fn pim_config(self) -> PimConfig {
+        match self {
+            BitwiseOp::Or => PimConfig::Or,
+            BitwiseOp::And => PimConfig::And,
+            BitwiseOp::Xor => PimConfig::Xor,
+            BitwiseOp::Not => PimConfig::Inv,
+        }
+    }
+
+    /// Whether the operation combines two or more rows (everything except
+    /// NOT).
+    #[must_use]
+    pub fn is_binary(self) -> bool {
+        !matches!(self, BitwiseOp::Not)
+    }
+}
+
+impl fmt::Display for BitwiseOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BitwiseOp::Or => "OR",
+            BitwiseOp::And => "AND",
+            BitwiseOp::Xor => "XOR",
+            BitwiseOp::Not => "NOT",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_semantics() {
+        assert!(BitwiseOp::Or.apply(false, true));
+        assert!(!BitwiseOp::And.apply(false, true));
+        assert!(BitwiseOp::Xor.apply(false, true));
+        assert!(!BitwiseOp::Xor.apply(true, true));
+        assert!(BitwiseOp::Not.apply(false, true)); // second operand ignored
+        assert!(!BitwiseOp::Not.apply(true, false));
+    }
+
+    #[test]
+    fn fan_in_rules_follow_the_paper() {
+        assert_eq!(BitwiseOp::Or.analog_fan_in(128), 128);
+        assert_eq!(BitwiseOp::And.analog_fan_in(128), 2);
+        assert_eq!(BitwiseOp::Xor.analog_fan_in(128), 2);
+        assert_eq!(BitwiseOp::Not.analog_fan_in(128), 1);
+    }
+
+    #[test]
+    fn pim_configs_map_one_to_one() {
+        use std::collections::HashSet;
+        let configs: HashSet<_> = BitwiseOp::ALL.iter().map(|o| o.pim_config()).collect();
+        assert_eq!(configs.len(), BitwiseOp::ALL.len());
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = BitwiseOp::ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(names, ["OR", "AND", "XOR", "NOT"]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Abstract bulk-operation traces.
+//!
+//! Applications record the bulk bitwise operations they issue as a
+//! [`BulkOp`] stream. The same trace is then priced by every executor —
+//! Pinatubo (by replaying it on the real engine), the SIMD processor,
+//! S-DRAM and AC-PIM — which is how the paper's Fig. 10/11 comparisons are
+//! produced: identical work, different hardware.
+
+use crate::classify::OpClass;
+use crate::op::BitwiseOp;
+
+/// One bulk bitwise operation, abstracted from concrete row addresses.
+///
+/// `locality` records where the runtime's allocator placed the operands —
+/// the property that decides which Pinatubo path executes the op. The
+/// processor-centric executors ignore it (every placement looks the same
+/// through the DDR bus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BulkOp {
+    /// The operation.
+    pub op: BitwiseOp,
+    /// Number of operand bit-vectors.
+    pub operand_count: usize,
+    /// Length of each operand in bits.
+    pub bits: u64,
+    /// Placement class of the operands + destination.
+    pub locality: OpClass,
+}
+
+impl BulkOp {
+    /// A convenience constructor for intra-subarray ops (the common case
+    /// under the PIM-aware allocator).
+    #[must_use]
+    pub fn intra(op: BitwiseOp, operand_count: usize, bits: u64) -> Self {
+        BulkOp {
+            op,
+            operand_count,
+            bits,
+            locality: OpClass::IntraSubarray,
+        }
+    }
+
+    /// Total operand bits this op consumes (the "work" used for
+    /// equivalent-bandwidth numbers).
+    #[must_use]
+    pub fn operand_bits(&self) -> u64 {
+        self.bits * self.operand_count as u64
+    }
+}
+
+/// A recorded stream of bulk operations.
+pub type OpTrace = Vec<BulkOp>;
+
+/// Total operand bits across a trace.
+#[must_use]
+pub fn trace_operand_bits(trace: &[BulkOp]) -> u64 {
+    trace.iter().map(BulkOp::operand_bits).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_bits_multiply() {
+        let op = BulkOp::intra(BitwiseOp::Or, 128, 1 << 19);
+        assert_eq!(op.operand_bits(), 128 << 19);
+        assert_eq!(op.locality, OpClass::IntraSubarray);
+    }
+
+    #[test]
+    fn trace_totals_sum() {
+        let trace = vec![
+            BulkOp::intra(BitwiseOp::Or, 2, 100),
+            BulkOp::intra(BitwiseOp::And, 3, 10),
+        ];
+        assert_eq!(trace_operand_bits(&trace), 230);
+    }
+}

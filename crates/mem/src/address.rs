@@ -1,0 +1,235 @@
+//! Row addressing.
+//!
+//! Pinatubo classifies an operation by *where its operand rows live*
+//! (paper §4.1): same subarray → intra-subarray (the fast, multi-row
+//! path); same chip, different subarray or bank → buffer-logic paths;
+//! different ranks/channels → must fall back to reads plus host-side
+//! logic. [`RowAddr`] carries exactly the coordinates that decide this.
+
+use crate::geometry::MemGeometry;
+use std::fmt;
+
+/// The address of one logical (rank-wide) row.
+///
+/// Chips do not appear: the 8 chips of a rank act in lock-step and a
+/// logical row spans all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the (lock-step) chips.
+    pub bank: u32,
+    /// Subarray within the bank.
+    pub subarray: u32,
+    /// Row within the subarray.
+    pub row: u32,
+}
+
+impl RowAddr {
+    /// Creates a row address.
+    #[must_use]
+    pub fn new(channel: u32, rank: u32, bank: u32, subarray: u32, row: u32) -> Self {
+        RowAddr {
+            channel,
+            rank,
+            bank,
+            subarray,
+            row,
+        }
+    }
+
+    /// Whether the address is valid under `geometry`.
+    #[must_use]
+    pub fn is_valid(&self, geometry: &MemGeometry) -> bool {
+        self.channel < geometry.channels
+            && self.rank < geometry.ranks_per_channel
+            && self.bank < geometry.banks_per_chip
+            && self.subarray < geometry.subarrays_per_bank
+            && self.row < geometry.rows_per_subarray
+    }
+
+    /// The subarray this row lives in (everything but the row index).
+    #[must_use]
+    pub fn subarray_id(&self) -> SubarrayId {
+        SubarrayId {
+            channel: self.channel,
+            rank: self.rank,
+            bank: self.bank,
+            subarray: self.subarray,
+        }
+    }
+
+    /// Whether two rows share a subarray (intra-subarray op possible).
+    #[must_use]
+    pub fn same_subarray(&self, other: &RowAddr) -> bool {
+        self.subarray_id() == other.subarray_id()
+    }
+
+    /// Whether two rows share a bank (inter-subarray op possible).
+    #[must_use]
+    pub fn same_bank(&self, other: &RowAddr) -> bool {
+        self.channel == other.channel && self.rank == other.rank && self.bank == other.bank
+    }
+
+    /// Whether two rows share the lock-step chip group (inter-bank op
+    /// possible).
+    #[must_use]
+    pub fn same_chip_group(&self, other: &RowAddr) -> bool {
+        self.channel == other.channel && self.rank == other.rank
+    }
+
+    /// Linear index in canonical (channel, rank, bank, subarray, row)
+    /// order. Inverse of [`RowAddr::from_linear`].
+    #[must_use]
+    pub fn to_linear(&self, geometry: &MemGeometry) -> u64 {
+        let mut idx = u64::from(self.channel);
+        idx = idx * u64::from(geometry.ranks_per_channel) + u64::from(self.rank);
+        idx = idx * u64::from(geometry.banks_per_chip) + u64::from(self.bank);
+        idx = idx * u64::from(geometry.subarrays_per_bank) + u64::from(self.subarray);
+        idx * u64::from(geometry.rows_per_subarray) + u64::from(self.row)
+    }
+
+    /// Decodes a linear row index in canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the geometry's row count.
+    #[must_use]
+    pub fn from_linear(geometry: &MemGeometry, idx: u64) -> Self {
+        assert!(
+            idx < geometry.total_rows(),
+            "row index {idx} outside the {}-row geometry",
+            geometry.total_rows()
+        );
+        let rows = u64::from(geometry.rows_per_subarray);
+        let subs = u64::from(geometry.subarrays_per_bank);
+        let banks = u64::from(geometry.banks_per_chip);
+        let ranks = u64::from(geometry.ranks_per_channel);
+        let row = idx % rows;
+        let idx = idx / rows;
+        let subarray = idx % subs;
+        let idx = idx / subs;
+        let bank = idx % banks;
+        let idx = idx / banks;
+        let rank = idx % ranks;
+        let channel = idx / ranks;
+        RowAddr {
+            channel: channel as u32,
+            rank: rank as u32,
+            bank: bank as u32,
+            subarray: subarray as u32,
+            row: row as u32,
+        }
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/bk{}/sa{}/row{}",
+            self.channel, self.rank, self.bank, self.subarray, self.row
+        )
+    }
+}
+
+/// Identifies one subarray (the unit that owns an SA strip, a WD strip and
+/// an LWL latch bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubarrayId {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the chips.
+    pub bank: u32,
+    /// Subarray within the bank.
+    pub subarray: u32,
+}
+
+impl fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/bk{}/sa{}",
+            self.channel, self.rank, self.bank, self.subarray
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> MemGeometry {
+        MemGeometry::pcm_default()
+    }
+
+    #[test]
+    fn linear_round_trips() {
+        let geometry = g();
+        for idx in [0, 1, 1023, 1024, 999_999, geometry.total_rows() - 1] {
+            let addr = RowAddr::from_linear(&geometry, idx);
+            assert!(addr.is_valid(&geometry));
+            assert_eq!(addr.to_linear(&geometry), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn linear_out_of_range_panics() {
+        let geometry = g();
+        let _ = RowAddr::from_linear(&geometry, geometry.total_rows());
+    }
+
+    #[test]
+    fn locality_predicates() {
+        let a = RowAddr::new(0, 0, 0, 0, 5);
+        let same_sub = RowAddr::new(0, 0, 0, 0, 9);
+        let same_bank = RowAddr::new(0, 0, 0, 3, 9);
+        let same_group = RowAddr::new(0, 0, 7, 3, 9);
+        let elsewhere = RowAddr::new(1, 0, 0, 0, 5);
+
+        assert!(a.same_subarray(&same_sub));
+        assert!(!a.same_subarray(&same_bank));
+        assert!(a.same_bank(&same_bank));
+        assert!(!a.same_bank(&same_group));
+        assert!(a.same_chip_group(&same_group));
+        assert!(!a.same_chip_group(&elsewhere));
+    }
+
+    #[test]
+    fn validity_respects_every_axis() {
+        let geometry = g();
+        assert!(RowAddr::new(3, 1, 7, 15, 1023).is_valid(&geometry));
+        assert!(!RowAddr::new(4, 0, 0, 0, 0).is_valid(&geometry));
+        assert!(!RowAddr::new(0, 2, 0, 0, 0).is_valid(&geometry));
+        assert!(!RowAddr::new(0, 0, 8, 0, 0).is_valid(&geometry));
+        assert!(!RowAddr::new(0, 0, 0, 16, 0).is_valid(&geometry));
+        assert!(!RowAddr::new(0, 0, 0, 0, 1024).is_valid(&geometry));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            RowAddr::new(1, 0, 2, 3, 42).to_string(),
+            "ch1/rk0/bk2/sa3/row42"
+        );
+        assert_eq!(
+            RowAddr::new(1, 0, 2, 3, 42).subarray_id().to_string(),
+            "ch1/rk0/bk2/sa3"
+        );
+    }
+
+    #[test]
+    fn consecutive_linear_rows_share_a_subarray() {
+        // Canonical order keeps a subarray's rows contiguous — the property
+        // the subarray-first allocator relies on.
+        let geometry = g();
+        let a = RowAddr::from_linear(&geometry, 100);
+        let b = RowAddr::from_linear(&geometry, 101);
+        assert!(a.same_subarray(&b));
+    }
+}

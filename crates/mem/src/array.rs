@@ -1,0 +1,317 @@
+//! Packed bit storage for rows.
+//!
+//! The circuit layer reasons about single cells; the architecture layer
+//! needs whole 2^19-bit rows. [`RowData`] packs bits into `u64` words so
+//! the functional part of a bulk operation is a word-wise loop. Its
+//! equivalence with per-cell sensing is pinned by cross-checking tests in
+//! the controller module.
+
+use std::fmt;
+
+/// The contents of one logical row: a packed little-endian bit vector.
+///
+/// Bit `i` lives in word `i / 64`, position `i % 64`. A `RowData` tracks
+/// its own length in bits; the memory controller zero-extends or truncates
+/// against the geometry's row width at the array boundary.
+///
+/// # Example
+///
+/// ```
+/// use pinatubo_mem::RowData;
+///
+/// let mut a = RowData::from_bits(&[true, false, true, true]);
+/// let b = RowData::from_bits(&[true, true, false, true]);
+/// a.or_assign(&b);
+/// assert_eq!(a.bits(4), vec![true, true, true, true]);
+/// assert_eq!(a.count_ones(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct RowData {
+    words: Vec<u64>,
+    len_bits: u64,
+}
+
+impl RowData {
+    /// An all-zero row of `len_bits` bits.
+    #[must_use]
+    pub fn zeros(len_bits: u64) -> Self {
+        RowData {
+            words: vec![0; len_bits.div_ceil(64) as usize],
+            len_bits,
+        }
+    }
+
+    /// A row built from individual bits.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut row = RowData::zeros(bits.len() as u64);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                row.set(i as u64, true);
+            }
+        }
+        row
+    }
+
+    /// A row built from pre-packed words; `len_bits` may be shorter than
+    /// the words provide, in which case trailing bits are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words hold fewer than `len_bits` bits.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len_bits: u64) -> Self {
+        assert!(
+            words.len() as u64 * 64 >= len_bits,
+            "{} words cannot hold {len_bits} bits",
+            words.len()
+        );
+        let mut row = RowData { words, len_bits };
+        row.words.truncate(len_bits.div_ceil(64) as usize);
+        row.mask_tail();
+        row
+    }
+
+    /// Length in bits.
+    #[must_use]
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Whether the row has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// The packed words.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn get(&self, i: u64) -> bool {
+        assert!(
+            i < self.len_bits,
+            "bit {i} out of bounds ({})",
+            self.len_bits
+        );
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: u64, value: bool) {
+        assert!(
+            i < self.len_bits,
+            "bit {i} out of bounds ({})",
+            self.len_bits
+        );
+        let word = &mut self.words[(i / 64) as usize];
+        if value {
+            *word |= 1 << (i % 64);
+        } else {
+            *word &= !(1 << (i % 64));
+        }
+    }
+
+    /// The first `n` bits as booleans (for tests and small examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the length.
+    #[must_use]
+    pub fn bits(&self, n: u64) -> Vec<bool> {
+        (0..n).map(|i| self.get(i)).collect()
+    }
+
+    /// Population count.
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Grows or shrinks to `len_bits`, zero-filling new bits.
+    pub fn resize(&mut self, len_bits: u64) {
+        self.words.resize(len_bits.div_ceil(64) as usize, 0);
+        self.len_bits = len_bits;
+        self.mask_tail();
+    }
+
+    /// `self |= other`, over the shorter of the two lengths.
+    pub fn or_assign(&mut self, other: &RowData) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.mask_tail();
+    }
+
+    /// `self &= other`, over the shorter of the two lengths. Bits beyond
+    /// `other`'s length are cleared (an AND with absent data is 0).
+    pub fn and_assign(&mut self, other: &RowData) {
+        let shared = self.words.len().min(other.words.len());
+        for (a, b) in self.words[..shared].iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        for a in &mut self.words[shared..] {
+            *a = 0;
+        }
+        self.mask_tail();
+    }
+
+    /// `self ^= other`, over the shorter of the two lengths.
+    pub fn xor_assign(&mut self, other: &RowData) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+        self.mask_tail();
+    }
+
+    /// Inverts every bit in place.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Clears bits beyond `len_bits` in the last word so that equality,
+    /// popcount and inversion behave as if the row were exactly
+    /// `len_bits` long.
+    fn mask_tail(&mut self) {
+        let tail = self.len_bits % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RowData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A full row is half a megabit; print a digest instead.
+        write!(
+            f,
+            "RowData {{ len_bits: {}, ones: {} }}",
+            self.len_bits,
+            self.count_ones()
+        )
+    }
+}
+
+impl FromIterator<bool> for RowData {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        RowData::from_bits(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_are_empty_of_ones() {
+        let r = RowData::zeros(1000);
+        assert_eq!(r.len_bits(), 1000);
+        assert_eq!(r.count_ones(), 0);
+        assert!(!r.is_empty());
+        assert!(RowData::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_get_round_trip_across_word_boundaries() {
+        let mut r = RowData::zeros(130);
+        for i in [0, 63, 64, 65, 127, 128, 129] {
+            r.set(i, true);
+            assert!(r.get(i), "bit {i}");
+        }
+        assert_eq!(r.count_ones(), 7);
+        r.set(64, false);
+        assert!(!r.get(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_past_end_panics() {
+        let _ = RowData::zeros(10).get(10);
+    }
+
+    #[test]
+    fn bitwise_ops_match_scalar_semantics() {
+        let a_bits = [true, true, false, false, true];
+        let b_bits = [true, false, true, false, false];
+        let make = |bits: &[bool]| RowData::from_bits(bits);
+
+        let mut or = make(&a_bits);
+        or.or_assign(&make(&b_bits));
+        let mut and = make(&a_bits);
+        and.and_assign(&make(&b_bits));
+        let mut xor = make(&a_bits);
+        xor.xor_assign(&make(&b_bits));
+
+        for i in 0..5u64 {
+            let (a, b) = (a_bits[i as usize], b_bits[i as usize]);
+            assert_eq!(or.get(i), a | b);
+            assert_eq!(and.get(i), a & b);
+            assert_eq!(xor.get(i), a ^ b);
+        }
+    }
+
+    #[test]
+    fn invert_respects_length_mask() {
+        let mut r = RowData::zeros(70);
+        r.invert();
+        assert_eq!(r.count_ones(), 70);
+        // Double inversion restores.
+        r.invert();
+        assert_eq!(r.count_ones(), 0);
+    }
+
+    #[test]
+    fn and_with_shorter_row_clears_tail() {
+        let mut long = RowData::from_bits(&[true; 100]);
+        let short = RowData::from_bits(&[true; 64]);
+        long.and_assign(&short);
+        assert_eq!(long.count_ones(), 64);
+        assert!(!long.get(99));
+    }
+
+    #[test]
+    fn from_words_masks_excess_bits() {
+        let r = RowData::from_words(vec![u64::MAX], 3);
+        assert_eq!(r.count_ones(), 3);
+        assert_eq!(r.len_bits(), 3);
+    }
+
+    #[test]
+    fn resize_zero_fills() {
+        let mut r = RowData::from_bits(&[true, true]);
+        r.resize(100);
+        assert_eq!(r.count_ones(), 2);
+        r.resize(1);
+        assert_eq!(r.count_ones(), 1);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let r: RowData = [true, false, true].into_iter().collect();
+        assert_eq!(r.bits(3), vec![true, false, true]);
+    }
+
+    #[test]
+    fn debug_is_a_digest() {
+        let r = RowData::from_bits(&[true, true, false]);
+        assert_eq!(format!("{r:?}"), "RowData { len_bits: 3, ones: 2 }");
+    }
+}

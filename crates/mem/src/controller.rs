@@ -1,0 +1,937 @@
+//! The memory controller: functional state plus per-command accounting.
+//!
+//! [`MainMemory`] owns the (sparse) array contents and executes the
+//! extended-DDR command vocabulary of [`crate::commands`], charging time
+//! and energy from the [`pinatubo_nvm`] parameter tables into
+//! [`crate::stats::MemStats`].
+//!
+//! The controller is *serial*: commands execute one after another and time
+//! adds up. That matches how the paper drives PIM operations (one extended
+//! instruction stream through one DDR command bus); channel-level
+//! parallelism for conventional CPU traffic is modelled by the baselines
+//! where it matters.
+
+use crate::address::RowAddr;
+use crate::array::RowData;
+use crate::commands::{MemCommand, PimConfig};
+use crate::geometry::MemGeometry;
+use crate::stats::MemStats;
+use crate::MemError;
+use pinatubo_nvm::energy::EnergyParams;
+use pinatubo_nvm::lwl_driver::LwlDriverBank;
+use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode};
+use pinatubo_nvm::technology::Technology;
+use pinatubo_nvm::timing::TimingParams;
+use std::collections::HashMap;
+
+/// Everything needed to instantiate a memory system.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Shape of the memory.
+    pub geometry: MemGeometry,
+    /// Cell technology.
+    pub technology: Technology,
+    /// Command timing table.
+    pub timing: TimingParams,
+    /// Command energy table.
+    pub energy: EnergyParams,
+    /// Record every command into an inspectable trace (tests, debugging).
+    pub record_trace: bool,
+    /// Open-page row-buffer policy: single-row reads that hit the
+    /// currently open row of a subarray skip activation and precharge.
+    /// Off by default (closed-page), matching the calibrated figures;
+    /// multi-row PIM activations always close the page.
+    pub open_page: bool,
+}
+
+impl MemConfig {
+    /// The paper's configuration: PCM cells, PCM/DDR3 timing, default
+    /// geometry.
+    #[must_use]
+    pub fn pcm_default() -> Self {
+        MemConfig {
+            geometry: MemGeometry::pcm_default(),
+            technology: Technology::pcm(),
+            timing: TimingParams::pcm_ddr3_1600(),
+            energy: EnergyParams::pcm(),
+            record_trace: false,
+            open_page: false,
+        }
+    }
+
+    /// A DDR3-1600 DRAM system with the same geometry (for baselines that
+    /// need functional DRAM storage).
+    #[must_use]
+    pub fn dram_default() -> Self {
+        MemConfig {
+            geometry: MemGeometry::pcm_default(),
+            technology: Technology::dram(),
+            timing: TimingParams::ddr3_1600(),
+            energy: EnergyParams::dram(),
+            record_trace: false,
+            open_page: false,
+        }
+    }
+}
+
+/// The simulated main memory.
+///
+/// See the crate-level example for typical use. All mutating entry points
+/// return [`MemError`] on geometry or circuit violations; the functional
+/// state is only modified when the whole command succeeds.
+#[derive(Debug)]
+pub struct MainMemory {
+    config: MemConfig,
+    /// SA model; `None` for the charge-based DRAM pseudo-technology.
+    sense_amp: Option<CurrentSenseAmp>,
+    /// Cached result of the (static) sense-margin fan-in analysis.
+    max_or_fan_in: usize,
+    /// Sparse row storage: subarray → (row index → contents).
+    rows: HashMap<crate::address::SubarrayId, HashMap<u32, RowData>>,
+    /// Charged writes per row, for endurance analysis.
+    wear: HashMap<RowAddr, u64>,
+    /// Open-page state: the row currently latched in each subarray's row
+    /// buffer (open-page policy only).
+    open_rows: HashMap<crate::address::SubarrayId, u32>,
+    mode: PimConfig,
+    stats: MemStats,
+    trace: Vec<MemCommand>,
+}
+
+impl MainMemory {
+    /// Builds a memory from a configuration.
+    #[must_use]
+    pub fn new(config: MemConfig) -> Self {
+        let sense_amp = config
+            .technology
+            .kind()
+            .is_resistive()
+            .then(|| CurrentSenseAmp::new(&config.technology));
+        let max_or_fan_in = sense_amp.as_ref().map_or(1, CurrentSenseAmp::max_or_fan_in);
+        MainMemory {
+            config,
+            sense_amp,
+            max_or_fan_in,
+            rows: HashMap::new(),
+            wear: HashMap::new(),
+            open_rows: HashMap::new(),
+            mode: PimConfig::Off,
+            stats: MemStats::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// The configuration this memory was built with.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// The geometry (shorthand for `config().geometry`).
+    #[must_use]
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.config.geometry
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (not the contents) and returns the old tally.
+    pub fn take_stats(&mut self) -> MemStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The recorded command trace (empty unless `record_trace` is set).
+    #[must_use]
+    pub fn trace(&self) -> &[MemCommand] {
+        &self.trace
+    }
+
+    /// The current PIM mode-register value.
+    #[must_use]
+    pub fn pim_config(&self) -> PimConfig {
+        self.mode
+    }
+
+    /// Largest OR fan-in this memory's SAs support (1 for DRAM). The
+    /// margin analysis is static per technology, so the value is computed
+    /// once at construction.
+    #[must_use]
+    pub fn max_or_fan_in(&self) -> usize {
+        self.max_or_fan_in
+    }
+
+    /// Sets the PIM mode register, charging a mode-register-set command.
+    /// Setting the already-current mode is free (the driver library caches
+    /// the MR value, §5).
+    pub fn set_pim_config(&mut self, cfg: PimConfig) {
+        if cfg == self.mode {
+            return;
+        }
+        self.mode = cfg;
+        self.stats.time_ns += self.config.timing.t_mrs_ns;
+        self.stats.events.mode_sets += 1;
+        self.record(MemCommand::ModeRegisterSet(cfg));
+    }
+
+    /// Direct (zero-cost) view of a row's contents — for assertions and
+    /// result extraction, not for modelling traffic.
+    #[must_use]
+    pub fn peek_row(&self, addr: RowAddr) -> Option<&RowData> {
+        self.rows.get(&addr.subarray_id())?.get(&addr.row)
+    }
+
+    /// Direct (zero-cost) store into a row — for test setup / workload
+    /// initialization where the loading traffic is not part of the
+    /// measured experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] for invalid addresses and
+    /// [`MemError::ColsExceedRow`] if `data` is wider than a row.
+    pub fn poke_row(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
+        self.validate_addr(addr)?;
+        self.validate_cols(data.len_bits())?;
+        self.store(addr, data);
+        Ok(())
+    }
+
+    /// Multi-row activation followed by sensing under `mode`, producing
+    /// the first `cols` bits of the combined row (paper §4.1,
+    /// intra-subarray operations).
+    ///
+    /// All rows must belong to one subarray. The command charges one
+    /// multi-activate (tRCD + command-rate extra activations), the
+    /// necessary sense passes through the SA mux, and a precharge.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::AddressOutOfRange`] / [`MemError::SubarrayMismatch`] /
+    ///   [`MemError::ColsExceedRow`] / [`MemError::EmptyOperation`] on
+    ///   geometry violations;
+    /// * [`MemError::Nvm`] when the fan-in exceeds the SA margin or the
+    ///   LWL latch capacity, or when this memory is DRAM (no current SA).
+    pub fn multi_activate_sense(
+        &mut self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+    ) -> Result<RowData, MemError> {
+        self.validate_cols_nonzero(cols)?;
+        self.require_sense_amp()?;
+        // Fan-in check against the cached margin-analysis result (the
+        // analysis itself is static per technology).
+        if let SenseMode::Or { fan_in } = mode {
+            if fan_in > self.max_or_fan_in {
+                return Err(MemError::Nvm(pinatubo_nvm::NvmError::FanInExceeded {
+                    requested: fan_in,
+                    supported: self.max_or_fan_in,
+                }));
+            }
+        }
+        if operands.len() != mode.fan_in() {
+            // A mismatch between open rows and reference configuration is a
+            // driver bug; surface it as a degenerate fan-in.
+            return Err(MemError::Nvm(pinatubo_nvm::NvmError::DegenerateFanIn));
+        }
+        let (&first, rest) = operands
+            .split_first()
+            .ok_or(MemError::Nvm(pinatubo_nvm::NvmError::DegenerateFanIn))?;
+        self.validate_addr(first)?;
+        for &other in rest {
+            self.validate_addr(other)?;
+            if !first.same_subarray(&other) {
+                return Err(MemError::SubarrayMismatch { first, other });
+            }
+        }
+
+        // Exercise the LWL latch protocol (Fig. 7): RESET, then accumulate.
+        let mut lwl = LwlDriverBank::new(self.max_or_fan_in().max(2));
+        lwl.reset();
+        for op in operands {
+            lwl.latch(op.row as usize)?;
+        }
+
+        // Functional combine, word-wise over the open rows.
+        let mut out = self.load(first, cols);
+        for &other in rest {
+            let row = self.load(other, cols);
+            match mode {
+                SenseMode::Read => {}
+                SenseMode::Or { .. } => out.or_assign(&row),
+                SenseMode::And => out.and_assign(&row),
+            }
+        }
+
+        // Accounting.
+        let g = &self.config.geometry;
+        let passes = g.sense_passes(cols);
+        let row_bits = g.logical_row_bits();
+        let t = &self.config.timing;
+        let e = &self.config.energy;
+        let subarray = first.subarray_id();
+        let single = operands.len() == 1;
+        let page_hit =
+            self.config.open_page && single && self.open_rows.get(&subarray) == Some(&first.row);
+        if page_hit {
+            // Row-buffer hit: the row is already on the sense amplifiers;
+            // only the column accesses are paid.
+            self.stats.time_ns += passes as f64 * t.t_cl_ns;
+            self.stats.energy.sense_pj += e.sense_pj(cols);
+            self.stats.events.row_buffer_hits += 1;
+            self.stats.events.sense_passes += passes;
+        } else {
+            if self.config.open_page && self.open_rows.remove(&subarray).is_some() {
+                // Close the previously open row first.
+                self.stats.time_ns += t.t_rp_ns;
+                self.stats.energy.precharge_pj += e.precharge_pj(row_bits);
+                self.stats.events.precharges += 1;
+            }
+            self.stats.time_ns += t.multi_activate_ns(operands.len()) + passes as f64 * t.t_cl_ns;
+            self.stats.energy.activate_pj += e.activate_pj(operands.len(), row_bits);
+            self.stats.energy.sense_pj += e.sense_pj(cols);
+            if single {
+                self.stats.events.activates += 1;
+            } else {
+                self.stats.events.multi_activates += 1;
+            }
+            self.stats.events.rows_activated += operands.len() as u64;
+            self.stats.events.sense_passes += passes;
+            if self.config.open_page && single {
+                // Leave the page open for a possible hit.
+                self.open_rows.insert(subarray, first.row);
+            } else {
+                // Closed-page policy, and multi-row PIM activations always
+                // precharge so the next reference configuration starts
+                // clean.
+                self.stats.time_ns += t.t_rp_ns;
+                self.stats.energy.precharge_pj += e.precharge_pj(row_bits);
+                self.stats.events.precharges += 1;
+            }
+        }
+        if self.config.record_trace {
+            self.record(MemCommand::MultiActivate(operands.to_vec()));
+            self.record(MemCommand::SensePass { mode, bits: cols });
+            self.record(MemCommand::Precharge(first));
+        }
+        Ok(out)
+    }
+
+    /// Reads the first `cols` bits of one row into the subarray's SA latch
+    /// (a plain activate + sense, no data movement beyond the mats).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MainMemory::multi_activate_sense`].
+    pub fn activate_read(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
+        self.multi_activate_sense(std::slice::from_ref(&addr), SenseMode::Read, cols)
+    }
+
+    /// Reads a row and moves it over the global data lines into the bank's
+    /// global row buffer (first half of an inter-subarray operation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MainMemory::activate_read`].
+    pub fn read_row_to_buffer(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
+        let data = self.activate_read(addr, cols)?;
+        self.charge_gdl(cols);
+        Ok(data)
+    }
+
+    /// Reads a row into the chip I/O buffer: one GDL hop to the bank's
+    /// global row buffer plus a second hop to the I/O buffer (the
+    /// inter-bank operand path of Fig. 3a).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MainMemory::activate_read`].
+    pub fn read_row_to_io_buffer(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
+        let data = self.read_row_to_buffer(addr, cols)?;
+        self.charge_gdl(cols);
+        Ok(data)
+    }
+
+    /// Writes a row from the chip I/O buffer (two GDL hops + array write).
+    ///
+    /// # Errors
+    ///
+    /// Returns address/width errors as in [`MainMemory::poke_row`].
+    pub fn write_row_from_io_buffer(
+        &mut self,
+        addr: RowAddr,
+        data: &RowData,
+    ) -> Result<(), MemError> {
+        self.validate_addr(addr)?;
+        self.validate_cols_nonzero(data.len_bits())?;
+        self.charge_gdl(data.len_bits());
+        self.write_row_from_buffer(addr, data)
+    }
+
+    /// Reads a row all the way over the DDR bus (conventional read used by
+    /// processor-centric execution).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MainMemory::activate_read`].
+    pub fn read_row_over_bus(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
+        let data = self.read_row_to_buffer(addr, cols)?;
+        self.charge_bus(cols);
+        Ok(data)
+    }
+
+    /// Charges the export of an operation result from the sense amplifiers
+    /// to the host (GDL + DDR bus), without touching functional state —
+    /// the cost a design *without* the Fig. 8a write-driver modification
+    /// pays before it can write a result back conventionally.
+    pub fn charge_result_export(&mut self, cols: u64) {
+        self.charge_gdl(cols);
+        self.charge_bus(cols);
+    }
+
+    /// Writes a row through the local write drivers, fed directly from the
+    /// SA output (the in-place update path of Fig. 8a). No GDL or bus
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns address/width errors as in [`MainMemory::poke_row`].
+    pub fn write_row_local(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
+        self.validate_addr(addr)?;
+        self.validate_cols_nonzero(data.len_bits())?;
+        self.store(addr, data);
+        self.charge_write(addr, data.len_bits(), true);
+        Ok(())
+    }
+
+    /// Writes a row from the bank's global row buffer (GDL transfer + array
+    /// write) — the tail of an inter-subarray/inter-bank operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns address/width errors as in [`MainMemory::poke_row`].
+    pub fn write_row_from_buffer(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
+        self.validate_addr(addr)?;
+        self.validate_cols_nonzero(data.len_bits())?;
+        self.store(addr, data);
+        self.charge_gdl(data.len_bits());
+        self.charge_write(addr, data.len_bits(), false);
+        Ok(())
+    }
+
+    /// Writes a row arriving over the DDR bus (conventional write).
+    ///
+    /// # Errors
+    ///
+    /// Returns address/width errors as in [`MainMemory::poke_row`].
+    pub fn write_row_over_bus(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
+        self.validate_addr(addr)?;
+        self.validate_cols_nonzero(data.len_bits())?;
+        self.charge_bus(data.len_bits());
+        self.write_row_from_buffer(addr, data)
+    }
+
+    /// A digital bitwise pass in a global row / IO buffer (paper Fig. 8b):
+    /// combines `operand` into `acc` under `config`. Charges logic energy;
+    /// the data movement feeding the logic is charged by the surrounding
+    /// reads/writes, and the gates add no visible latency at GDL streaming
+    /// rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::EmptyOperation`] for zero-length operands, and
+    /// [`MemError::Nvm`] if `config` names a non-combining mode
+    /// ([`PimConfig::Off`] / [`PimConfig::Inv`]).
+    pub fn buffer_logic(
+        &mut self,
+        config: PimConfig,
+        acc: &mut RowData,
+        operand: &RowData,
+        cols: u64,
+    ) -> Result<(), MemError> {
+        self.validate_cols_nonzero(cols)?;
+        match config {
+            PimConfig::Or => acc.or_assign(operand),
+            PimConfig::And => acc.and_assign(operand),
+            PimConfig::Xor => acc.xor_assign(operand),
+            PimConfig::Off | PimConfig::Inv => {
+                return Err(MemError::Nvm(pinatubo_nvm::NvmError::DegenerateFanIn))
+            }
+        }
+        self.stats.energy.logic_pj += self.config.energy.logic_pj(cols);
+        self.stats.events.logic_passes += 1;
+        if self.config.record_trace {
+            self.record(MemCommand::BufferLogic { bits: cols });
+        }
+        Ok(())
+    }
+
+    /// Write-wear summary over every charged row write (pokes are setup
+    /// and do not count).
+    #[must_use]
+    pub fn wear_report(&self) -> crate::stats::WearReport {
+        crate::stats::WearReport {
+            total_row_writes: self.wear.values().sum(),
+            rows_written: self.wear.len() as u64,
+            max_row_writes: self.wear.values().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Writes charged against one row so far.
+    #[must_use]
+    pub fn row_wear(&self, addr: RowAddr) -> u64 {
+        self.wear.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Rows whose charged write count has reached `write_limit` — the
+    /// candidates an endurance manager retires from the allocation pool.
+    #[must_use]
+    pub fn worn_rows(&self, write_limit: u64) -> Vec<RowAddr> {
+        let mut rows: Vec<RowAddr> = self
+            .wear
+            .iter()
+            .filter(|&(_, &writes)| writes >= write_limit)
+            .map(|(&addr, _)| addr)
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Inverts `data` through the SA's differential output while writing it
+    /// back (INV support, §4.2). Charges one logic-free sense-side pass —
+    /// the inversion is literally the other latch output, so only the
+    /// write is extra and the caller performs it separately.
+    #[must_use]
+    pub fn invert_in_sense_amp(&self, data: &RowData) -> RowData {
+        let mut out = data.clone();
+        out.invert();
+        out
+    }
+
+    // ---- internal helpers ----
+
+    fn require_sense_amp(&self) -> Result<&CurrentSenseAmp, MemError> {
+        self.sense_amp
+            .as_ref()
+            .ok_or(MemError::Nvm(pinatubo_nvm::NvmError::FanInExceeded {
+                requested: 2,
+                supported: 1,
+            }))
+    }
+
+    fn validate_addr(&self, addr: RowAddr) -> Result<(), MemError> {
+        if addr.is_valid(&self.config.geometry) {
+            Ok(())
+        } else {
+            Err(MemError::AddressOutOfRange { addr })
+        }
+    }
+
+    fn validate_cols(&self, cols: u64) -> Result<(), MemError> {
+        let row_bits = self.config.geometry.logical_row_bits();
+        if cols > row_bits {
+            Err(MemError::ColsExceedRow { cols, row_bits })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn validate_cols_nonzero(&self, cols: u64) -> Result<(), MemError> {
+        if cols == 0 {
+            return Err(MemError::EmptyOperation);
+        }
+        self.validate_cols(cols)
+    }
+
+    /// Loads the first `cols` bits of a row (absent rows read as zeros —
+    /// the simulator's initial array state).
+    fn load(&self, addr: RowAddr, cols: u64) -> RowData {
+        match self.peek_row(addr) {
+            Some(row) => {
+                let mut out = row.clone();
+                out.resize(cols);
+                out
+            }
+            None => RowData::zeros(cols),
+        }
+    }
+
+    fn store(&mut self, addr: RowAddr, data: &RowData) {
+        // Rows are stored at their written length, not padded to the full
+        // 2^19-bit row: reads zero-extend (`load`), which keeps the host
+        // memory footprint proportional to the bits actually used.
+        self.rows
+            .entry(addr.subarray_id())
+            .or_default()
+            .insert(addr.row, data.clone());
+    }
+
+    fn charge_write(&mut self, addr: RowAddr, bits: u64, local: bool) {
+        self.stats.time_ns += self.config.timing.t_wr_ns;
+        self.stats.energy.write_pj += self.config.energy.write_pj(bits);
+        self.stats.events.row_writes += 1;
+        *self.wear.entry(addr).or_insert(0) += 1;
+        if self.config.record_trace {
+            self.record(MemCommand::WriteRow { addr, bits, local });
+        }
+    }
+
+    fn charge_gdl(&mut self, bits: u64) {
+        let cycles = self.config.geometry.gdl_cycles(bits);
+        self.stats.time_ns += cycles as f64 * self.config.timing.t_gdl_cycle_ns;
+        self.stats.energy.gdl_pj += self.config.energy.gdl_pj(bits);
+        self.stats.events.gdl_transfers += 1;
+        if self.config.record_trace {
+            self.record(MemCommand::GdlTransfer { bits });
+        }
+    }
+
+    fn charge_bus(&mut self, bits: u64) {
+        self.stats.time_ns += self.config.timing.bus_transfer_ns(bits);
+        self.stats.energy.bus_pj += self.config.energy.bus_pj(bits);
+        self.stats.events.bus_bursts += bits.div_ceil(self.config.timing.burst_bits());
+        self.stats.events.bus_bits += bits;
+        if self.config.record_trace {
+            self.record(MemCommand::BusBurst { bits });
+        }
+    }
+
+    fn record(&mut self, cmd: MemCommand) {
+        if self.config.record_trace {
+            self.trace.push(cmd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinatubo_nvm::NvmError;
+
+    fn mem() -> MainMemory {
+        MainMemory::new(MemConfig::pcm_default())
+    }
+
+    fn addr(subarray: u32, row: u32) -> RowAddr {
+        RowAddr::new(0, 0, 0, subarray, row)
+    }
+
+    #[test]
+    fn or_of_two_rows_is_functional() {
+        let mut m = mem();
+        m.poke_row(addr(0, 0), &RowData::from_bits(&[true, false, true, false]))
+            .expect("poke a");
+        m.poke_row(addr(0, 1), &RowData::from_bits(&[false, false, true, true]))
+            .expect("poke b");
+        let out = m
+            .multi_activate_sense(&[addr(0, 0), addr(0, 1)], SenseMode::or(2).expect("or2"), 4)
+            .expect("2-row OR");
+        assert_eq!(out.bits(4), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn and_of_two_rows_is_functional() {
+        let mut m = mem();
+        m.poke_row(addr(0, 0), &RowData::from_bits(&[true, true, false, false]))
+            .expect("poke a");
+        m.poke_row(addr(0, 1), &RowData::from_bits(&[true, false, true, false]))
+            .expect("poke b");
+        let out = m
+            .multi_activate_sense(
+                &[addr(0, 0), addr(0, 1)],
+                SenseMode::and(2).expect("and2"),
+                4,
+            )
+            .expect("2-row AND");
+        assert_eq!(out.bits(4), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn absent_rows_read_as_zeros() {
+        let mut m = mem();
+        let out = m.activate_read(addr(3, 77), 8).expect("read empty row");
+        assert_eq!(out.count_ones(), 0);
+    }
+
+    #[test]
+    fn multi_row_or_accumulates_128_rows() {
+        let mut m = mem();
+        let rows: Vec<RowAddr> = (0..128).map(|r| addr(0, r)).collect();
+        // One hot bit somewhere in the middle.
+        m.poke_row(addr(0, 64), &RowData::from_bits(&[false, true]))
+            .expect("poke");
+        let out = m
+            .multi_activate_sense(&rows, SenseMode::or(128).expect("or128"), 2)
+            .expect("128-row OR");
+        assert_eq!(out.bits(2), vec![false, true]);
+        assert_eq!(m.stats().events.rows_activated, 128);
+        assert_eq!(m.stats().events.multi_activates, 1);
+    }
+
+    #[test]
+    fn cross_subarray_activation_is_rejected() {
+        let mut m = mem();
+        let err = m
+            .multi_activate_sense(&[addr(0, 0), addr(1, 0)], SenseMode::or(2).expect("or2"), 4)
+            .expect_err("different subarrays cannot co-activate");
+        assert!(matches!(err, MemError::SubarrayMismatch { .. }));
+    }
+
+    #[test]
+    fn fan_in_beyond_margin_is_rejected() {
+        let mut m = mem();
+        let rows: Vec<RowAddr> = (0..129).map(|r| addr(0, r)).collect();
+        let err = m
+            .multi_activate_sense(&rows, SenseMode::Or { fan_in: 129 }, 4)
+            .expect_err("129-row OR exceeds PCM margin");
+        assert_eq!(
+            err,
+            MemError::Nvm(NvmError::FanInExceeded {
+                requested: 129,
+                supported: 128
+            })
+        );
+    }
+
+    #[test]
+    fn operand_count_must_match_mode() {
+        let mut m = mem();
+        let err = m
+            .multi_activate_sense(&[addr(0, 0)], SenseMode::or(2).expect("or2"), 4)
+            .expect_err("one operand under an OR-2 reference");
+        assert_eq!(err, MemError::Nvm(NvmError::DegenerateFanIn));
+    }
+
+    #[test]
+    fn dram_memory_cannot_multi_sense() {
+        let mut m = MainMemory::new(MemConfig::dram_default());
+        assert_eq!(m.max_or_fan_in(), 1);
+        let err = m
+            .multi_activate_sense(&[addr(0, 0), addr(0, 1)], SenseMode::or(2).expect("or2"), 4)
+            .expect_err("DRAM has no current SA");
+        assert!(matches!(err, MemError::Nvm(NvmError::FanInExceeded { .. })));
+    }
+
+    #[test]
+    fn timing_adds_up_for_multi_activate() {
+        let mut m = mem();
+        let rows: Vec<RowAddr> = (0..4).map(|r| addr(0, r)).collect();
+        let cols = m.geometry().bits_per_sense_pass(); // exactly one pass
+        m.multi_activate_sense(&rows, SenseMode::or(4).expect("or4"), cols)
+            .expect("4-row OR");
+        let t = TimingParams::pcm_ddr3_1600();
+        let expect = t.multi_activate_ns(4) + t.t_cl_ns + t.t_rp_ns;
+        assert!(
+            (m.stats().time_ns - expect).abs() < 1e-9,
+            "{}",
+            m.stats().time_ns
+        );
+        assert_eq!(m.stats().events.sense_passes, 1);
+    }
+
+    #[test]
+    fn sense_passes_scale_with_cols() {
+        let mut m = mem();
+        let per_pass = m.geometry().bits_per_sense_pass();
+        m.activate_read(addr(0, 0), per_pass * 3 + 1).expect("read");
+        assert_eq!(m.stats().events.sense_passes, 4);
+    }
+
+    #[test]
+    fn local_write_back_skips_gdl_and_bus() {
+        let mut m = mem();
+        let data = RowData::from_bits(&[true; 64]);
+        m.write_row_local(addr(0, 9), &data).expect("local write");
+        assert_eq!(m.stats().energy.gdl_pj, 0.0);
+        assert_eq!(m.stats().energy.bus_pj, 0.0);
+        assert!(m.stats().energy.write_pj > 0.0);
+        assert_eq!(
+            m.peek_row(addr(0, 9)).expect("stored").bits(2),
+            vec![true, true]
+        );
+    }
+
+    #[test]
+    fn bus_write_charges_every_stage() {
+        let mut m = mem();
+        let data = RowData::from_bits(&[true; 64]);
+        m.write_row_over_bus(addr(0, 9), &data).expect("bus write");
+        assert!(m.stats().energy.bus_pj > 0.0);
+        assert!(m.stats().energy.gdl_pj > 0.0);
+        assert!(m.stats().energy.write_pj > 0.0);
+        assert_eq!(m.stats().events.bus_bits, 64);
+    }
+
+    #[test]
+    fn bus_read_costs_more_time_than_buffer_read() {
+        let mut a = mem();
+        let mut b = mem();
+        let cols = 1 << 16;
+        a.read_row_over_bus(addr(0, 0), cols).expect("bus read");
+        b.read_row_to_buffer(addr(0, 0), cols).expect("buffer read");
+        assert!(a.stats().time_ns > b.stats().time_ns);
+    }
+
+    #[test]
+    fn buffer_logic_combines_and_charges() {
+        let mut m = mem();
+        let mut acc = RowData::from_bits(&[true, false, true]);
+        let op = RowData::from_bits(&[false, true, true]);
+        m.buffer_logic(PimConfig::Xor, &mut acc, &op, 3)
+            .expect("xor in buffer");
+        assert_eq!(acc.bits(3), vec![true, true, false]);
+        assert!(m.stats().energy.logic_pj > 0.0);
+        assert_eq!(m.stats().events.logic_passes, 1);
+
+        let err = m
+            .buffer_logic(PimConfig::Off, &mut acc, &op, 3)
+            .expect_err("OFF is not a combining mode");
+        assert!(matches!(err, MemError::Nvm(_)));
+    }
+
+    #[test]
+    fn mode_register_set_is_cached() {
+        let mut m = mem();
+        m.set_pim_config(PimConfig::Or);
+        m.set_pim_config(PimConfig::Or);
+        assert_eq!(m.stats().events.mode_sets, 1);
+        m.set_pim_config(PimConfig::And);
+        assert_eq!(m.stats().events.mode_sets, 2);
+    }
+
+    #[test]
+    fn trace_records_commands_when_enabled() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.record_trace = true;
+        let mut m = MainMemory::new(cfg);
+        m.set_pim_config(PimConfig::Or);
+        m.multi_activate_sense(&[addr(0, 0), addr(0, 1)], SenseMode::or(2).expect("or2"), 4)
+            .expect("2-row OR");
+        let kinds: Vec<String> = m.trace().iter().map(ToString::to_string).collect();
+        assert_eq!(kinds[0], "MRS OR");
+        assert!(kinds[1].starts_with("MACT x2"));
+        assert!(kinds[2].starts_with("SENSE OR-2"));
+        assert!(kinds[3].starts_with("PRE"));
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let mut m = mem();
+        m.activate_read(addr(0, 0), 8).expect("read");
+        let taken = m.take_stats();
+        assert!(taken.time_ns > 0.0);
+        assert_eq!(m.stats().time_ns, 0.0);
+    }
+
+    #[test]
+    fn invert_in_sense_amp_is_differential() {
+        let m = mem();
+        let data = RowData::from_bits(&[true, false, true]);
+        let inv = m.invert_in_sense_amp(&data);
+        assert_eq!(inv.bits(3), vec![false, true, false]);
+    }
+
+    #[test]
+    fn open_page_hits_skip_activation() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.open_page = true;
+        let mut m = MainMemory::new(cfg);
+
+        m.activate_read(addr(0, 5), 64)
+            .expect("first read opens the page");
+        let after_open = m.stats().time_ns;
+        m.activate_read(addr(0, 5), 64).expect("second read hits");
+        let hit_cost = m.stats().time_ns - after_open;
+        assert!(
+            (hit_cost - TimingParams::pcm_ddr3_1600().t_cl_ns).abs() < 1e-9,
+            "a hit pays one column access, got {hit_cost}"
+        );
+        assert_eq!(m.stats().events.row_buffer_hits, 1);
+        assert_eq!(m.stats().events.activates, 1, "no second activation");
+
+        // A different row in the same subarray closes and reopens.
+        m.activate_read(addr(0, 6), 64).expect("conflict read");
+        assert_eq!(m.stats().events.precharges, 1);
+        assert_eq!(m.stats().events.activates, 2);
+
+        // Multi-row PIM activation closes the page.
+        m.multi_activate_sense(&[addr(0, 1), addr(0, 2)], SenseMode::or(2).expect("or2"), 4)
+            .expect("pim op");
+        m.activate_read(addr(0, 6), 64).expect("read after pim op");
+        assert_eq!(
+            m.stats().events.row_buffer_hits,
+            1,
+            "the PIM op closed the page, so no further hit yet"
+        );
+    }
+
+    #[test]
+    fn closed_page_policy_never_hits() {
+        let mut m = mem();
+        m.activate_read(addr(0, 5), 64).expect("first");
+        m.activate_read(addr(0, 5), 64).expect("second");
+        assert_eq!(m.stats().events.row_buffer_hits, 0);
+        assert_eq!(m.stats().events.precharges, 2);
+    }
+
+    #[test]
+    fn wear_tracks_charged_writes_only() {
+        let mut m = mem();
+        let data = RowData::from_bits(&[true; 8]);
+        // Pokes are setup: no wear.
+        m.poke_row(addr(0, 1), &data).expect("poke");
+        assert_eq!(m.wear_report().total_row_writes, 0);
+
+        m.write_row_local(addr(0, 1), &data).expect("write 1");
+        m.write_row_local(addr(0, 1), &data).expect("write 2");
+        m.write_row_local(addr(0, 2), &data).expect("write 3");
+        let report = m.wear_report();
+        assert_eq!(report.total_row_writes, 3);
+        assert_eq!(report.rows_written, 2);
+        assert_eq!(report.max_row_writes, 2);
+        assert!((report.imbalance() - 2.0 / 1.5).abs() < 1e-12);
+        assert_eq!(m.row_wear(addr(0, 1)), 2);
+        assert_eq!(m.row_wear(addr(0, 9)), 0);
+    }
+
+    #[test]
+    fn invalid_addresses_are_rejected_everywhere() {
+        let mut m = mem();
+        let bad = RowAddr::new(99, 0, 0, 0, 0);
+        let data = RowData::from_bits(&[true]);
+        assert!(matches!(
+            m.poke_row(bad, &data),
+            Err(MemError::AddressOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.write_row_local(bad, &data),
+            Err(MemError::AddressOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.activate_read(bad, 1),
+            Err(MemError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_cols_is_rejected() {
+        let mut m = mem();
+        assert_eq!(
+            m.activate_read(addr(0, 0), 0).expect_err("zero columns"),
+            MemError::EmptyOperation
+        );
+    }
+
+    #[test]
+    fn cols_beyond_row_is_rejected() {
+        let mut m = mem();
+        let row_bits = m.geometry().logical_row_bits();
+        assert!(matches!(
+            m.activate_read(addr(0, 0), row_bits + 1),
+            Err(MemError::ColsExceedRow { .. })
+        ));
+    }
+}

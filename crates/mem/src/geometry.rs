@@ -1,0 +1,201 @@
+//! Physical/logical memory organization (paper Fig. 3).
+//!
+//! The simulator works at the *rank* level: the 8 chips of a rank operate
+//! in lock-step, so one "logical row" is the concatenation of the same row
+//! in every chip. With the default PCM geometry a logical row holds
+//! 2^19 bits and is sensed by 2^14 SAs (mux ratio 32) — exactly the two
+//! turning points of paper Fig. 9.
+
+/// The shape of the memory system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemGeometry {
+    /// Independent channels.
+    pub channels: u32,
+    /// Ranks per channel (share the channel's address/data bus).
+    pub ranks_per_channel: u32,
+    /// Chips per rank, operating in lock-step.
+    pub chips_per_rank: u32,
+    /// Banks per chip.
+    pub banks_per_chip: u32,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: u32,
+    /// Mats per subarray (lock-step within the subarray).
+    pub mats_per_subarray: u32,
+    /// Rows per subarray.
+    pub rows_per_subarray: u32,
+    /// Columns (cells on one row) per mat.
+    pub cols_per_mat: u32,
+    /// Adjacent columns sharing one SA through the column mux (§2: NVM SAs
+    /// are large, so 32 columns share one in our experiments).
+    pub sa_mux_ratio: u32,
+    /// Width of the global data lines between a subarray and the global
+    /// row buffer, per rank.
+    pub gdl_width_bits: u32,
+}
+
+impl MemGeometry {
+    /// The paper's PCM main memory: 4 channels × 2 ranks × 8 chips,
+    /// 8 banks/chip, 16 subarrays/bank, 16 mats of 4096×1024 cells,
+    /// mux ratio 32, 512-bit GDL.
+    ///
+    /// Derived values: logical row = 2^19 bits, 2^14 SAs per logical row,
+    /// 1 GB per chip / 8 GB per rank.
+    #[must_use]
+    pub fn pcm_default() -> Self {
+        MemGeometry {
+            channels: 4,
+            ranks_per_channel: 2,
+            chips_per_rank: 8,
+            banks_per_chip: 8,
+            subarrays_per_bank: 16,
+            mats_per_subarray: 16,
+            rows_per_subarray: 1024,
+            cols_per_mat: 4096,
+            sa_mux_ratio: 32,
+            gdl_width_bits: 512,
+        }
+    }
+
+    /// Bits of one row within a single chip.
+    #[must_use]
+    pub fn row_bits_per_chip(&self) -> u64 {
+        u64::from(self.mats_per_subarray) * u64::from(self.cols_per_mat)
+    }
+
+    /// Bits of one logical (rank-wide, lock-step) row.
+    #[must_use]
+    pub fn logical_row_bits(&self) -> u64 {
+        self.row_bits_per_chip() * u64::from(self.chips_per_rank)
+    }
+
+    /// Sense amplifiers serving one logical row (columns / mux ratio).
+    #[must_use]
+    pub fn sas_per_logical_row(&self) -> u64 {
+        self.logical_row_bits() / u64::from(self.sa_mux_ratio)
+    }
+
+    /// Bits delivered by one sense pass (one column-select setting across
+    /// all SAs of the logical row).
+    #[must_use]
+    pub fn bits_per_sense_pass(&self) -> u64 {
+        self.sas_per_logical_row()
+    }
+
+    /// Sense passes needed to produce `cols` result bits (at most the mux
+    /// ratio — after that the whole row has been sensed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero or exceeds the logical row.
+    #[must_use]
+    pub fn sense_passes(&self, cols: u64) -> u64 {
+        assert!(cols > 0, "sense of zero columns is meaningless");
+        assert!(
+            cols <= self.logical_row_bits(),
+            "sense of {cols} columns exceeds the {}-bit row",
+            self.logical_row_bits()
+        );
+        cols.div_ceil(self.bits_per_sense_pass())
+    }
+
+    /// GDL transfer cycles to move `cols` bits between a subarray and the
+    /// global row buffer.
+    #[must_use]
+    pub fn gdl_cycles(&self, cols: u64) -> u64 {
+        cols.div_ceil(u64::from(self.gdl_width_bits))
+    }
+
+    /// Total logical rows in the system.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.ranks_per_channel)
+            * u64::from(self.banks_per_chip)
+            * u64::from(self.subarrays_per_bank)
+            * u64::from(self.rows_per_subarray)
+    }
+
+    /// Total capacity in bits.
+    #[must_use]
+    pub fn capacity_bits(&self) -> u64 {
+        self.total_rows() * self.logical_row_bits()
+    }
+
+    /// Subarrays in the whole system (each with its own SA/WD strip and
+    /// LWL latch bank).
+    #[must_use]
+    pub fn total_subarrays(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.ranks_per_channel)
+            * u64::from(self.banks_per_chip)
+            * u64::from(self.subarrays_per_bank)
+    }
+}
+
+impl Default for MemGeometry {
+    fn default() -> Self {
+        MemGeometry::pcm_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_fig9_turning_points() {
+        let g = MemGeometry::pcm_default();
+        // Turning point B: one logical row holds 2^19 bits.
+        assert_eq!(g.logical_row_bits(), 1 << 19);
+        // Turning point A: 2^14 bits per sense pass.
+        assert_eq!(g.bits_per_sense_pass(), 1 << 14);
+    }
+
+    #[test]
+    fn default_chip_is_one_gigabyte() {
+        let g = MemGeometry::pcm_default();
+        let chip_bits = u64::from(g.banks_per_chip)
+            * u64::from(g.subarrays_per_bank)
+            * u64::from(g.rows_per_subarray)
+            * g.row_bits_per_chip();
+        assert_eq!(chip_bits, 8 << 30); // 8 Gb = 1 GB
+    }
+
+    #[test]
+    fn sense_passes_round_up_and_cap_at_mux_ratio() {
+        let g = MemGeometry::pcm_default();
+        assert_eq!(g.sense_passes(1), 1);
+        assert_eq!(g.sense_passes(1 << 14), 1);
+        assert_eq!(g.sense_passes((1 << 14) + 1), 2);
+        assert_eq!(
+            g.sense_passes(g.logical_row_bits()),
+            u64::from(g.sa_mux_ratio)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn sense_beyond_row_panics() {
+        let g = MemGeometry::pcm_default();
+        let _ = g.sense_passes(g.logical_row_bits() + 1);
+    }
+
+    #[test]
+    fn gdl_cycles_round_up() {
+        let g = MemGeometry::pcm_default();
+        assert_eq!(g.gdl_cycles(1), 1);
+        assert_eq!(g.gdl_cycles(512), 1);
+        assert_eq!(g.gdl_cycles(513), 2);
+        assert_eq!(g.gdl_cycles(1 << 19), 1024);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let g = MemGeometry::pcm_default();
+        assert_eq!(g.capacity_bits(), g.total_rows() * g.logical_row_bits());
+        assert_eq!(
+            g.total_rows(),
+            g.total_subarrays() * u64::from(g.rows_per_subarray)
+        );
+    }
+}

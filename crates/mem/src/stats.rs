@@ -1,0 +1,237 @@
+//! Time/energy/event accounting.
+//!
+//! Every command the controller executes deposits its cost here. The
+//! figure harnesses read these tallies to compute throughput, speedup and
+//! energy-saving ratios.
+
+use std::ops::{Add, AddAssign};
+
+/// Energy spent, broken down by physical mechanism (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Row activation (word lines + cell currents).
+    pub activate_pj: f64,
+    /// Analog sensing in the SAs.
+    pub sense_pj: f64,
+    /// Array writes.
+    pub write_pj: f64,
+    /// Off-chip DDR bus.
+    pub bus_pj: f64,
+    /// Chip-internal global data lines.
+    pub gdl_pj: f64,
+    /// Digital buffer logic (inter-subarray / inter-bank / AC-PIM).
+    pub logic_pj: f64,
+    /// Bit-line precharge.
+    pub precharge_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across all mechanisms.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.activate_pj
+            + self.sense_pj
+            + self.write_pj
+            + self.bus_pj
+            + self.gdl_pj
+            + self.logic_pj
+            + self.precharge_pj
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            activate_pj: self.activate_pj + rhs.activate_pj,
+            sense_pj: self.sense_pj + rhs.sense_pj,
+            write_pj: self.write_pj + rhs.write_pj,
+            bus_pj: self.bus_pj + rhs.bus_pj,
+            gdl_pj: self.gdl_pj + rhs.gdl_pj,
+            logic_pj: self.logic_pj + rhs.logic_pj,
+            precharge_pj: self.precharge_pj + rhs.precharge_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// Event counters, for sanity checks and command traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounters {
+    /// Single-row activations issued.
+    pub activates: u64,
+    /// Multi-row activations issued (one per group).
+    pub multi_activates: u64,
+    /// Total rows opened (by either kind of activation).
+    pub rows_activated: u64,
+    /// Sense passes through the SA mux.
+    pub sense_passes: u64,
+    /// Row writes.
+    pub row_writes: u64,
+    /// DDR bus bursts.
+    pub bus_bursts: u64,
+    /// Bits moved over the DDR bus.
+    pub bus_bits: u64,
+    /// GDL transfers (row ↔ global buffer).
+    pub gdl_transfers: u64,
+    /// Digital buffer-logic passes.
+    pub logic_passes: u64,
+    /// Mode-register sets (PIM reconfiguration).
+    pub mode_sets: u64,
+    /// Precharges.
+    pub precharges: u64,
+    /// Row-buffer hits (open-page policy only).
+    pub row_buffer_hits: u64,
+}
+
+impl Add for EventCounters {
+    type Output = EventCounters;
+    fn add(self, rhs: EventCounters) -> EventCounters {
+        EventCounters {
+            activates: self.activates + rhs.activates,
+            multi_activates: self.multi_activates + rhs.multi_activates,
+            rows_activated: self.rows_activated + rhs.rows_activated,
+            sense_passes: self.sense_passes + rhs.sense_passes,
+            row_writes: self.row_writes + rhs.row_writes,
+            bus_bursts: self.bus_bursts + rhs.bus_bursts,
+            bus_bits: self.bus_bits + rhs.bus_bits,
+            gdl_transfers: self.gdl_transfers + rhs.gdl_transfers,
+            logic_passes: self.logic_passes + rhs.logic_passes,
+            mode_sets: self.mode_sets + rhs.mode_sets,
+            precharges: self.precharges + rhs.precharges,
+            row_buffer_hits: self.row_buffer_hits + rhs.row_buffer_hits,
+        }
+    }
+}
+
+impl AddAssign for EventCounters {
+    fn add_assign(&mut self, rhs: EventCounters) {
+        *self = *self + rhs;
+    }
+}
+
+/// Per-row write-wear summary (NVM endurance is finite — PCM cells take
+/// ~10^8 writes — so the write concentration of accumulator patterns
+/// matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearReport {
+    /// Row writes across the whole memory.
+    pub total_row_writes: u64,
+    /// Distinct rows ever written.
+    pub rows_written: u64,
+    /// Writes to the most-written row.
+    pub max_row_writes: u64,
+}
+
+impl WearReport {
+    /// Ratio of the hottest row's writes to the mean over written rows —
+    /// 1.0 is perfectly level, large values mean concentrated wear.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.rows_written == 0 {
+            1.0
+        } else {
+            self.max_row_writes as f64 / (self.total_row_writes as f64 / self.rows_written as f64)
+        }
+    }
+}
+
+/// Aggregate statistics of one memory (or one executor run).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemStats {
+    /// Simulated time spent, in nanoseconds.
+    pub time_ns: f64,
+    /// Energy spent, by mechanism.
+    pub energy: EnergyBreakdown,
+    /// Event counts.
+    pub events: EventCounters,
+}
+
+impl MemStats {
+    /// An empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStats::default()
+    }
+
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+
+    /// Resets all tallies to zero.
+    pub fn reset(&mut self) {
+        *self = MemStats::default();
+    }
+}
+
+impl Add for MemStats {
+    type Output = MemStats;
+    fn add(self, rhs: MemStats) -> MemStats {
+        MemStats {
+            time_ns: self.time_ns + rhs.time_ns,
+            energy: self.energy + rhs.energy,
+            events: self.events + rhs.events,
+        }
+    }
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, rhs: MemStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_total_sums_components() {
+        let e = EnergyBreakdown {
+            activate_pj: 1.0,
+            sense_pj: 2.0,
+            write_pj: 3.0,
+            bus_pj: 4.0,
+            gdl_pj: 5.0,
+            logic_pj: 6.0,
+            precharge_pj: 7.0,
+        };
+        assert!((e.total_pj() - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_add_componentwise() {
+        let mut a = MemStats::new();
+        a.time_ns = 10.0;
+        a.energy.sense_pj = 5.0;
+        a.events.sense_passes = 3;
+        let mut b = MemStats::new();
+        b.time_ns = 2.5;
+        b.energy.sense_pj = 1.0;
+        b.events.sense_passes = 1;
+
+        let c = a + b;
+        assert!((c.time_ns - 12.5).abs() < 1e-12);
+        assert!((c.energy.sense_pj - 6.0).abs() < 1e-12);
+        assert_eq!(c.events.sense_passes, 4);
+
+        a += b;
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = MemStats::new();
+        s.time_ns = 1.0;
+        s.events.activates = 7;
+        s.reset();
+        assert_eq!(s, MemStats::default());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the memory-architecture layer.
+//!
+//! The crucial one is the *circuit cross-check*: the controller computes
+//! multi-row results word-wise for speed, and this suite pins that shortcut
+//! to the analog model — every column of a multi-row sense must equal what
+//! the `CurrentSenseAmp` would sense for that column's cells.
+
+use pinatubo_mem::{MainMemory, MemConfig, RowAddr, RowData};
+use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode};
+use proptest::prelude::*;
+
+fn addr(row: u32) -> RowAddr {
+    RowAddr::new(0, 0, 0, 0, row)
+}
+
+/// Strategy: `n` operand rows of `cols` bits each.
+fn operand_rows() -> impl Strategy<Value = (Vec<Vec<bool>>, bool)> {
+    (2usize..=8, 1usize..=96, any::<bool>()).prop_flat_map(|(n, cols, is_and)| {
+        let n = if is_and { 2 } else { n };
+        (
+            prop::collection::vec(prop::collection::vec(any::<bool>(), cols), n),
+            Just(is_and),
+        )
+    })
+}
+
+proptest! {
+    /// Word-wise multi-row combine in the controller matches per-column
+    /// analog sensing in the circuit model.
+    #[test]
+    fn controller_matches_circuit_sensing((rows, is_and) in operand_rows()) {
+        let mut mem = MainMemory::new(MemConfig::pcm_default());
+        let sa = CurrentSenseAmp::new(&pinatubo_nvm::technology::Technology::pcm());
+        let cols = rows[0].len() as u64;
+        let addrs: Vec<RowAddr> = (0..rows.len() as u32).map(addr).collect();
+        for (a, bits) in addrs.iter().zip(&rows) {
+            mem.poke_row(*a, &RowData::from_bits(bits)).expect("poke");
+        }
+        let mode = if is_and {
+            SenseMode::and(rows.len()).expect("binary AND")
+        } else {
+            SenseMode::or(rows.len()).expect("OR fan-in >= 2")
+        };
+        let out = mem.multi_activate_sense(&addrs, mode, cols).expect("sense");
+        for c in 0..cols {
+            let column: Vec<bool> = rows.iter().map(|r| r[c as usize]).collect();
+            let analog = sa.sense_bits(&column, is_and).expect("column sense");
+            prop_assert_eq!(out.get(c), analog, "column {}", c);
+        }
+    }
+
+    /// Reading back what was written yields the same bits for any pattern
+    /// and any in-range row.
+    #[test]
+    fn write_read_round_trip(bits in prop::collection::vec(any::<bool>(), 1..256), row in 0u32..1024) {
+        let mut mem = MainMemory::new(MemConfig::pcm_default());
+        let data = RowData::from_bits(&bits);
+        mem.write_row_local(addr(row), &data).expect("write");
+        let back = mem.activate_read(addr(row), bits.len() as u64).expect("read");
+        prop_assert_eq!(back.bits(bits.len() as u64), bits);
+    }
+
+    /// Time and energy are monotone: doing strictly more work never costs
+    /// less.
+    #[test]
+    fn accounting_is_monotone(cols_small in 1u64..1000, extra in 1u64..100_000) {
+        let mut a = MainMemory::new(MemConfig::pcm_default());
+        let mut b = MainMemory::new(MemConfig::pcm_default());
+        a.activate_read(addr(0), cols_small).expect("small read");
+        b.activate_read(addr(0), cols_small + extra).expect("bigger read");
+        prop_assert!(b.stats().time_ns >= a.stats().time_ns);
+        prop_assert!(b.stats().total_energy_pj() >= a.stats().total_energy_pj());
+    }
+
+    /// Linear row indices round-trip through RowAddr for arbitrary indices.
+    #[test]
+    fn address_round_trip(idx in 0u64..1_000_000) {
+        let g = pinatubo_mem::MemGeometry::pcm_default();
+        let idx = idx % g.total_rows();
+        let a = RowAddr::from_linear(&g, idx);
+        prop_assert!(a.is_valid(&g));
+        prop_assert_eq!(a.to_linear(&g), idx);
+    }
+
+    /// A multi-activation is always cheaper in time than the serial
+    /// activations it replaces.
+    #[test]
+    fn multi_activation_beats_serial(n in 2usize..=128) {
+        let mut multi = MainMemory::new(MemConfig::pcm_default());
+        let rows: Vec<RowAddr> = (0..n as u32).map(addr).collect();
+        multi
+            .multi_activate_sense(&rows, SenseMode::or(n).expect("or"), 64)
+            .expect("multi");
+
+        let mut serial = MainMemory::new(MemConfig::pcm_default());
+        for r in &rows {
+            serial.activate_read(*r, 64).expect("serial read");
+        }
+        prop_assert!(multi.stats().time_ns < serial.stats().time_ns);
+    }
+}

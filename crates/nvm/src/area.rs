@@ -1,0 +1,174 @@
+//! Silicon-area overhead model (paper Fig. 13).
+//!
+//! Pinatubo's area cost is a handful of analog add-ons: two extra reference
+//! branches per SA (AND/OR), a capacitor and two transistors per SA (XOR),
+//! a latch + reset transistor per LWL driver, and digital bitwise logic at
+//! each bank's global row buffer (inter-subarray ops) and at the chip I/O
+//! buffer (inter-bank ops). AC-PIM instead puts a digital compute datapath
+//! at every SA column, which is what makes it an order of magnitude more
+//! expensive.
+//!
+//! Per-site areas below are synthesis-calibrated constants (65 nm, playing
+//! the role of the paper's synthesis-tool numbers); the site *counts* come
+//! from the chip geometry, so the overhead responds to geometry ablations.
+
+/// Square micrometres.
+pub type SquareMicrons = f64;
+
+/// Geometry-derived site counts plus calibrated per-site areas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    /// Total chip area (array + periphery).
+    pub chip_area_um2: SquareMicrons,
+    /// Sense amplifiers on the chip (columns / mux ratio).
+    pub sa_count: u64,
+    /// Local word-line drivers on the chip (rows × subarrays).
+    pub lwl_driver_count: u64,
+    /// Banks per chip.
+    pub bank_count: u64,
+    /// Added AND/OR reference branches, per SA.
+    pub and_or_um2_per_sa: SquareMicrons,
+    /// Added XOR capacitor + transistors, per SA.
+    pub xor_um2_per_sa: SquareMicrons,
+    /// Added latch + reset transistor, per LWL driver.
+    pub wl_act_um2_per_driver: SquareMicrons,
+    /// Added bitwise logic at one bank's global row buffer.
+    pub inter_sub_um2_per_bank: SquareMicrons,
+    /// Added bitwise logic at the chip I/O buffer.
+    pub inter_bank_um2_per_chip: SquareMicrons,
+    /// AC-PIM's per-SA digital compute datapath (for the comparison bar).
+    pub acpim_logic_um2_per_sa: SquareMicrons,
+}
+
+impl AreaModel {
+    /// A 1 Gb, 65 nm 1T1R PCM chip: 45 mm² with 32 Ki SAs (mux ratio 32),
+    /// 16 Ki LWL drivers and 8 banks.
+    #[must_use]
+    pub fn pcm_65nm() -> Self {
+        AreaModel {
+            chip_area_um2: 45.0e6,
+            sa_count: 32 * 1024,
+            lwl_driver_count: 16 * 1024,
+            bank_count: 8,
+            and_or_um2_per_sa: 0.27,
+            xor_um2_per_sa: 0.82,
+            wl_act_um2_per_driver: 1.37,
+            inter_sub_um2_per_bank: 40_500.0,
+            inter_bank_um2_per_chip: 40_500.0,
+            acpim_logic_um2_per_sa: 76.8,
+        }
+    }
+
+    /// Pinatubo's overhead broken down by component, as percentages of the
+    /// chip area (the Fig. 13 pie).
+    #[must_use]
+    pub fn pinatubo_breakdown(&self) -> AreaBreakdown {
+        let pct = |um2: SquareMicrons| 100.0 * um2 / self.chip_area_um2;
+        AreaBreakdown {
+            and_or_pct: pct(self.and_or_um2_per_sa * self.sa_count as f64),
+            xor_pct: pct(self.xor_um2_per_sa * self.sa_count as f64),
+            wl_activation_pct: pct(self.wl_act_um2_per_driver * self.lwl_driver_count as f64),
+            inter_subarray_pct: pct(self.inter_sub_um2_per_bank * self.bank_count as f64),
+            inter_bank_pct: pct(self.inter_bank_um2_per_chip),
+        }
+    }
+
+    /// Pinatubo's total overhead as a percentage of chip area (~0.9%).
+    #[must_use]
+    pub fn pinatubo_overhead_pct(&self) -> f64 {
+        self.pinatubo_breakdown().total_pct()
+    }
+
+    /// AC-PIM's overhead as a percentage of chip area (~6.4%): a digital
+    /// datapath at every SA column plus the same buffer logic.
+    #[must_use]
+    pub fn acpim_overhead_pct(&self) -> f64 {
+        let logic = self.acpim_logic_um2_per_sa * self.sa_count as f64;
+        let buffers =
+            self.inter_sub_um2_per_bank * self.bank_count as f64 + self.inter_bank_um2_per_chip;
+        100.0 * (logic + buffers) / self.chip_area_um2
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::pcm_65nm()
+    }
+}
+
+/// Pinatubo's area overhead by component, in percent of chip area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Extra AND/OR reference branches in the SAs.
+    pub and_or_pct: f64,
+    /// XOR capacitor + transistors in the SAs.
+    pub xor_pct: f64,
+    /// Multi-row activation latches in the LWL drivers.
+    pub wl_activation_pct: f64,
+    /// Bitwise logic at the banks' global row buffers.
+    pub inter_subarray_pct: f64,
+    /// Bitwise logic at the chip I/O buffer.
+    pub inter_bank_pct: f64,
+}
+
+impl AreaBreakdown {
+    /// Overhead of everything inside the subarrays (SA + LWL additions).
+    #[must_use]
+    pub fn intra_subarray_pct(&self) -> f64 {
+        self.and_or_pct + self.xor_pct + self.wl_activation_pct
+    }
+
+    /// Total overhead.
+    #[must_use]
+    pub fn total_pct(&self) -> f64 {
+        self.intra_subarray_pct() + self.inter_subarray_pct + self.inter_bank_pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn pinatubo_total_is_about_0_9_pct() {
+        let total = AreaModel::pcm_65nm().pinatubo_overhead_pct();
+        assert!(close(total, 0.9, 0.1), "got {total}");
+    }
+
+    #[test]
+    fn acpim_total_is_about_6_4_pct() {
+        let total = AreaModel::pcm_65nm().acpim_overhead_pct();
+        assert!(close(total, 6.4, 0.2), "got {total}");
+    }
+
+    #[test]
+    fn breakdown_matches_paper_components() {
+        // Paper Fig. 13 right: inter-sub 0.72%, inter-bank 0.09%,
+        // xor 0.06%, wl-act 0.05%, and/or 0.02%, intra-sub 0.13%.
+        let b = AreaModel::pcm_65nm().pinatubo_breakdown();
+        assert!(close(b.inter_subarray_pct, 0.72, 0.02), "{b:?}");
+        assert!(close(b.inter_bank_pct, 0.09, 0.01), "{b:?}");
+        assert!(close(b.xor_pct, 0.06, 0.01), "{b:?}");
+        assert!(close(b.wl_activation_pct, 0.05, 0.01), "{b:?}");
+        assert!(close(b.and_or_pct, 0.02, 0.005), "{b:?}");
+        assert!(close(b.intra_subarray_pct(), 0.13, 0.02), "{b:?}");
+    }
+
+    #[test]
+    fn acpim_is_much_more_expensive_than_pinatubo() {
+        let m = AreaModel::pcm_65nm();
+        assert!(m.acpim_overhead_pct() > 5.0 * m.pinatubo_overhead_pct());
+    }
+
+    #[test]
+    fn intra_subarray_is_dwarfed_by_buffer_logic() {
+        // Paper Fig. 13: "the majority area overhead are taken by
+        // inter-subarray/bank operations".
+        let b = AreaModel::pcm_65nm().pinatubo_breakdown();
+        assert!(b.inter_subarray_pct + b.inter_bank_pct > b.intra_subarray_pct());
+    }
+}

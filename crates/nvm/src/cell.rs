@@ -1,0 +1,130 @@
+//! A single 1T1R resistive memory cell.
+//!
+//! The cell is deliberately tiny: one stored bit plus helpers that map the
+//! bit to a resistance under a given [`Technology`]. The array layer
+//! (`pinatubo-mem`) stores bits in packed words for speed and only drops
+//! down to `Cell` where circuit behaviour matters (sense-margin Monte-Carlo
+//! tests, SA validation).
+
+use crate::resistance::{Ohms, ResistanceInterval};
+use crate::technology::Technology;
+use rand::Rng;
+
+/// One resistive memory cell holding a single bit.
+///
+/// Logic "1" is the low-resistance (SET) state, logic "0" the
+/// high-resistance (RESET) state — the encoding Pinatubo's multi-row OR
+/// depends on (paper §4.2).
+///
+/// # Example
+///
+/// ```
+/// use pinatubo_nvm::cell::Cell;
+/// use pinatubo_nvm::technology::Technology;
+///
+/// let tech = Technology::pcm();
+/// let mut cell = Cell::new(false);
+/// cell.write(true);
+/// assert_eq!(cell.bit(), true);
+/// assert_eq!(cell.resistance(&tech), tech.r_low());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cell {
+    bit: bool,
+}
+
+impl Cell {
+    /// Creates a cell holding `bit`.
+    #[must_use]
+    pub fn new(bit: bool) -> Self {
+        Cell { bit }
+    }
+
+    /// The stored bit.
+    #[must_use]
+    pub fn bit(self) -> bool {
+        self.bit
+    }
+
+    /// Writes a new bit (SET for `true`, RESET for `false`).
+    pub fn write(&mut self, bit: bool) {
+        self.bit = bit;
+    }
+
+    /// Nominal resistance of the cell under `tech`.
+    #[must_use]
+    pub fn resistance(self, tech: &Technology) -> Ohms {
+        tech.cell_resistance(self.bit)
+    }
+
+    /// Worst-case resistance interval of the cell under `tech`.
+    #[must_use]
+    pub fn resistance_interval(self, tech: &Technology) -> ResistanceInterval {
+        tech.cell_interval(self.bit)
+    }
+
+    /// Samples a concrete resistance inside the worst-case variation
+    /// interval, for Monte-Carlo validation of the sense margins.
+    ///
+    /// The sample is uniform over the interval: the margin analysis promises
+    /// correct sensing for *any* resistance in the interval, so a uniform
+    /// draw stresses the bounds harder than a bell-shaped one would.
+    #[must_use]
+    pub fn resistance_sampled<R: Rng + ?Sized>(self, tech: &Technology, rng: &mut R) -> Ohms {
+        let iv = self.resistance_interval(tech);
+        Ohms::new(rng.gen_range(iv.lo().get()..=iv.hi().get()))
+    }
+}
+
+impl From<bool> for Cell {
+    fn from(bit: bool) -> Cell {
+        Cell::new(bit)
+    }
+}
+
+impl From<Cell> for bool {
+    fn from(cell: Cell) -> bool {
+        cell.bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_cell_is_reset() {
+        assert!(!Cell::default().bit());
+    }
+
+    #[test]
+    fn write_flips_state_and_resistance() {
+        let tech = Technology::reram();
+        let mut c = Cell::new(false);
+        assert_eq!(c.resistance(&tech), tech.r_high());
+        c.write(true);
+        assert_eq!(c.resistance(&tech), tech.r_low());
+    }
+
+    #[test]
+    fn sampled_resistance_stays_in_interval() {
+        let tech = Technology::pcm();
+        let mut rng = StdRng::seed_from_u64(7);
+        for bit in [false, true] {
+            let cell = Cell::new(bit);
+            let iv = cell.resistance_interval(&tech);
+            for _ in 0..1000 {
+                let r = cell.resistance_sampled(&tech, &mut rng);
+                assert!(iv.lo() <= r && r <= iv.hi());
+            }
+        }
+    }
+
+    #[test]
+    fn bool_conversions_round_trip() {
+        assert!(bool::from(Cell::from(true)));
+        assert!(!bool::from(Cell::from(false)));
+    }
+}

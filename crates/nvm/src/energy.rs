@@ -1,0 +1,193 @@
+//! Command-level energy parameters.
+//!
+//! These play the role NVSim plays in the paper's methodology (§6.1): every
+//! architectural event is charged from this table. Absolute picojoules are
+//! calibrated (see `DESIGN.md` §3) so that the derived bitwise-operation
+//! energy ratios land in the paper's reported bands; all per-workload and
+//! per-configuration *spreads* then emerge from the simulator.
+//!
+//! The key physical distinction the paper leans on is preserved: Pinatubo's
+//! in-array compute pays only word-line switching, analog sensing and the
+//! (one-row) write-back, while a processor-centric execution pays array
+//! read + bus + cache hierarchy + core pipeline energy for every operand
+//! bit, in both directions.
+
+/// Picojoules, the energy unit used throughout the simulator.
+pub type Picojoules = f64;
+
+/// Energy parameters of one memory technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyParams {
+    /// Row activation energy per bit of the opened row (word-line switching
+    /// plus the cells' sub-threshold read-current share).
+    pub act_pj_per_bit: Picojoules,
+    /// Analog sensing energy per sensed bit (the CSA's three phases).
+    pub sense_pj_per_bit: Picojoules,
+    /// Array write energy per bit (SET/RESET average).
+    pub write_pj_per_bit: Picojoules,
+    /// Off-chip DDR bus + I/O pad energy per bit.
+    pub bus_pj_per_bit: Picojoules,
+    /// Global data line transfer inside the chip, per bit.
+    pub gdl_pj_per_bit: Picojoules,
+    /// Digital bitwise-logic energy per bit at a row/IO buffer (used by
+    /// inter-subarray/inter-bank ops and, pervasively, by AC-PIM).
+    pub logic_pj_per_bit: Picojoules,
+    /// Bit-line precharge per bit of the row.
+    pub precharge_pj_per_bit: Picojoules,
+    /// Standby (idle) power per stored bit, picowatts. DRAM pays refresh
+    /// plus retention leakage; non-volatile cells hold state for free —
+    /// the "ultra-low stand-by power" the paper's §1 credits NVM with.
+    pub standby_pw_per_bit: f64,
+}
+
+impl EnergyParams {
+    /// The paper's 1T1R PCM main memory.
+    #[must_use]
+    pub fn pcm() -> Self {
+        EnergyParams {
+            act_pj_per_bit: 0.01,
+            sense_pj_per_bit: 0.05,
+            write_pj_per_bit: 1.0,
+            bus_pj_per_bit: 15.0,
+            gdl_pj_per_bit: 1.0,
+            logic_pj_per_bit: 0.1,
+            precharge_pj_per_bit: 0.005,
+            standby_pw_per_bit: 0.15,
+        }
+    }
+
+    /// A 65 nm DDR3 DRAM (for the S-DRAM baseline). DRAM reads are
+    /// destructive, so activation includes the restore cost.
+    #[must_use]
+    pub fn dram() -> Self {
+        EnergyParams {
+            act_pj_per_bit: 0.10,
+            sense_pj_per_bit: 0.02,
+            write_pj_per_bit: 0.10,
+            bus_pj_per_bit: 15.0,
+            gdl_pj_per_bit: 0.5,
+            logic_pj_per_bit: 0.1,
+            precharge_pj_per_bit: 0.02,
+            standby_pw_per_bit: 14.6,
+        }
+    }
+
+    /// STT-MRAM: cheap, fast writes compared with PCM.
+    #[must_use]
+    pub fn stt_mram() -> Self {
+        EnergyParams {
+            write_pj_per_bit: 0.3,
+            ..EnergyParams::pcm()
+        }
+    }
+
+    /// ReRAM: write energy between STT-MRAM and PCM.
+    #[must_use]
+    pub fn reram() -> Self {
+        EnergyParams {
+            write_pj_per_bit: 0.6,
+            ..EnergyParams::pcm()
+        }
+    }
+
+    /// Energy to activate `rows` rows of `row_bits` bits each.
+    #[must_use]
+    pub fn activate_pj(&self, rows: usize, row_bits: u64) -> Picojoules {
+        rows as f64 * row_bits as f64 * self.act_pj_per_bit
+    }
+
+    /// Energy to sense `bits` bits once through the SAs.
+    #[must_use]
+    pub fn sense_pj(&self, bits: u64) -> Picojoules {
+        bits as f64 * self.sense_pj_per_bit
+    }
+
+    /// Energy to write `bits` bits into the array.
+    #[must_use]
+    pub fn write_pj(&self, bits: u64) -> Picojoules {
+        bits as f64 * self.write_pj_per_bit
+    }
+
+    /// Energy to move `bits` bits over the off-chip bus.
+    #[must_use]
+    pub fn bus_pj(&self, bits: u64) -> Picojoules {
+        bits as f64 * self.bus_pj_per_bit
+    }
+
+    /// Energy to move `bits` bits over the global data lines.
+    #[must_use]
+    pub fn gdl_pj(&self, bits: u64) -> Picojoules {
+        bits as f64 * self.gdl_pj_per_bit
+    }
+
+    /// Energy for a digital bitwise-logic pass over `bits` bits.
+    #[must_use]
+    pub fn logic_pj(&self, bits: u64) -> Picojoules {
+        bits as f64 * self.logic_pj_per_bit
+    }
+
+    /// Energy to precharge a row of `row_bits` bits.
+    #[must_use]
+    pub fn precharge_pj(&self, row_bits: u64) -> Picojoules {
+        row_bits as f64 * self.precharge_pj_per_bit
+    }
+
+    /// Standby power of `capacity_bits` of this memory, in watts.
+    #[must_use]
+    pub fn standby_w(&self, capacity_bits: u64) -> f64 {
+        capacity_bits as f64 * self.standby_pw_per_bit * 1e-12
+    }
+
+    /// Standby energy burned holding `capacity_bits` idle for
+    /// `seconds`, in joules.
+    #[must_use]
+    pub fn standby_j(&self, capacity_bits: u64, seconds: f64) -> f64 {
+        self.standby_w(capacity_bits) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcm_writes_cost_more_than_reads() {
+        let e = EnergyParams::pcm();
+        assert!(e.write_pj_per_bit > e.sense_pj_per_bit);
+        assert!(e.write_pj_per_bit > e.act_pj_per_bit);
+    }
+
+    #[test]
+    fn bus_dominates_array_access() {
+        // The "memory wall" premise: moving a bit off-chip costs far more
+        // than touching it in the array.
+        for e in [EnergyParams::pcm(), EnergyParams::dram()] {
+            assert!(e.bus_pj_per_bit > 10.0 * e.sense_pj_per_bit);
+        }
+    }
+
+    #[test]
+    fn helpers_scale_linearly() {
+        let e = EnergyParams::pcm();
+        assert!((e.sense_pj(1000) - 1000.0 * e.sense_pj_per_bit).abs() < 1e-9);
+        assert!((e.activate_pj(4, 100) - 4.0 * 100.0 * e.act_pj_per_bit).abs() < 1e-9);
+        assert!((e.write_pj(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvm_standby_is_orders_below_dram() {
+        // The paper's §1 NVM selling point: no refresh, no retention
+        // leakage. A 64 GB PCM system idles ~100x below DRAM.
+        let bits = 64u64 << 33; // 64 GB in bits
+        let pcm = EnergyParams::pcm().standby_w(bits);
+        let dram = EnergyParams::dram().standby_w(bits);
+        assert!(dram > 50.0 * pcm, "dram {dram} W vs pcm {pcm} W");
+        assert!((EnergyParams::pcm().standby_j(bits, 2.0) - 2.0 * pcm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stt_writes_are_cheaper_than_pcm() {
+        assert!(EnergyParams::stt_mram().write_pj_per_bit < EnergyParams::pcm().write_pj_per_bit);
+        assert!(EnergyParams::reram().write_pj_per_bit < EnergyParams::pcm().write_pj_per_bit);
+    }
+}

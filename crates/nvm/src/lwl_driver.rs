@@ -1,0 +1,165 @@
+//! The modified local word-line (LWL) driver.
+//!
+//! A conventional driver amplifies one decoded address at a time; Pinatubo
+//! adds a feedback transistor (a latch) and a RESET transistor to each
+//! driver so that successively decoded addresses *accumulate*: every
+//! selected word line stays at VDD until the next RESET (paper Fig. 7).
+//! This is what turns a sequence of ordinary row activations into one
+//! multi-row activation.
+
+use crate::NvmError;
+
+/// The latch bank of one subarray's LWL drivers.
+///
+/// Tracks which local word lines are currently held high. The capacity is
+/// the maximum number of rows the attached sense amplifier can combine —
+/// latching more would waste activations the SA cannot use, so the model
+/// treats it as an error.
+///
+/// # Example
+///
+/// ```
+/// use pinatubo_nvm::lwl_driver::LwlDriverBank;
+///
+/// # fn main() -> Result<(), pinatubo_nvm::NvmError> {
+/// let mut bank = LwlDriverBank::new(128);
+/// bank.reset();
+/// bank.latch(3)?;
+/// bank.latch(71)?;
+/// assert_eq!(bank.open_rows(), &[3, 71]);
+/// bank.reset();
+/// assert!(bank.open_rows().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LwlDriverBank {
+    capacity: usize,
+    open: Vec<usize>,
+}
+
+impl LwlDriverBank {
+    /// A driver bank able to hold `capacity` rows open at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "driver bank capacity must be positive");
+        LwlDriverBank {
+            capacity,
+            open: Vec::new(),
+        }
+    }
+
+    /// The latch capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Issues the RESET signal: every latched word line drops back to
+    /// ground. Must precede each multi-row activation (paper Fig. 7: "it
+    /// requires to send out the RESET signal first").
+    pub fn reset(&mut self) {
+        self.open.clear();
+    }
+
+    /// Decodes and latches one row address; the word line stays high until
+    /// the next [`LwlDriverBank::reset`]. Latching an already-open row is
+    /// idempotent (the latch is already holding VDD).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::TooManyOpenRows`] if the latch bank is full.
+    pub fn latch(&mut self, local_row: usize) -> Result<(), NvmError> {
+        if self.open.contains(&local_row) {
+            return Ok(());
+        }
+        if self.open.len() == self.capacity {
+            return Err(NvmError::TooManyOpenRows {
+                requested: self.open.len() + 1,
+                capacity: self.capacity,
+            });
+        }
+        self.open.push(local_row);
+        Ok(())
+    }
+
+    /// The rows currently held open, in latch order.
+    #[must_use]
+    pub fn open_rows(&self) -> &[usize] {
+        &self.open
+    }
+
+    /// Number of rows currently held open.
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Whether a given row is currently open.
+    #[must_use]
+    pub fn is_open(&self, local_row: usize) -> bool {
+        self.open.contains(&local_row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_accumulates_until_reset() {
+        let mut bank = LwlDriverBank::new(4);
+        bank.latch(0).expect("first row latches");
+        bank.latch(2).expect("second row latches");
+        bank.latch(7).expect("third row latches");
+        assert_eq!(bank.open_count(), 3);
+        assert!(bank.is_open(2));
+        assert!(!bank.is_open(1));
+        bank.reset();
+        assert_eq!(bank.open_count(), 0);
+    }
+
+    #[test]
+    fn relatching_an_open_row_is_idempotent() {
+        let mut bank = LwlDriverBank::new(2);
+        bank.latch(5).expect("latches");
+        bank.latch(5).expect("idempotent relatch");
+        assert_eq!(bank.open_rows(), &[5]);
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let mut bank = LwlDriverBank::new(2);
+        bank.latch(0).expect("row 0");
+        bank.latch(1).expect("row 1");
+        let err = bank.latch(2).expect_err("third row must overflow");
+        assert_eq!(
+            err,
+            NvmError::TooManyOpenRows {
+                requested: 3,
+                capacity: 2
+            }
+        );
+        // The failed latch must not corrupt the open set.
+        assert_eq!(bank.open_rows(), &[0, 1]);
+    }
+
+    #[test]
+    fn reset_recovers_capacity() {
+        let mut bank = LwlDriverBank::new(1);
+        bank.latch(9).expect("fills the single latch");
+        bank.reset();
+        bank.latch(10).expect("latch reusable after reset");
+        assert_eq!(bank.open_rows(), &[10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = LwlDriverBank::new(0);
+    }
+}

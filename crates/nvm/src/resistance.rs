@@ -1,0 +1,346 @@
+//! Resistance arithmetic for bit-line sensing.
+//!
+//! When Pinatubo opens several rows of one bit-line column at once, the SA
+//! sees the *parallel combination* of the open cells' resistances (paper
+//! §4.2: `R_low || R_high` and friends, where `||` is product-over-sum).
+//! This module provides that arithmetic plus worst-case interval bounds used
+//! by the sense-margin analysis.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul};
+
+/// A resistance in ohms.
+///
+/// Newtype over `f64` so resistances cannot be confused with energies or
+/// times elsewhere in the simulator. Resistances are always finite and
+/// strictly positive in this model; [`Ohms::new`] enforces that.
+///
+/// # Example
+///
+/// ```
+/// use pinatubo_nvm::resistance::{parallel, Ohms};
+///
+/// let r = parallel([Ohms::new(10_000.0), Ohms::new(10_000.0)]);
+/// assert!((r.get() - 5_000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Ohms(f64);
+
+impl Ohms {
+    /// Creates a resistance value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not finite and strictly positive — a bit line
+    /// always has some resistance, and zero/negative/NaN values would make
+    /// the parallel-combination math meaningless.
+    #[must_use]
+    pub fn new(ohms: f64) -> Self {
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be finite and positive, got {ohms}"
+        );
+        Ohms(ohms)
+    }
+
+    /// Returns the raw value in ohms.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Parallel combination of two resistances (product over sum).
+    #[must_use]
+    pub fn parallel_with(self, other: Ohms) -> Ohms {
+        Ohms(self.0 * other.0 / (self.0 + other.0))
+    }
+
+    /// Geometric mean of two resistances.
+    ///
+    /// Sense references sit *between* two resistance regions; the geometric
+    /// mean maximizes the multiplicative margin on both sides, which is how
+    /// current-sensing references are placed in practice.
+    #[must_use]
+    pub fn geometric_mean(self, other: Ohms) -> Ohms {
+        Ohms((self.0 * other.0).sqrt())
+    }
+}
+
+impl fmt::Display for Ohms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.2} Mohm", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.2} kohm", self.0 / 1e3)
+        } else {
+            write!(f, "{:.2} ohm", self.0)
+        }
+    }
+}
+
+impl Add for Ohms {
+    type Output = Ohms;
+    fn add(self, rhs: Ohms) -> Ohms {
+        Ohms(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Ohms {
+    type Output = Ohms;
+    fn mul(self, rhs: f64) -> Ohms {
+        Ohms::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Ohms {
+    type Output = Ohms;
+    fn div(self, rhs: f64) -> Ohms {
+        Ohms::new(self.0 / rhs)
+    }
+}
+
+/// Conductance in siemens; the natural domain for parallel combination.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Siemens(f64);
+
+impl Siemens {
+    /// Creates a conductance value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `siemens` is not finite and strictly positive.
+    #[must_use]
+    pub fn new(siemens: f64) -> Self {
+        assert!(
+            siemens.is_finite() && siemens > 0.0,
+            "conductance must be finite and positive, got {siemens}"
+        );
+        Siemens(siemens)
+    }
+
+    /// Returns the raw value in siemens.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<Ohms> for Siemens {
+    fn from(r: Ohms) -> Siemens {
+        Siemens(1.0 / r.get())
+    }
+}
+
+impl From<Siemens> for Ohms {
+    fn from(g: Siemens) -> Ohms {
+        Ohms::new(1.0 / g.get())
+    }
+}
+
+impl Add for Siemens {
+    type Output = Siemens;
+    fn add(self, rhs: Siemens) -> Siemens {
+        Siemens(self.0 + rhs.0)
+    }
+}
+
+impl Sum for Siemens {
+    fn sum<I: Iterator<Item = Siemens>>(iter: I) -> Siemens {
+        let total: f64 = iter.map(Siemens::get).sum();
+        Siemens::new(total)
+    }
+}
+
+/// Parallel combination of any number of resistances.
+///
+/// This is the resistance the sense amplifier observes on a bit line with
+/// all the given cells open.
+///
+/// # Panics
+///
+/// Panics if the iterator is empty — an open bit line with no cells has no
+/// defined resistance, and the caller (the SA model) always knows how many
+/// rows it activated.
+///
+/// # Example
+///
+/// ```
+/// use pinatubo_nvm::resistance::{parallel, Ohms};
+///
+/// // One low-resistance cell dominates many high-resistance ones:
+/// let r = parallel(
+///     std::iter::once(Ohms::new(10e3)).chain((0..127).map(|_| Ohms::new(1e6))),
+/// );
+/// assert!(r.get() < 10e3);
+/// ```
+#[must_use]
+pub fn parallel<I>(resistances: I) -> Ohms
+where
+    I: IntoIterator<Item = Ohms>,
+{
+    let mut total = 0.0_f64;
+    let mut any = false;
+    for r in resistances {
+        total += 1.0 / r.get();
+        any = true;
+    }
+    assert!(any, "parallel combination of zero resistances is undefined");
+    Ohms::new(1.0 / total)
+}
+
+/// A worst-case resistance interval `[lo, hi]` under process variation.
+///
+/// The sense-margin analysis works with intervals rather than point values:
+/// a region of cell states is separable from another exactly when their
+/// intervals do not overlap (paper Fig. 5, "we assume the variation is well
+/// controlled so that no overlap exists").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResistanceInterval {
+    lo: Ohms,
+    hi: Ohms,
+}
+
+impl ResistanceInterval {
+    /// Creates an interval from its bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Ohms, hi: Ohms) -> Self {
+        assert!(lo <= hi, "interval bounds out of order: {lo} > {hi}");
+        ResistanceInterval { lo, hi }
+    }
+
+    /// Interval for a nominal resistance with symmetric relative spread
+    /// `rel` (e.g. `0.28` for ±28%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel` is not in `[0, 1)`.
+    #[must_use]
+    pub fn with_relative_spread(nominal: Ohms, rel: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rel),
+            "relative spread must be in [0, 1), got {rel}"
+        );
+        ResistanceInterval {
+            lo: nominal * (1.0 - rel),
+            hi: nominal * (1.0 + rel),
+        }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(self) -> Ohms {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(self) -> Ohms {
+        self.hi
+    }
+
+    /// Whether this interval lies entirely below `other` with a strictly
+    /// positive gap.
+    #[must_use]
+    pub fn strictly_below(self, other: ResistanceInterval) -> bool {
+        self.hi.get() < other.lo.get()
+    }
+
+    /// Worst-case parallel combination of a set of cell intervals.
+    ///
+    /// Parallel resistance is monotone in every branch resistance, so the
+    /// interval of the combination is the combination of the interval
+    /// endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is empty.
+    #[must_use]
+    pub fn parallel<I>(intervals: I) -> ResistanceInterval
+    where
+        I: IntoIterator<Item = ResistanceInterval> + Clone,
+    {
+        let lo = parallel(intervals.clone().into_iter().map(ResistanceInterval::lo));
+        let hi = parallel(intervals.into_iter().map(ResistanceInterval::hi));
+        ResistanceInterval::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_of_equal_resistances_divides() {
+        let r = parallel((0..4).map(|_| Ohms::new(1000.0)));
+        assert!((r.get() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_product_over_sum_for_two() {
+        let a = Ohms::new(10_000.0);
+        let b = Ohms::new(1_000_000.0);
+        let expect = 10_000.0 * 1_000_000.0 / 1_010_000.0;
+        assert!((parallel([a, b]).get() - expect).abs() < 1e-6);
+        assert!((a.parallel_with(b).get() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn parallel_of_nothing_panics() {
+        let _ = parallel(std::iter::empty::<Ohms>());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_resistance_rejected() {
+        let _ = Ohms::new(0.0);
+    }
+
+    #[test]
+    fn conductance_round_trips() {
+        let r = Ohms::new(2_500.0);
+        let g = Siemens::from(r);
+        let back = Ohms::from(g);
+        assert!((back.get() - 2_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_sits_between() {
+        let lo = Ohms::new(10e3);
+        let hi = Ohms::new(1e6);
+        let m = lo.geometric_mean(hi);
+        assert!(m > lo && m < hi);
+        assert!((m.get() - 100e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn interval_separation_detects_gap() {
+        let a = ResistanceInterval::new(Ohms::new(1.0), Ohms::new(2.0));
+        let b = ResistanceInterval::new(Ohms::new(3.0), Ohms::new(4.0));
+        assert!(a.strictly_below(b));
+        assert!(!b.strictly_below(a));
+        let overlapping = ResistanceInterval::new(Ohms::new(1.5), Ohms::new(3.5));
+        assert!(!a.strictly_below(overlapping));
+    }
+
+    #[test]
+    fn interval_parallel_contains_point_combinations() {
+        let a = ResistanceInterval::with_relative_spread(Ohms::new(10e3), 0.2);
+        let b = ResistanceInterval::with_relative_spread(Ohms::new(1e6), 0.2);
+        let combined = ResistanceInterval::parallel([a, b]);
+        let nominal = parallel([Ohms::new(10e3), Ohms::new(1e6)]);
+        assert!(combined.lo() <= nominal && nominal <= combined.hi());
+    }
+
+    #[test]
+    fn display_uses_human_units() {
+        assert_eq!(Ohms::new(1.5e6).to_string(), "1.50 Mohm");
+        assert_eq!(Ohms::new(10e3).to_string(), "10.00 kohm");
+        assert_eq!(Ohms::new(47.0).to_string(), "47.00 ohm");
+    }
+}

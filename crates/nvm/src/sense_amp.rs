@@ -1,0 +1,571 @@
+//! The modified current sense amplifier (CSA) — the heart of Pinatubo.
+//!
+//! A normal NVM read compares the bit-line resistance against a single
+//! reference between `R_low` and `R_high`. Pinatubo adds *more reference
+//! circuits* so the same SA can classify the parallel resistance of several
+//! simultaneously open cells (paper Fig. 5, Fig. 6):
+//!
+//! * **OR over n rows** — reference between `R_low ‖ R_high/(n−1)` (the
+//!   highest-resistance "at least one 1" case) and `R_high/n` (all zeros).
+//! * **AND over 2 rows** — reference between `R_low/2` (both ones) and
+//!   `R_low ‖ R_high` (one one). Beyond two rows the "all ones" and
+//!   "one zero" cases are not separable on any resistive technology
+//!   (paper footnote 3), and [`SenseMode::and`] refuses them.
+//! * **XOR / INV** — two micro-steps using the added capacitor `Ch` and the
+//!   latch's differential output; modelled by [`XorUnit`] and
+//!   [`CurrentSenseAmp::invert`].
+//!
+//! The margin analysis in [`CurrentSenseAmp::margin`] is the reproduction of
+//! the paper's HSPICE validation: instead of transistor waveforms it checks,
+//! with worst-case interval arithmetic over the full process-variation
+//! spread, that the two logic regions never overlap. With the PCM preset the
+//! analysis closes exactly at a fan-in of 128 — the paper's multi-row cap —
+//! and the STT-MRAM preset is held to 2 rows by its conservative cap.
+
+use crate::resistance::{parallel, Ohms, ResistanceInterval};
+use crate::technology::Technology;
+use crate::NvmError;
+
+/// Hard ceiling on the fan-in search. No technology in the NVMDB range gets
+/// anywhere near this; it only bounds the search loop.
+const FAN_IN_SEARCH_CEILING: usize = 1024;
+
+/// What the sense amplifier is configured to compute, i.e. which reference
+/// circuit is switched in (paper Fig. 6 left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SenseMode {
+    /// Plain read of a single open row.
+    Read,
+    /// Bitwise OR of `fan_in` open rows.
+    Or {
+        /// Number of simultaneously open rows (≥ 2).
+        fan_in: usize,
+    },
+    /// Bitwise AND of two open rows.
+    And,
+}
+
+impl SenseMode {
+    /// OR of `fan_in` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::DegenerateFanIn`] if `fan_in < 2`.
+    pub fn or(fan_in: usize) -> Result<Self, NvmError> {
+        if fan_in < 2 {
+            return Err(NvmError::DegenerateFanIn);
+        }
+        Ok(SenseMode::Or { fan_in })
+    }
+
+    /// AND of `fan_in` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::DegenerateFanIn`] if `fan_in < 2`, and
+    /// [`NvmError::UnsupportedAndFanIn`] if `fan_in > 2`: distinguishing
+    /// `R_low/(n−1) ‖ R_high` from `R_low/n` is not possible for `n > 2`
+    /// (paper footnote 3).
+    pub fn and(fan_in: usize) -> Result<Self, NvmError> {
+        match fan_in {
+            0 | 1 => Err(NvmError::DegenerateFanIn),
+            2 => Ok(SenseMode::And),
+            _ => Err(NvmError::UnsupportedAndFanIn { requested: fan_in }),
+        }
+    }
+
+    /// Number of rows this mode senses at once.
+    #[must_use]
+    pub fn fan_in(self) -> usize {
+        match self {
+            SenseMode::Read => 1,
+            SenseMode::Or { fan_in } => fan_in,
+            SenseMode::And => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for SenseMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SenseMode::Read => write!(f, "READ"),
+            SenseMode::Or { fan_in } => write!(f, "OR-{fan_in}"),
+            SenseMode::And => write!(f, "AND-2"),
+        }
+    }
+}
+
+/// The outcome of the worst-case margin analysis for one sense mode:
+/// the two logic regions, the reference placed between them, and whether
+/// they are separable under the technology's full variation spread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseMargin {
+    /// Resistance region that must sense as logic "1" (more current).
+    one_region: ResistanceInterval,
+    /// Resistance region that must sense as logic "0" (less current).
+    zero_region: ResistanceInterval,
+    /// The reference resistance, placed at the geometric mean of the gap.
+    reference: Ohms,
+    /// Whether the regions are strictly separated.
+    separable: bool,
+}
+
+impl SenseMargin {
+    /// The "1" (low-resistance) region.
+    #[must_use]
+    pub fn one_region(&self) -> ResistanceInterval {
+        self.one_region
+    }
+
+    /// The "0" (high-resistance) region.
+    #[must_use]
+    pub fn zero_region(&self) -> ResistanceInterval {
+        self.zero_region
+    }
+
+    /// The reference resistance the SA compares against.
+    #[must_use]
+    pub fn reference(&self) -> Ohms {
+        self.reference
+    }
+
+    /// Whether the two regions are strictly separated under worst-case
+    /// variation — the condition the paper's Fig. 5 asserts.
+    #[must_use]
+    pub fn is_separable(&self) -> bool {
+        self.separable
+    }
+
+    /// Ratio of the zero region's lower bound to the one region's upper
+    /// bound. Values above 1.0 mean a positive sensing gap; the bigger, the
+    /// more robust the sense.
+    #[must_use]
+    pub fn gap_ratio(&self) -> f64 {
+        self.zero_region.lo().get() / self.one_region.hi().get()
+    }
+}
+
+/// The current sense amplifier of one mat column, with Pinatubo's extra
+/// reference circuits.
+///
+/// # Example
+///
+/// ```
+/// use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode};
+/// use pinatubo_nvm::technology::Technology;
+///
+/// # fn main() -> Result<(), pinatubo_nvm::NvmError> {
+/// let sa = CurrentSenseAmp::new(&Technology::pcm());
+/// // The PCM margin analysis closes exactly at the paper's 128-row cap.
+/// assert_eq!(sa.max_or_fan_in(), 128);
+/// // A 2-row AND senses "1" only when both cells are low-resistance.
+/// let both_ones = pinatubo_nvm::resistance::parallel(
+///     [Technology::pcm().r_low(), Technology::pcm().r_low()],
+/// );
+/// assert!(sa.sense(both_ones, SenseMode::and(2)?)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurrentSenseAmp {
+    tech: Technology,
+}
+
+impl CurrentSenseAmp {
+    /// Builds an SA model for a resistive technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tech` is the charge-based DRAM pseudo-technology: DRAM
+    /// has no bit-line resistance to sense and is handled by the S-DRAM
+    /// baseline instead.
+    #[must_use]
+    pub fn new(tech: &Technology) -> Self {
+        assert!(
+            tech.kind().is_resistive(),
+            "current sensing requires a resistive technology, got {}",
+            tech.kind()
+        );
+        CurrentSenseAmp { tech: tech.clone() }
+    }
+
+    /// The technology this SA is built for.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Worst-case margin analysis for `mode` (the Fig. 5 construction).
+    #[must_use]
+    pub fn margin(&self, mode: SenseMode) -> SenseMargin {
+        let one_cell = |bit: bool| self.tech.cell_interval(bit);
+        let (one_region, zero_region) = match mode {
+            SenseMode::Read => (one_cell(true), one_cell(false)),
+            SenseMode::Or { fan_in } => {
+                // Worst "1" case: exactly one low-R cell among highs.
+                let one = ResistanceInterval::parallel(
+                    std::iter::once(one_cell(true))
+                        .chain((1..fan_in).map(|_| one_cell(false)))
+                        .collect::<Vec<_>>(),
+                );
+                // "0" case: all cells high-R.
+                let zero = ResistanceInterval::parallel(
+                    (0..fan_in).map(|_| one_cell(false)).collect::<Vec<_>>(),
+                );
+                (one, zero)
+            }
+            SenseMode::And => {
+                // "1" case: both cells low-R.
+                let one = ResistanceInterval::parallel([one_cell(true), one_cell(true)]);
+                // Worst "0" case: one low-R, one high-R.
+                let zero = ResistanceInterval::parallel([one_cell(true), one_cell(false)]);
+                (one, zero)
+            }
+        };
+        let separable = one_region.strictly_below(zero_region);
+        let reference = one_region.hi().geometric_mean(zero_region.lo());
+        SenseMargin {
+            one_region,
+            zero_region,
+            reference,
+            separable,
+        }
+    }
+
+    /// Largest OR fan-in with a closed sense margin, clipped by the
+    /// technology's conservative cap.
+    ///
+    /// For the PCM and ReRAM presets this returns 128 (the paper's cap,
+    /// emerging from the interval analysis); for STT-MRAM the conservative
+    /// cap holds it to 2.
+    #[must_use]
+    pub fn max_or_fan_in(&self) -> usize {
+        let analytic = (2..=FAN_IN_SEARCH_CEILING)
+            .take_while(|&n| self.margin(SenseMode::Or { fan_in: n }).is_separable())
+            .last()
+            .unwrap_or(1);
+        match self.tech.conservative_fan_in_cap() {
+            Some(cap) => analytic.min(cap),
+            None => analytic,
+        }
+    }
+
+    /// Validates that `mode` is sensible on this technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::FanInExceeded`] when an OR's fan-in overruns
+    /// [`CurrentSenseAmp::max_or_fan_in`].
+    pub fn check_mode(&self, mode: SenseMode) -> Result<(), NvmError> {
+        if let SenseMode::Or { fan_in } = mode {
+            let supported = self.max_or_fan_in();
+            if fan_in > supported {
+                return Err(NvmError::FanInExceeded {
+                    requested: fan_in,
+                    supported,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Senses a bit-line resistance under `mode`: more current (lower
+    /// resistance than the reference) reads as logic "1".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::FanInExceeded`] when the mode's fan-in is beyond
+    /// this technology's margin.
+    pub fn sense(&self, bitline: Ohms, mode: SenseMode) -> Result<bool, NvmError> {
+        self.check_mode(mode)?;
+        let margin = self.margin(mode);
+        Ok(bitline < margin.reference())
+    }
+
+    /// Like [`CurrentSenseAmp::sense`], but also verifies the resistance
+    /// falls inside one of the two legal logic regions. Used by the
+    /// validation tests standing in for the paper's HSPICE runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::AmbiguousSense`] if `bitline` lies in the gap
+    /// between (or outside) the legal regions, in addition to the errors of
+    /// [`CurrentSenseAmp::sense`].
+    pub fn sense_checked(&self, bitline: Ohms, mode: SenseMode) -> Result<bool, NvmError> {
+        self.check_mode(mode)?;
+        let margin = self.margin(mode);
+        let in_one = margin.one_region().lo() <= bitline && bitline <= margin.one_region().hi();
+        let in_zero = margin.zero_region().lo() <= bitline && bitline <= margin.zero_region().hi();
+        // For OR, resistances *below* the worst-case "1" bound (several low
+        // cells in parallel) are even more clearly "1"; same for AND's
+        // all-high "0" side being above the worst-case "0" bound.
+        let below_one = bitline < margin.one_region().lo();
+        let above_zero = bitline > margin.zero_region().hi();
+        if in_one || below_one {
+            Ok(true)
+        } else if in_zero || above_zero {
+            Ok(false)
+        } else {
+            Err(NvmError::AmbiguousSense {
+                bitline_ohms: bitline.get(),
+            })
+        }
+    }
+
+    /// Convenience: sense the OR/AND of a slice of stored bits using their
+    /// nominal resistances. The fan-in is taken from `bits.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`SenseMode::or`] / [`SenseMode::and`] and
+    /// [`CurrentSenseAmp::sense`].
+    pub fn sense_bits(&self, bits: &[bool], op_is_and: bool) -> Result<bool, NvmError> {
+        let mode = if op_is_and {
+            SenseMode::and(bits.len())?
+        } else {
+            SenseMode::or(bits.len())?
+        };
+        let bl = parallel(bits.iter().map(|&b| self.tech.cell_resistance(b)));
+        self.sense(bl, mode)
+    }
+
+    /// INV: the latch's differential output (paper §4.2, "for INV we simply
+    /// output the differential value from the latch").
+    #[must_use]
+    pub fn invert(&self, latched: bool) -> bool {
+        !latched
+    }
+}
+
+/// The XOR micro-step unit: the added capacitor `Ch` plus two transistors
+/// on the SA output (paper Fig. 6).
+///
+/// XOR takes two micro-steps: the first operand is read onto the capacitor,
+/// the second into the latch; the add-on transistors then output the XOR.
+///
+/// # Example
+///
+/// ```
+/// use pinatubo_nvm::sense_amp::XorUnit;
+///
+/// let mut xor = XorUnit::new();
+/// xor.sample(true);                 // micro-step 1: operand A → Ch
+/// assert_eq!(xor.resolve(false), Some(true)); // micro-step 2: A ^ B
+/// assert_eq!(xor.resolve(false), None);       // Ch discharged after use
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XorUnit {
+    sampled: Option<bool>,
+}
+
+impl XorUnit {
+    /// A unit with a discharged capacitor.
+    #[must_use]
+    pub fn new() -> Self {
+        XorUnit::default()
+    }
+
+    /// Micro-step 1: sample the first operand onto the capacitor.
+    pub fn sample(&mut self, operand: bool) {
+        self.sampled = Some(operand);
+    }
+
+    /// Micro-step 2: read the second operand into the latch and output the
+    /// XOR. Returns `None` if no operand was sampled (the capacitor is
+    /// discharged), which models issuing the second micro-step without the
+    /// first.
+    pub fn resolve(&mut self, operand: bool) -> Option<bool> {
+        self.sampled.take().map(|first| first ^ operand)
+    }
+
+    /// Whether an operand is currently held on the capacitor.
+    #[must_use]
+    pub fn is_charged(&self) -> bool {
+        self.sampled.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::Technology;
+
+    fn pcm_sa() -> CurrentSenseAmp {
+        CurrentSenseAmp::new(&Technology::pcm())
+    }
+
+    #[test]
+    fn read_margin_is_separable_for_all_resistive_presets() {
+        for tech in [
+            Technology::pcm(),
+            Technology::stt_mram(),
+            Technology::reram(),
+        ] {
+            let sa = CurrentSenseAmp::new(&tech);
+            assert!(
+                sa.margin(SenseMode::Read).is_separable(),
+                "read margin must close for {}",
+                tech.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn pcm_or_fan_in_caps_at_128() {
+        assert_eq!(pcm_sa().max_or_fan_in(), 128);
+    }
+
+    #[test]
+    fn reram_or_fan_in_caps_at_128() {
+        assert_eq!(
+            CurrentSenseAmp::new(&Technology::reram()).max_or_fan_in(),
+            128
+        );
+    }
+
+    #[test]
+    fn stt_fan_in_is_conservatively_two() {
+        assert_eq!(
+            CurrentSenseAmp::new(&Technology::stt_mram()).max_or_fan_in(),
+            2
+        );
+    }
+
+    #[test]
+    fn or_truth_table_two_rows() {
+        let sa = pcm_sa();
+        for a in [false, true] {
+            for b in [false, true] {
+                let got = sa.sense_bits(&[a, b], false).expect("2-row OR senses");
+                assert_eq!(got, a | b, "OR({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn and_truth_table_two_rows() {
+        let sa = pcm_sa();
+        for a in [false, true] {
+            for b in [false, true] {
+                let got = sa.sense_bits(&[a, b], true).expect("2-row AND senses");
+                assert_eq!(got, a & b, "AND({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn or_128_rows_single_one_detected() {
+        let sa = pcm_sa();
+        let mut bits = [false; 128];
+        assert!(!sa.sense_bits(&bits, false).expect("all-zero OR"));
+        bits[77] = true;
+        assert!(sa.sense_bits(&bits, false).expect("one-hot OR"));
+    }
+
+    #[test]
+    fn or_beyond_margin_is_rejected() {
+        let sa = pcm_sa();
+        let err = sa
+            .check_mode(SenseMode::Or { fan_in: 129 })
+            .expect_err("129-row OR must be rejected");
+        assert_eq!(
+            err,
+            NvmError::FanInExceeded {
+                requested: 129,
+                supported: 128
+            }
+        );
+    }
+
+    #[test]
+    fn and_beyond_two_rows_is_rejected() {
+        assert_eq!(
+            SenseMode::and(3),
+            Err(NvmError::UnsupportedAndFanIn { requested: 3 })
+        );
+    }
+
+    #[test]
+    fn degenerate_fan_ins_are_rejected() {
+        assert_eq!(SenseMode::or(1), Err(NvmError::DegenerateFanIn));
+        assert_eq!(SenseMode::or(0), Err(NvmError::DegenerateFanIn));
+        assert_eq!(SenseMode::and(1), Err(NvmError::DegenerateFanIn));
+    }
+
+    #[test]
+    fn reference_sits_inside_gap() {
+        let sa = pcm_sa();
+        for mode in [
+            SenseMode::Read,
+            SenseMode::Or { fan_in: 2 },
+            SenseMode::Or { fan_in: 128 },
+            SenseMode::And,
+        ] {
+            let m = sa.margin(mode);
+            assert!(m.is_separable(), "{mode} must be separable");
+            assert!(
+                m.one_region().hi() < m.reference() && m.reference() < m.zero_region().lo(),
+                "{mode}: reference must sit inside the gap"
+            );
+            assert!(m.gap_ratio() > 1.0);
+        }
+    }
+
+    #[test]
+    fn gap_shrinks_with_fan_in() {
+        let sa = pcm_sa();
+        let g2 = sa.margin(SenseMode::Or { fan_in: 2 }).gap_ratio();
+        let g64 = sa.margin(SenseMode::Or { fan_in: 64 }).gap_ratio();
+        let g128 = sa.margin(SenseMode::Or { fan_in: 128 }).gap_ratio();
+        assert!(g2 > g64 && g64 > g128);
+    }
+
+    #[test]
+    fn sense_checked_flags_gap_resistances() {
+        let sa = pcm_sa();
+        let m = sa.margin(SenseMode::Read);
+        let err = sa
+            .sense_checked(m.reference(), SenseMode::Read)
+            .expect_err("the reference itself lies in the gap");
+        assert!(matches!(err, NvmError::AmbiguousSense { .. }));
+    }
+
+    #[test]
+    fn invert_is_differential_output() {
+        let sa = pcm_sa();
+        assert!(!sa.invert(true));
+        assert!(sa.invert(false));
+    }
+
+    #[test]
+    fn xor_unit_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let mut u = XorUnit::new();
+                u.sample(a);
+                assert!(u.is_charged());
+                assert_eq!(u.resolve(b), Some(a ^ b));
+                assert!(!u.is_charged());
+            }
+        }
+    }
+
+    #[test]
+    fn xor_without_sample_yields_none() {
+        let mut u = XorUnit::new();
+        assert_eq!(u.resolve(true), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistive technology")]
+    fn dram_cannot_host_a_current_sa() {
+        let _ = CurrentSenseAmp::new(&Technology::dram());
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(SenseMode::Read.to_string(), "READ");
+        assert_eq!(SenseMode::Or { fan_in: 16 }.to_string(), "OR-16");
+        assert_eq!(SenseMode::And.to_string(), "AND-2");
+    }
+}

@@ -1,0 +1,143 @@
+//! The modified write driver (WD).
+//!
+//! Normally a WD's input comes from the data bus. Pinatubo adds a path that
+//! feeds the SA output straight into the WD (paper Fig. 8a), so an
+//! operation result can be written back to a row of the same subarray as an
+//! *in-place update* — never touching the global data lines or the I/O bus.
+
+use crate::technology::Technology;
+
+/// Where the write driver takes its data from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteSource {
+    /// Conventional path: data arrives over the (global) data bus.
+    Bus,
+    /// Pinatubo's added path: the local SA output feeds the WD directly.
+    SenseAmp,
+}
+
+/// The polarity of the write current a bit needs.
+///
+/// PCM is unipolar (both SET and RESET use one polarity, differing in pulse
+/// shape); STT-MRAM and ReRAM need opposite polarities on the bit line /
+/// source line pair (paper §4.2: "We do not show PCM's WD since it is
+/// simpler with unidirectional write current").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolarity {
+    /// Current from bit line to source line.
+    Forward,
+    /// Current from source line to bit line (bipolar technologies only).
+    Reverse,
+}
+
+/// A write driver for one mat column.
+#[derive(Debug, Clone)]
+pub struct WriteDriver {
+    bipolar: bool,
+}
+
+impl WriteDriver {
+    /// Builds a WD for the given technology.
+    #[must_use]
+    pub fn new(tech: &Technology) -> Self {
+        WriteDriver {
+            bipolar: tech.bipolar_write(),
+        }
+    }
+
+    /// Whether this driver can reverse current polarity.
+    #[must_use]
+    pub fn is_bipolar(&self) -> bool {
+        self.bipolar
+    }
+
+    /// The current polarity used to write `bit`.
+    ///
+    /// Unipolar drivers always drive forward; bipolar drivers reverse for
+    /// RESET (`false`).
+    #[must_use]
+    pub fn polarity_for(&self, bit: bool) -> WritePolarity {
+        if self.bipolar && !bit {
+            WritePolarity::Reverse
+        } else {
+            WritePolarity::Forward
+        }
+    }
+
+    /// Drives one bit from `source` into a cell, returning the value the
+    /// cell will hold. The model is functional — energy/time are accounted
+    /// by [`crate::energy`] / [`crate::timing`] at the command level — but
+    /// keeping the source explicit lets the architecture layer assert that
+    /// in-place updates never cross the bus.
+    #[must_use]
+    pub fn drive(&self, source: WriteSource, bit: bool) -> DrivenBit {
+        DrivenBit {
+            bit,
+            source,
+            polarity: self.polarity_for(bit),
+        }
+    }
+}
+
+/// The outcome of one write-driver firing: what was written, from where,
+/// with which polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrivenBit {
+    bit: bool,
+    source: WriteSource,
+    polarity: WritePolarity,
+}
+
+impl DrivenBit {
+    /// The bit value driven into the cell.
+    #[must_use]
+    pub fn bit(self) -> bool {
+        self.bit
+    }
+
+    /// Where the data came from.
+    #[must_use]
+    pub fn source(self) -> WriteSource {
+        self.source
+    }
+
+    /// The current polarity used.
+    #[must_use]
+    pub fn polarity(self) -> WritePolarity {
+        self.polarity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcm_driver_is_unipolar() {
+        let wd = WriteDriver::new(&Technology::pcm());
+        assert!(!wd.is_bipolar());
+        assert_eq!(wd.polarity_for(true), WritePolarity::Forward);
+        assert_eq!(wd.polarity_for(false), WritePolarity::Forward);
+    }
+
+    #[test]
+    fn stt_driver_reverses_for_reset() {
+        let wd = WriteDriver::new(&Technology::stt_mram());
+        assert!(wd.is_bipolar());
+        assert_eq!(wd.polarity_for(true), WritePolarity::Forward);
+        assert_eq!(wd.polarity_for(false), WritePolarity::Reverse);
+    }
+
+    #[test]
+    fn drive_records_source_and_value() {
+        let wd = WriteDriver::new(&Technology::reram());
+        let d = wd.drive(WriteSource::SenseAmp, true);
+        assert!(d.bit());
+        assert_eq!(d.source(), WriteSource::SenseAmp);
+        assert_eq!(d.polarity(), WritePolarity::Forward);
+
+        let d = wd.drive(WriteSource::Bus, false);
+        assert_eq!(d.source(), WriteSource::Bus);
+        assert_eq!(d.polarity(), WritePolarity::Reverse);
+    }
+}

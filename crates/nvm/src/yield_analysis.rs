@@ -1,0 +1,275 @@
+//! Monte-Carlo yield analysis of the modified sense amplifier.
+//!
+//! The interval analysis in [`crate::sense_amp`] gives a binary verdict —
+//! a sense margin either closes under worst-case variation or it does not.
+//! Real design sign-off also wants the *failure probability* when margins
+//! are pushed: this module samples cell resistances stochastically and
+//! measures the sense-error rate per (technology, fan-in) point, the
+//! quantitative counterpart of the paper's statement that "the variation
+//! is well controlled so that no overlap exists between the '1' and '0'
+//! region" (Fig. 5).
+//!
+//! Two sampling models are provided:
+//!
+//! * [`VariationModel::BoundedUniform`] — uniform over the worst-case
+//!   interval. Inside the spec this can never fail (the margin analysis
+//!   guarantees it), so it validates the analysis itself.
+//! * [`VariationModel::Gaussian`] — unbounded log-space Gaussian whose
+//!   ±3σ points match the interval bounds. Tails now exist, so error
+//!   rates are small but non-zero near the fan-in limit — the realistic
+//!   sign-off view.
+
+use crate::resistance::parallel;
+use crate::sense_amp::{CurrentSenseAmp, SenseMode};
+use crate::technology::Technology;
+use crate::NvmError;
+use rand::Rng;
+use rand_distr_free::sample_gaussian;
+
+/// How cell resistances scatter around their nominal values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariationModel {
+    /// Uniform over the worst-case interval (the margin analysis'
+    /// assumption, exactly).
+    BoundedUniform,
+    /// Log-space Gaussian with σ = spread/3 (±3σ at the interval bounds).
+    Gaussian,
+}
+
+/// Minimal Gaussian sampling (Box–Muller) so the crate needs no extra
+/// dependency beyond `rand`.
+mod rand_distr_free {
+    use rand::Rng;
+
+    /// One standard-normal sample via Box–Muller.
+    pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The outcome of one Monte-Carlo sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldReport {
+    /// Trials run.
+    pub trials: u64,
+    /// Trials whose sensed value differed from the logical truth.
+    pub errors: u64,
+}
+
+impl YieldReport {
+    /// The sense-error rate.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Fraction of the variation budget that is systematic (die-level,
+/// common to every cell of a trial). Resistance variation in NVM arrays
+/// is dominated by correlated effects — programming conditions,
+/// temperature, drift — with a smaller independent residual; fully
+/// independent sampling would average out over a wide parallel
+/// combination and hide exactly the failures the margin analysis guards
+/// against.
+const SYSTEMATIC_SHARE: f64 = 0.875;
+
+/// Per-trial systematic factor plus a per-cell residual sampler.
+#[allow(clippy::type_complexity)]
+fn sample_factors<R: Rng + ?Sized>(
+    tech: &Technology,
+    model: VariationModel,
+    rng: &mut R,
+) -> (f64, Box<dyn FnMut(&mut R) -> f64>) {
+    let v = tech.variation();
+    let v_res = v * (1.0 - SYSTEMATIC_SHARE);
+    // Multiplicative split: (1 + v_sys)(1 + v_res) = 1 + v exactly, so
+    // bounded sampling never leaves the worst-case interval.
+    let v_sys = (1.0 + v) / (1.0 + v_res) - 1.0;
+    match model {
+        VariationModel::BoundedUniform => {
+            let global = rng.gen_range(1.0 - v_sys..=1.0 + v_sys);
+            let f = move |rng: &mut R| rng.gen_range(1.0 - v_res..=1.0 + v_res);
+            (global, Box::new(f) as Box<dyn FnMut(&mut R) -> f64>)
+        }
+        VariationModel::Gaussian => {
+            // ±3σ at the worst-case bounds, in log space so factors stay
+            // positive.
+            let sigma_sys = (1.0 + v_sys).ln() / 3.0;
+            let sigma_res = (1.0 + v_res).ln() / 3.0;
+            let global = (sigma_sys * sample_gaussian(rng)).exp();
+            let f = move |rng: &mut R| (sigma_res * sample_gaussian(rng)).exp();
+            (global, Box::new(f) as Box<dyn FnMut(&mut R) -> f64>)
+        }
+    }
+}
+
+/// Monte-Carlo sense-error rate for an OR of `fan_in` rows.
+///
+/// Every trial draws a random bit pattern (biased so the hard
+/// single-one-among-zeros cases appear often), samples each cell's
+/// resistance, senses the parallel combination and compares with the
+/// logical OR.
+///
+/// # Errors
+///
+/// Returns the underlying fan-in errors from [`SenseMode::or`] for
+/// degenerate fan-ins. Fan-ins beyond the margin limit are allowed here —
+/// measuring how badly they fail is the point — so the SA's own fan-in
+/// check is bypassed by sensing against the reference directly.
+pub fn or_error_rate<R: Rng + ?Sized>(
+    tech: &Technology,
+    fan_in: usize,
+    model: VariationModel,
+    trials: u64,
+    rng: &mut R,
+) -> Result<YieldReport, NvmError> {
+    let mode = SenseMode::or(fan_in)?;
+    let sa = CurrentSenseAmp::new(tech);
+    let margin = sa.margin(mode);
+    let mut errors = 0u64;
+    let mut bits = vec![false; fan_in];
+    for trial in 0..trials {
+        // Cycle through the interesting patterns: all zeros, exactly one
+        // one (the worst case), and random fills.
+        bits.fill(false);
+        match trial % 4 {
+            0 => {}
+            1 => bits[(trial as usize / 4) % fan_in] = true,
+            _ => {
+                for b in bits.iter_mut() {
+                    *b = rng.gen_bool(0.5);
+                }
+            }
+        }
+        let (global, mut residual) = sample_factors(tech, model, rng);
+        let bl = parallel(bits.iter().map(|&b| {
+            let factor = global * residual(rng);
+            crate::resistance::Ohms::new(tech.cell_resistance(b).get() * factor)
+        }));
+        let sensed = bl < margin.reference();
+        if sensed != bits.iter().any(|&b| b) {
+            errors += 1;
+        }
+    }
+    Ok(YieldReport { trials, errors })
+}
+
+/// The largest OR fan-in whose Gaussian-model error rate stays below
+/// `target_ber` over `trials` trials per point.
+///
+/// # Errors
+///
+/// Propagates sampling errors from [`or_error_rate`].
+pub fn max_reliable_or_fan_in<R: Rng + ?Sized>(
+    tech: &Technology,
+    target_ber: f64,
+    trials: u64,
+    rng: &mut R,
+) -> Result<usize, NvmError> {
+    let mut best = 1;
+    let mut fan_in = 2;
+    while fan_in <= 512 {
+        let report = or_error_rate(tech, fan_in, VariationModel::Gaussian, trials, rng)?;
+        if report.error_rate() > target_ber {
+            break;
+        }
+        best = fan_in;
+        fan_in *= 2;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn in_spec_uniform_sampling_never_errs() {
+        let tech = Technology::pcm();
+        let mut rng = StdRng::seed_from_u64(0x1EAD);
+        for fan_in in [2usize, 16, 128] {
+            let report = or_error_rate(
+                &tech,
+                fan_in,
+                VariationModel::BoundedUniform,
+                4000,
+                &mut rng,
+            )
+            .expect("valid fan-in");
+            assert_eq!(
+                report.errors, 0,
+                "fan-in {fan_in}: the closed margin guarantees zero errors in-spec"
+            );
+        }
+    }
+
+    #[test]
+    fn beyond_margin_fan_in_shows_errors() {
+        // Far past the 128-row limit the '1' and '0' regions overlap and
+        // even bounded sampling fails.
+        let tech = Technology::pcm();
+        let mut rng = StdRng::seed_from_u64(0xBAD);
+        let report = or_error_rate(&tech, 512, VariationModel::BoundedUniform, 4000, &mut rng)
+            .expect("valid fan-in");
+        assert!(
+            report.error_rate() > 0.01,
+            "512-row OR must fail often, got {}",
+            report.error_rate()
+        );
+    }
+
+    #[test]
+    fn gaussian_tails_fail_earlier_than_uniform_bounds() {
+        let tech = Technology::pcm();
+        let mut rng = StdRng::seed_from_u64(0x6A55);
+        let reliable = max_reliable_or_fan_in(&tech, 1e-3, 2000, &mut rng).expect("sweep runs");
+        assert!(
+            (16..=256).contains(&reliable),
+            "Gaussian-model reliable fan-in should be near the 128 cap, got {reliable}"
+        );
+    }
+
+    #[test]
+    fn stt_is_reliable_only_at_tiny_fan_in() {
+        let tech = Technology::stt_mram();
+        let mut rng = StdRng::seed_from_u64(0x57);
+        let reliable = max_reliable_or_fan_in(&tech, 1e-3, 2000, &mut rng).expect("sweep runs");
+        assert!(
+            reliable <= 8,
+            "low ON/OFF STT-MRAM cannot support wide ORs, got {reliable}"
+        );
+    }
+
+    #[test]
+    fn error_rate_is_zero_for_zero_trials() {
+        assert_eq!(
+            YieldReport {
+                trials: 0,
+                errors: 0
+            }
+            .error_rate(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn degenerate_fan_in_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(or_error_rate(
+            &Technology::pcm(),
+            1,
+            VariationModel::Gaussian,
+            10,
+            &mut rng
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based validation of the circuit layer.
+//!
+//! These tests stand in for the paper's HSPICE sweeps (Fig. 6, Fig. 7): for
+//! *any* cell contents and *any* resistance values inside the worst-case
+//! process-variation intervals, the sense amplifier must produce the exact
+//! logic result the reference placement promises.
+
+use pinatubo_nvm::cell::Cell;
+use pinatubo_nvm::resistance::{parallel, Ohms};
+use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode, XorUnit};
+use pinatubo_nvm::technology::Technology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a row-slice of cell bits with the given fan-in range.
+fn bits(fan_in: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), fan_in)
+}
+
+proptest! {
+    /// Multi-row OR senses correctly for every bit pattern and every
+    /// in-spec resistance assignment, all the way to the 128-row cap.
+    #[test]
+    fn pcm_or_is_exact_under_variation(bits in bits(2..=128usize), seed in any::<u64>()) {
+        let tech = Technology::pcm();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bl = parallel(
+            bits.iter()
+                .map(|&b| Cell::new(b).resistance_sampled(&tech, &mut rng)),
+        );
+        let mode = SenseMode::or(bits.len()).expect("fan-in >= 2");
+        let sensed = sa.sense_checked(bl, mode).expect("in-spec resistances never ambiguous");
+        let expected = bits.iter().any(|&b| b);
+        prop_assert_eq!(sensed, expected);
+    }
+
+    /// 2-row AND senses correctly for every pattern and in-spec variation.
+    #[test]
+    fn pcm_and_is_exact_under_variation(a in any::<bool>(), b in any::<bool>(), seed in any::<u64>()) {
+        let tech = Technology::pcm();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bl = parallel([
+            Cell::new(a).resistance_sampled(&tech, &mut rng),
+            Cell::new(b).resistance_sampled(&tech, &mut rng),
+        ]);
+        let sensed = sa.sense_checked(bl, SenseMode::and(2).expect("binary AND")).expect("in-spec");
+        prop_assert_eq!(sensed, a & b);
+    }
+
+    /// STT-MRAM's conservative 2-row ops are exact despite the low ON/OFF
+    /// ratio.
+    #[test]
+    fn stt_two_row_ops_are_exact(a in any::<bool>(), b in any::<bool>(), seed in any::<u64>()) {
+        let tech = Technology::stt_mram();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bl = parallel([
+            Cell::new(a).resistance_sampled(&tech, &mut rng),
+            Cell::new(b).resistance_sampled(&tech, &mut rng),
+        ]);
+        let or = sa.sense_checked(bl, SenseMode::or(2).expect("binary OR")).expect("in-spec");
+        prop_assert_eq!(or, a | b);
+        let and = sa.sense_checked(bl, SenseMode::and(2).expect("binary AND")).expect("in-spec");
+        prop_assert_eq!(and, a & b);
+    }
+
+    /// ReRAM multi-row OR is exact up to its 128-row cap.
+    #[test]
+    fn reram_or_is_exact_under_variation(bits in bits(2..=128usize), seed in any::<u64>()) {
+        let tech = Technology::reram();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bl = parallel(
+            bits.iter()
+                .map(|&b| Cell::new(b).resistance_sampled(&tech, &mut rng)),
+        );
+        let mode = SenseMode::or(bits.len()).expect("fan-in >= 2");
+        let sensed = sa.sense_checked(bl, mode).expect("in-spec");
+        prop_assert_eq!(sensed, bits.iter().any(|&b| b));
+    }
+
+    /// Parallel combination is bounded above by its smallest branch and
+    /// below by smallest/n: the physics the SA relies on.
+    #[test]
+    fn parallel_bounds(values in prop::collection::vec(1.0e3..1.0e7f64, 1..64)) {
+        let rs: Vec<Ohms> = values.iter().copied().map(Ohms::new).collect();
+        let combined = parallel(rs.iter().copied());
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(combined.get() <= min + 1e-9);
+        prop_assert!(combined.get() >= min / values.len() as f64 - 1e-9);
+    }
+
+    /// Tightening process variation never *reduces* the achievable OR
+    /// fan-in.
+    #[test]
+    fn fan_in_is_monotone_in_variation(v1 in 0.01..0.4f64, v2 in 0.01..0.4f64) {
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let tighter = CurrentSenseAmp::new(
+            &Technology::pcm().to_builder().variation(lo).build(),
+        );
+        let looser = CurrentSenseAmp::new(
+            &Technology::pcm().to_builder().variation(hi).build(),
+        );
+        prop_assert!(tighter.max_or_fan_in() >= looser.max_or_fan_in());
+    }
+
+    /// The XOR micro-step unit matches `^` over arbitrary operand streams.
+    #[test]
+    fn xor_unit_matches_operator(pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..32)) {
+        let mut unit = XorUnit::new();
+        for (a, b) in pairs {
+            unit.sample(a);
+            prop_assert_eq!(unit.resolve(b), Some(a ^ b));
+        }
+    }
+}

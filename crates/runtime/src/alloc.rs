@@ -1,0 +1,301 @@
+//! `pim_malloc`: row-granular bit-vector allocation.
+//!
+//! The paper's modified C runtime "ensures that different bit-vectors are
+//! allocated to different memory rows, since Pinatubo is only able to
+//! process inter-row operations" (§5). The allocator therefore hands out
+//! whole rows; a vector longer than one row gets a sequence of rows
+//! (segments) that the driver operates on serially.
+
+use crate::bitvec::PimBitVec;
+use crate::mapping::MappingPolicy;
+use crate::RuntimeError;
+use pinatubo_mem::{MemGeometry, RowAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The PIM-aware allocator.
+#[derive(Debug)]
+pub struct PimAllocator {
+    geometry: MemGeometry,
+    policy: MappingPolicy,
+    /// Rows handed out so far (row-linear indices).
+    used: HashSet<u64>,
+    /// Rows retired for endurance reasons (subset of `used`).
+    retired: HashSet<u64>,
+    /// Next candidate for the deterministic policies.
+    cursor: u64,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl PimAllocator {
+    /// An allocator over `geometry` using `policy`.
+    #[must_use]
+    pub fn new(geometry: MemGeometry, policy: MappingPolicy) -> Self {
+        let seed = match policy {
+            MappingPolicy::Random { seed } => seed,
+            _ => 0,
+        };
+        PimAllocator {
+            geometry,
+            policy,
+            used: HashSet::new(),
+            retired: HashSet::new(),
+            cursor: 0,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// The mapping policy in force.
+    #[must_use]
+    pub fn policy(&self) -> MappingPolicy {
+        self.policy
+    }
+
+    /// Rows not yet allocated.
+    #[must_use]
+    pub fn free_rows(&self) -> u64 {
+        self.geometry.total_rows() - self.used.len() as u64
+    }
+
+    /// Permanently removes rows from the allocation pool (endurance
+    /// management: worn or faulty rows are never handed out again).
+    /// Rows currently holding data keep working — wear-out is gradual —
+    /// but the allocator will never place new data there.
+    ///
+    /// Returns how many rows were newly retired.
+    pub fn retire_rows(&mut self, rows: &[RowAddr]) -> usize {
+        let mut newly = 0;
+        for row in rows.iter().filter(|r| r.is_valid(&self.geometry)) {
+            let linear = row.to_linear(&self.geometry);
+            if self.retired.insert(linear) {
+                newly += 1;
+                self.used.insert(linear);
+            }
+        }
+        newly
+    }
+
+    /// Rows retired so far.
+    #[must_use]
+    pub fn retired_rows(&self) -> u64 {
+        self.retired.len() as u64
+    }
+
+    /// Allocates a bit-vector of `len_bits` (the `pim_malloc` entry point).
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::EmptyAllocation`] for zero-length requests;
+    /// * [`RuntimeError::OutOfMemory`] when not enough rows remain.
+    pub fn alloc(&mut self, len_bits: u64) -> Result<PimBitVec, RuntimeError> {
+        if len_bits == 0 {
+            return Err(RuntimeError::EmptyAllocation);
+        }
+        let rows_needed = len_bits.div_ceil(self.geometry.logical_row_bits());
+        if rows_needed > self.free_rows() {
+            return Err(RuntimeError::OutOfMemory {
+                requested_rows: rows_needed,
+                free_rows: self.free_rows(),
+            });
+        }
+        let rows: Vec<RowAddr> = (0..rows_needed).map(|_| self.next_row()).collect();
+        let id = self.next_id;
+        self.next_id += 1;
+        Ok(PimBitVec::new(id, len_bits, rows))
+    }
+
+    /// Allocates `count` bit-vectors of `len_bits` placed *together*: when
+    /// the whole group fits in one subarray, every vector lands in the
+    /// same subarray, so operations across the group are intra-subarray.
+    ///
+    /// This is the paper's PIM-aware OS placement (§5: memory management
+    /// "maximizes the opportunity for calling intra-subarray operations").
+    /// Groups bigger than a subarray, or non-`SubarrayFirst` policies,
+    /// degrade gracefully to per-vector allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PimAllocator::alloc`].
+    pub fn alloc_group(
+        &mut self,
+        count: usize,
+        len_bits: u64,
+    ) -> Result<Vec<PimBitVec>, RuntimeError> {
+        if len_bits == 0 {
+            return Err(RuntimeError::EmptyAllocation);
+        }
+        let rows_per_vector = len_bits.div_ceil(self.geometry.logical_row_bits());
+        let group_rows = rows_per_vector * count as u64;
+        if self.policy == MappingPolicy::SubarrayFirst
+            && group_rows <= u64::from(self.geometry.rows_per_subarray)
+        {
+            // Skip to the next subarray boundary if the group would
+            // straddle one.
+            let sub_rows = u64::from(self.geometry.rows_per_subarray);
+            let used_in_subarray = self.cursor % sub_rows;
+            if used_in_subarray + group_rows > sub_rows {
+                let skip_to = (self.cursor / sub_rows + 1) * sub_rows;
+                self.cursor = skip_to % self.geometry.total_rows();
+            }
+        }
+        (0..count).map(|_| self.alloc(len_bits)).collect()
+    }
+
+    /// Picks the next free row under the policy.
+    fn next_row(&mut self) -> RowAddr {
+        let total = self.geometry.total_rows();
+        let linear = match self.policy {
+            MappingPolicy::SubarrayFirst => {
+                // Canonical linear order keeps each subarray's rows
+                // contiguous, so a simple cursor fills subarrays in turn.
+                let mut idx = self.cursor;
+                while self.used.contains(&idx) {
+                    idx = (idx + 1) % total;
+                }
+                self.cursor = (idx + 1) % total;
+                idx
+            }
+            MappingPolicy::BankInterleave => {
+                // Stride by one subarray's rows so consecutive allocations
+                // rotate across subarrays and banks.
+                let stride = u64::from(self.geometry.rows_per_subarray);
+                let mut idx = self.cursor;
+                while self.used.contains(&idx) {
+                    idx = (idx + stride + 1) % total;
+                }
+                self.cursor = (idx + stride + 1) % total;
+                idx
+            }
+            MappingPolicy::Random { .. } => loop {
+                let idx = self.rng.gen_range(0..total);
+                if !self.used.contains(&idx) {
+                    break idx;
+                }
+            },
+        };
+        self.used.insert(linear);
+        RowAddr::from_linear(&self.geometry, linear)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(policy: MappingPolicy) -> PimAllocator {
+        PimAllocator::new(MemGeometry::pcm_default(), policy)
+    }
+
+    #[test]
+    fn subarray_first_packs_one_subarray() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        let vectors: Vec<PimBitVec> = (0..10).map(|_| a.alloc(4096).expect("allocates")).collect();
+        let first = vectors[0].rows()[0];
+        for v in &vectors {
+            assert!(
+                v.rows()[0].same_subarray(&first),
+                "co-allocated vectors should share a subarray"
+            );
+        }
+    }
+
+    #[test]
+    fn bank_interleave_scatters_across_subarrays() {
+        let mut a = alloc(MappingPolicy::BankInterleave);
+        let v1 = a.alloc(64).expect("first");
+        let v2 = a.alloc(64).expect("second");
+        assert!(!v1.rows()[0].same_subarray(&v2.rows()[0]));
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let mut a = alloc(MappingPolicy::Random { seed: 7 });
+        let mut b = alloc(MappingPolicy::Random { seed: 7 });
+        for _ in 0..20 {
+            assert_eq!(
+                a.alloc(64).expect("a").rows(),
+                b.alloc(64).expect("b").rows()
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_never_reused() {
+        let mut a = alloc(MappingPolicy::random());
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let v = a.alloc(64).expect("allocates");
+            for r in v.rows() {
+                assert!(seen.insert(*r), "row {r} handed out twice");
+            }
+        }
+    }
+
+    #[test]
+    fn long_vectors_get_multiple_rows() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        let row_bits = MemGeometry::pcm_default().logical_row_bits();
+        let v = a.alloc(row_bits * 3 + 1).expect("allocates");
+        assert_eq!(v.rows().len(), 4);
+    }
+
+    #[test]
+    fn zero_length_is_rejected() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        assert_eq!(a.alloc(0), Err(RuntimeError::EmptyAllocation));
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_memory() {
+        // A tiny geometry so the test terminates quickly.
+        let mut g = MemGeometry::pcm_default();
+        g.channels = 1;
+        g.ranks_per_channel = 1;
+        g.banks_per_chip = 1;
+        g.subarrays_per_bank = 1;
+        g.rows_per_subarray = 4;
+        let mut a = PimAllocator::new(g, MappingPolicy::SubarrayFirst);
+        for _ in 0..4 {
+            a.alloc(64).expect("allocates while rows remain");
+        }
+        assert!(matches!(
+            a.alloc(64),
+            Err(RuntimeError::OutOfMemory { free_rows: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn groups_never_straddle_subarrays() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        // 90 groups of 12 rows: 1024/12 = 85 groups per subarray, so a
+        // naive cursor would straddle the boundary at group 86.
+        for _ in 0..90 {
+            let group = a.alloc_group(12, 64).expect("group allocates");
+            let first = group[0].rows()[0];
+            for v in &group {
+                assert!(
+                    v.rows()[0].same_subarray(&first),
+                    "group must stay in one subarray"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_groups_still_allocate() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        let group = a.alloc_group(2000, 64).expect("bigger than a subarray");
+        assert_eq!(group.len(), 2000);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        let v1 = a.alloc(64).expect("v1");
+        let v2 = a.alloc(64).expect("v2");
+        assert_ne!(v1.id(), v2.id());
+    }
+}

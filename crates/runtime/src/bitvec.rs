@@ -1,0 +1,82 @@
+//! The user-level bit-vector handle.
+
+use pinatubo_mem::RowAddr;
+
+/// A bit-vector allocated on whole memory rows by
+/// [`crate::alloc::PimAllocator`].
+///
+/// The handle is plain data: it names the rows but holds no contents (the
+/// bits live in the simulated memory). Cloning a handle does not clone the
+/// storage — like a file descriptor, two clones name the same rows.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PimBitVec {
+    id: u64,
+    len_bits: u64,
+    rows: Vec<RowAddr>,
+}
+
+impl PimBitVec {
+    /// Assembles a handle (called by the allocator).
+    #[must_use]
+    pub(crate) fn new(id: u64, len_bits: u64, rows: Vec<RowAddr>) -> Self {
+        debug_assert!(!rows.is_empty(), "a bit-vector owns at least one row");
+        PimBitVec { id, len_bits, rows }
+    }
+
+    /// Allocation id (unique within one allocator).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Length in bits.
+    #[must_use]
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// The rows backing this vector, in segment order.
+    #[must_use]
+    pub fn rows(&self) -> &[RowAddr] {
+        &self.rows
+    }
+
+    /// Iterates `(segment_index, row, bits_in_segment)` given the row width
+    /// of the memory this vector lives in.
+    pub fn segments(&self, row_bits: u64) -> impl Iterator<Item = (usize, RowAddr, u64)> + '_ {
+        let len = self.len_bits;
+        self.rows.iter().enumerate().map(move |(i, &row)| {
+            let start = i as u64 * row_bits;
+            let bits = (len - start).min(row_bits);
+            (i, row, bits)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(row: u32) -> RowAddr {
+        RowAddr::new(0, 0, 0, 0, row)
+    }
+
+    #[test]
+    fn segments_cover_the_length() {
+        let v = PimBitVec::new(0, 2500, vec![addr(0), addr(1), addr(2)]);
+        let segs: Vec<_> = v.segments(1000).collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], (0, addr(0), 1000));
+        assert_eq!(segs[1], (1, addr(1), 1000));
+        assert_eq!(segs[2], (2, addr(2), 500));
+        let total: u64 = segs.iter().map(|(_, _, b)| b).sum();
+        assert_eq!(total, 2500);
+    }
+
+    #[test]
+    fn single_row_vector_has_one_segment() {
+        let v = PimBitVec::new(1, 64, vec![addr(9)]);
+        let segs: Vec<_> = v.segments(1 << 19).collect();
+        assert_eq!(segs, vec![(0, addr(9), 64)]);
+    }
+}

@@ -1,0 +1,355 @@
+//! The driver-library scheduler (§5: the dynamic linked driver "first
+//! optimizes and reschedules the operation requests, and then issues
+//! extended instruction for PIM").
+//!
+//! Two optimizations are modelled:
+//!
+//! * **Mode-register batching** — the SA reference configuration is a
+//!   mode-register write; executing all ORs, then all ANDs, … (where data
+//!   dependences allow) avoids reconfiguration thrash.
+//! * **Channel parallelism** — channels have independent command/data
+//!   buses, so operations on different channels overlap. The engine's
+//!   accounting is a single serial command stream; the scheduler reports
+//!   the *makespan* over per-channel completion times alongside it.
+//!
+//! Reordering is dependence-aware: requests are grouped into topological
+//! levels by row conflicts (read-after-write, write-after-anything), and
+//! only reordered within a level.
+
+use crate::bitvec::PimBitVec;
+use crate::system::{OpSummary, PimSystem};
+use crate::RuntimeError;
+use pinatubo_core::BitwiseOp;
+use pinatubo_mem::RowAddr;
+use std::collections::HashSet;
+
+/// One queued operation request.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The bulk operation.
+    pub op: BitwiseOp,
+    /// Operand vectors.
+    pub operands: Vec<PimBitVec>,
+    /// Destination vector.
+    pub dst: PimBitVec,
+}
+
+impl BatchRequest {
+    /// Rows this request reads.
+    fn reads(&self) -> impl Iterator<Item = RowAddr> + '_ {
+        self.operands.iter().flat_map(|v| v.rows().iter().copied())
+    }
+
+    /// Rows this request writes.
+    fn writes(&self) -> impl Iterator<Item = RowAddr> + '_ {
+        self.dst.rows().iter().copied()
+    }
+
+    /// Whether `self` must stay ordered after `earlier`.
+    fn depends_on(&self, earlier: &BatchRequest) -> bool {
+        let earlier_writes: HashSet<RowAddr> = earlier.writes().collect();
+        // RAW: we read something it wrote. WAW: we write something it
+        // wrote. WAR: we write something it read.
+        if self.reads().any(|r| earlier_writes.contains(&r)) {
+            return true;
+        }
+        if self.writes().any(|w| earlier_writes.contains(&w)) {
+            return true;
+        }
+        let our_writes: HashSet<RowAddr> = self.writes().collect();
+        earlier.reads().any(|r| our_writes.contains(&r))
+    }
+}
+
+/// What a scheduled batch cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Sum of per-op times — the single-command-stream account.
+    pub serial_time_ns: f64,
+    /// Completion time with channel-level overlap.
+    pub makespan_ns: f64,
+    /// Per-channel busy times.
+    pub channel_times_ns: Vec<f64>,
+    /// Mode-register switches the submitted order would have issued.
+    pub mode_switches_naive: u64,
+    /// Mode-register switches after reordering.
+    pub mode_switches_scheduled: u64,
+    /// Per-request summaries, in *scheduled* execution order, paired with
+    /// the request's index in the submitted batch.
+    pub per_op: Vec<(usize, OpSummary)>,
+}
+
+impl ScheduleReport {
+    /// Speedup of channel-parallel completion over the serial stream.
+    #[must_use]
+    pub fn channel_parallel_speedup(&self) -> f64 {
+        if self.makespan_ns == 0.0 {
+            1.0
+        } else {
+            self.serial_time_ns / self.makespan_ns
+        }
+    }
+}
+
+/// Computes the dependence-respecting, mode-grouped execution order.
+/// Returns indices into `requests`.
+#[must_use]
+pub fn schedule(requests: &[BatchRequest]) -> Vec<usize> {
+    // Topological levels by conflict: level(i) = 1 + max level of any
+    // earlier conflicting request.
+    let mut levels = vec![0usize; requests.len()];
+    for i in 0..requests.len() {
+        for j in 0..i {
+            if requests[i].depends_on(&requests[j]) {
+                levels[i] = levels[i].max(levels[j] + 1);
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    // Stable sort: primary by level (dependences), secondary by operation
+    // kind (mode-register batching).
+    order.sort_by_key(|&i| (levels[i], mode_rank(requests[i].op)));
+    order
+}
+
+/// Stable grouping key for mode-register batching.
+fn mode_rank(op: BitwiseOp) -> u8 {
+    match op {
+        BitwiseOp::Or => 0,
+        BitwiseOp::And => 1,
+        BitwiseOp::Xor => 2,
+        BitwiseOp::Not => 3,
+    }
+}
+
+/// Counts adjacent operation-kind transitions (≈ mode-register switches).
+fn mode_switches(ops: impl Iterator<Item = BitwiseOp>) -> u64 {
+    let mut switches = 0;
+    let mut last = None;
+    for op in ops {
+        if last.is_some_and(|l| l != op) {
+            switches += 1;
+        }
+        last = Some(op);
+    }
+    switches
+}
+
+impl PimSystem {
+    /// Executes a batch of requests through the driver scheduler.
+    ///
+    /// Results are identical to executing the batch in submission order
+    /// (reordering respects data dependences); the report additionally
+    /// accounts the mode-switch savings and the channel-parallel makespan.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing request and returns its error.
+    pub fn execute_batch(
+        &mut self,
+        requests: &[BatchRequest],
+    ) -> Result<ScheduleReport, RuntimeError> {
+        let order = schedule(requests);
+        let mode_switches_naive = mode_switches(requests.iter().map(|r| r.op));
+        let mode_switches_scheduled = mode_switches(order.iter().map(|&i| requests[i].op));
+
+        let channels = self.engine().memory().geometry().channels as usize;
+        let mut channel_times_ns = vec![0.0f64; channels];
+        let mut serial_time_ns = 0.0;
+        let mut per_op = Vec::with_capacity(order.len());
+
+        for &i in &order {
+            let request = &requests[i];
+            let operands: Vec<&PimBitVec> = request.operands.iter().collect();
+            let summary = self.bitwise(request.op, &operands, &request.dst)?;
+            serial_time_ns += summary.time_ns;
+            let channel = request.dst.rows()[0].channel as usize;
+            channel_times_ns[channel] += summary.time_ns;
+            per_op.push((i, summary));
+        }
+
+        let makespan_ns = channel_times_ns.iter().copied().fold(0.0, f64::max);
+        Ok(ScheduleReport {
+            serial_time_ns,
+            makespan_ns,
+            channel_times_ns,
+            mode_switches_naive,
+            mode_switches_scheduled,
+            per_op,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingPolicy;
+
+    fn sys() -> PimSystem {
+        PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
+    }
+
+    /// Builds `n` independent 2-operand requests of alternating op kinds.
+    fn alternating_batch(sys: &mut PimSystem, n: usize) -> Vec<BatchRequest> {
+        (0..n)
+            .map(|i| {
+                let group = sys.alloc_group(3, 256).expect("alloc");
+                BatchRequest {
+                    op: if i % 2 == 0 {
+                        BitwiseOp::Or
+                    } else {
+                        BitwiseOp::And
+                    },
+                    operands: group[..2].to_vec(),
+                    dst: group[2].clone(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scheduling_batches_mode_switches() {
+        let mut s = sys();
+        let batch = alternating_batch(&mut s, 8);
+        let report = s.execute_batch(&batch).expect("batch runs");
+        assert_eq!(report.mode_switches_naive, 7);
+        assert_eq!(
+            report.mode_switches_scheduled, 1,
+            "independent ops should group into one OR run and one AND run"
+        );
+        assert_eq!(report.per_op.len(), 8);
+    }
+
+    #[test]
+    fn dependences_are_never_reordered() {
+        let mut s = sys();
+        let a = s.alloc(128).expect("a");
+        let b = s.alloc(128).expect("b");
+        let mid = s.alloc(128).expect("mid");
+        let out = s.alloc(128).expect("out");
+        s.store(&a, &[true; 128]).expect("store");
+
+        // AND first, then an OR that reads the AND's result: grouping by
+        // mode would want OR first, but the dependence forbids it.
+        let batch = vec![
+            BatchRequest {
+                op: BitwiseOp::And,
+                operands: vec![a.clone(), a.clone()],
+                dst: mid.clone(),
+            },
+            BatchRequest {
+                op: BitwiseOp::Or,
+                operands: vec![mid.clone(), b.clone()],
+                dst: out.clone(),
+            },
+        ];
+        let order = schedule(&batch);
+        assert_eq!(order, vec![0, 1], "RAW dependence must hold the order");
+        s.execute_batch(&batch).expect("batch runs");
+        assert_eq!(s.count_ones(&out), 128, "mid's value flowed into out");
+    }
+
+    #[test]
+    fn war_and_waw_conflicts_are_respected() {
+        let mut s = sys();
+        let a = s.alloc(64).expect("a");
+        let b = s.alloc(64).expect("b");
+        let dst = s.alloc(64).expect("dst");
+        let batch = vec![
+            // Reads a, writes dst.
+            BatchRequest {
+                op: BitwiseOp::Or,
+                operands: vec![a.clone(), b.clone()],
+                dst: dst.clone(),
+            },
+            // WAR: writes a (which the first reads).
+            BatchRequest {
+                op: BitwiseOp::Not,
+                operands: vec![b.clone()],
+                dst: a.clone(),
+            },
+            // WAW: writes dst again.
+            BatchRequest {
+                op: BitwiseOp::And,
+                operands: vec![a.clone(), b.clone()],
+                dst: dst.clone(),
+            },
+        ];
+        let order = schedule(&batch);
+        let pos = |i: usize| order.iter().position(|&x| x == i).expect("present");
+        assert!(pos(0) < pos(1), "WAR order");
+        assert!(pos(1) < pos(2), "the AND reads the NOT's output");
+    }
+
+    #[test]
+    fn batch_results_match_sequential_execution() {
+        let build = |s: &mut PimSystem| -> (Vec<BatchRequest>, PimBitVec) {
+            let group = s.alloc_group(4, 512).expect("alloc");
+            let mut bits = vec![false; 512];
+            bits[7] = true;
+            s.store(&group[0], &bits).expect("store");
+            let batch = vec![
+                BatchRequest {
+                    op: BitwiseOp::Or,
+                    operands: vec![group[0].clone(), group[1].clone()],
+                    dst: group[2].clone(),
+                },
+                BatchRequest {
+                    op: BitwiseOp::Not,
+                    operands: vec![group[2].clone()],
+                    dst: group[3].clone(),
+                },
+            ];
+            (batch, group[3].clone())
+        };
+
+        let mut scheduled = sys();
+        let (batch, out) = build(&mut scheduled);
+        scheduled.execute_batch(&batch).expect("scheduled");
+        let scheduled_bits = scheduled.load(&out);
+
+        let mut sequential = sys();
+        let (batch, out) = build(&mut sequential);
+        for r in &batch {
+            let operands: Vec<&PimBitVec> = r.operands.iter().collect();
+            sequential
+                .bitwise(r.op, &operands, &r.dst)
+                .expect("sequential");
+        }
+        assert_eq!(scheduled_bits, sequential.load(&out));
+    }
+
+    #[test]
+    fn channel_parallelism_reduces_makespan() {
+        // Random placement spreads destinations across channels.
+        let mut s = PimSystem::pcm_default(MappingPolicy::random());
+        let batch: Vec<BatchRequest> = (0..16)
+            .map(|_| {
+                let a = s.alloc(4096).expect("a");
+                let b = s.alloc(4096).expect("b");
+                let dst = s.alloc(4096).expect("dst");
+                BatchRequest {
+                    op: BitwiseOp::Or,
+                    operands: vec![a, b],
+                    dst,
+                }
+            })
+            .collect();
+        let report = s.execute_batch(&batch).expect("batch runs");
+        assert!(
+            report.channel_parallel_speedup() > 1.5,
+            "16 ops over 4 channels should overlap (got {:.2}x)",
+            report.channel_parallel_speedup()
+        );
+        assert!(report.makespan_ns <= report.serial_time_ns);
+        assert_eq!(report.channel_times_ns.len(), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_trivial() {
+        let mut s = sys();
+        let report = s.execute_batch(&[]).expect("empty batch");
+        assert_eq!(report.serial_time_ns, 0.0);
+        assert_eq!(report.channel_parallel_speedup(), 1.0);
+    }
+}

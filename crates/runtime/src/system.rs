@@ -1,0 +1,465 @@
+//! The `pim_op` driver: the facade applications program against.
+
+use crate::alloc::PimAllocator;
+use crate::bitvec::PimBitVec;
+use crate::mapping::MappingPolicy;
+use crate::RuntimeError;
+use pinatubo_core::{BitwiseOp, BulkOp, OpClass, OpOutcome, PinatuboConfig, PinatuboEngine};
+use pinatubo_mem::{MemConfig, MemStats, RowData};
+
+/// A complete Pinatubo system: engine + allocator + driver.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct PimSystem {
+    engine: PinatuboEngine,
+    allocator: PimAllocator,
+    trace: Vec<BulkOp>,
+}
+
+impl PimSystem {
+    /// A system over the paper's PCM memory with full multi-row operation.
+    #[must_use]
+    pub fn pcm_default(policy: MappingPolicy) -> Self {
+        PimSystem::new(MemConfig::pcm_default(), PinatuboConfig::default(), policy)
+    }
+
+    /// A fully configured system.
+    #[must_use]
+    pub fn new(mem: MemConfig, config: PinatuboConfig, policy: MappingPolicy) -> Self {
+        let geometry = mem.geometry.clone();
+        PimSystem {
+            engine: PinatuboEngine::new(mem, config),
+            allocator: PimAllocator::new(geometry, policy),
+            trace: Vec::new(),
+        }
+    }
+
+    /// The engine (inspection).
+    #[must_use]
+    pub fn engine(&self) -> &PinatuboEngine {
+        &self.engine
+    }
+
+    /// The allocator (inspection).
+    #[must_use]
+    pub fn allocator(&self) -> &PimAllocator {
+        &self.allocator
+    }
+
+    /// Accumulated memory statistics (time, energy, commands).
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        self.engine.memory().stats()
+    }
+
+    /// Resets and returns the accumulated memory statistics.
+    pub fn take_stats(&mut self) -> MemStats {
+        self.engine.memory_mut().take_stats()
+    }
+
+    /// The abstract operation trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &[BulkOp] {
+        &self.trace
+    }
+
+    /// Removes and returns the recorded trace.
+    pub fn take_trace(&mut self) -> Vec<BulkOp> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Allocates a bit-vector (`pim_malloc`).
+    ///
+    /// # Errors
+    ///
+    /// See [`PimAllocator::alloc`].
+    pub fn alloc(&mut self, len_bits: u64) -> Result<PimBitVec, RuntimeError> {
+        self.allocator.alloc(len_bits)
+    }
+
+    /// Allocates a group of co-operated bit-vectors placed for
+    /// intra-subarray operation (see [`PimAllocator::alloc_group`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`PimAllocator::alloc_group`].
+    pub fn alloc_group(
+        &mut self,
+        count: usize,
+        len_bits: u64,
+    ) -> Result<Vec<PimBitVec>, RuntimeError> {
+        self.allocator.alloc_group(count, len_bits)
+    }
+
+    /// Stores bits into a vector. Setup traffic: charged to nobody, like
+    /// the paper's workload initialization (the measured region is the
+    /// operations, not the data load).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::StoreTooLong`] if more bits are offered than the
+    /// vector holds.
+    pub fn store(&mut self, vec: &PimBitVec, bits: &[bool]) -> Result<(), RuntimeError> {
+        if bits.len() as u64 > vec.len_bits() {
+            return Err(RuntimeError::StoreTooLong {
+                capacity_bits: vec.len_bits(),
+                got_bits: bits.len() as u64,
+            });
+        }
+        let row_bits = self.row_bits();
+        for (i, row, seg_bits) in vec.segments(row_bits) {
+            let start = i as u64 * row_bits;
+            let end = (start + seg_bits).min(bits.len() as u64);
+            if start >= bits.len() as u64 {
+                break;
+            }
+            let slice = &bits[start as usize..end as usize];
+            self.engine
+                .memory_mut()
+                .poke_row(row, &RowData::from_bits(slice))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a vector's bits back (verification; uncharged, like a
+    /// simulator state dump).
+    #[must_use]
+    pub fn load(&self, vec: &PimBitVec) -> Vec<bool> {
+        let row_bits = self.row_bits();
+        let mut out = Vec::with_capacity(vec.len_bits() as usize);
+        for (_, row, seg_bits) in vec.segments(row_bits) {
+            match self.engine.memory().peek_row(row) {
+                Some(data) => out.extend((0..seg_bits).map(|i| data.get(i))),
+                None => out.extend(std::iter::repeat(false).take(seg_bits as usize)),
+            }
+        }
+        out
+    }
+
+    /// Population count of a vector (uncharged verification helper).
+    #[must_use]
+    pub fn count_ones(&self, vec: &PimBitVec) -> u64 {
+        let row_bits = self.row_bits();
+        vec.segments(row_bits)
+            .map(
+                |(_, row, seg_bits)| match self.engine.memory().peek_row(row) {
+                    Some(data) => {
+                        let mut clipped = data.clone();
+                        clipped.resize(seg_bits);
+                        clipped.count_ones()
+                    }
+                    None => 0,
+                },
+            )
+            .sum()
+    }
+
+    /// Executes `dst = op(operands…)` (`pim_op`). Splits the vectors into
+    /// row segments, issues one engine bulk-op per segment, and records a
+    /// single abstract [`BulkOp`] (with the worst observed locality) in the
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::LengthMismatch`] if operand/destination lengths
+    ///   differ;
+    /// * engine and memory errors pass through.
+    pub fn bitwise(
+        &mut self,
+        op: BitwiseOp,
+        operands: &[&PimBitVec],
+        dst: &PimBitVec,
+    ) -> Result<OpSummary, RuntimeError> {
+        let Some(first) = operands.first() else {
+            return Err(RuntimeError::Pim(pinatubo_core::PimError::EmptyOperands));
+        };
+        let len = first.len_bits();
+        for v in operands.iter().skip(1) {
+            if v.len_bits() != len {
+                return Err(RuntimeError::LengthMismatch {
+                    expected_bits: len,
+                    got_bits: v.len_bits(),
+                });
+            }
+        }
+        if dst.len_bits() != len {
+            return Err(RuntimeError::LengthMismatch {
+                expected_bits: len,
+                got_bits: dst.len_bits(),
+            });
+        }
+
+        let row_bits = self.row_bits();
+        let mut summary = OpSummary::default();
+        for (i, dst_row, seg_bits) in dst.segments(row_bits).collect::<Vec<_>>() {
+            let rows: Vec<_> = operands.iter().map(|v| v.rows()[i]).collect();
+            let outcome: OpOutcome = self.engine.bulk_op(op, &rows, dst_row, seg_bits)?;
+            summary.time_ns += outcome.time_ns();
+            summary.energy_pj += outcome.energy_pj();
+            summary.class = summary.class.max(outcome.class);
+            summary.segments += 1;
+        }
+        self.trace.push(BulkOp {
+            op,
+            operand_count: operands.len(),
+            bits: len,
+            locality: summary.class,
+        });
+        Ok(summary)
+    }
+
+    /// `dst = a | b | …` over any number of operands.
+    ///
+    /// # Errors
+    ///
+    /// See [`PimSystem::bitwise`].
+    pub fn or_many(
+        &mut self,
+        operands: &[&PimBitVec],
+        dst: &PimBitVec,
+    ) -> Result<OpSummary, RuntimeError> {
+        self.bitwise(BitwiseOp::Or, operands, dst)
+    }
+
+    /// `dst = !src`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PimSystem::bitwise`].
+    pub fn not(&mut self, src: &PimBitVec, dst: &PimBitVec) -> Result<OpSummary, RuntimeError> {
+        self.bitwise(BitwiseOp::Not, &[src], dst)
+    }
+
+    /// `dst = src` (in-memory row copies, segment by segment).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::LengthMismatch`] if the lengths differ; engine
+    /// errors pass through.
+    pub fn copy(&mut self, src: &PimBitVec, dst: &PimBitVec) -> Result<OpSummary, RuntimeError> {
+        if src.len_bits() != dst.len_bits() {
+            return Err(RuntimeError::LengthMismatch {
+                expected_bits: src.len_bits(),
+                got_bits: dst.len_bits(),
+            });
+        }
+        let row_bits = self.row_bits();
+        let mut summary = OpSummary::default();
+        for ((_, src_row, seg_bits), (_, dst_row, _)) in src
+            .segments(row_bits)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .zip(dst.segments(row_bits).collect::<Vec<_>>())
+        {
+            let outcome = self.engine.copy_row(src_row, dst_row, seg_bits)?;
+            summary.time_ns += outcome.time_ns();
+            summary.energy_pj += outcome.energy_pj();
+            summary.class = summary.class.max(outcome.class);
+            summary.segments += 1;
+        }
+        Ok(summary)
+    }
+
+    /// Endurance management: retires every row whose charged write count
+    /// has reached `write_limit` from the allocation pool, so future
+    /// allocations avoid worn cells. Returns how many rows were newly
+    /// retired. (Vectors already placed on worn rows keep working — NVM
+    /// wear-out is gradual — but no new data lands there.)
+    pub fn retire_worn_rows(&mut self, write_limit: u64) -> usize {
+        let worn = self.engine.memory().worn_rows(write_limit);
+        self.allocator.retire_rows(&worn)
+    }
+
+    fn row_bits(&self) -> u64 {
+        self.engine.memory().geometry().logical_row_bits()
+    }
+}
+
+/// What one `pim_op` cost across its row segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSummary {
+    /// Total simulated time, nanoseconds.
+    pub time_ns: f64,
+    /// Total energy, picojoules.
+    pub energy_pj: f64,
+    /// Worst locality class among the segments.
+    pub class: OpClass,
+    /// Row segments executed.
+    pub segments: u64,
+}
+
+impl Default for OpSummary {
+    fn default() -> Self {
+        OpSummary {
+            time_ns: 0.0,
+            energy_pj: 0.0,
+            class: OpClass::IntraSubarray,
+            segments: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> PimSystem {
+        PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
+    }
+
+    #[test]
+    fn end_to_end_or_is_correct() {
+        let mut s = sys();
+        let a = s.alloc(100).expect("a");
+        let b = s.alloc(100).expect("b");
+        let dst = s.alloc(100).expect("dst");
+        let mut av = vec![false; 100];
+        let mut bv = vec![false; 100];
+        av[3] = true;
+        bv[97] = true;
+        s.store(&a, &av).expect("store a");
+        s.store(&b, &bv).expect("store b");
+        let summary = s.or_many(&[&a, &b], &dst).expect("or");
+        assert_eq!(summary.class, OpClass::IntraSubarray);
+        let out = s.load(&dst);
+        assert!(out[3] && out[97]);
+        assert_eq!(s.count_ones(&dst), 2);
+    }
+
+    #[test]
+    fn subarray_first_policy_yields_intra_ops() {
+        let mut s = sys();
+        let vecs: Vec<_> = (0..64).map(|_| s.alloc(4096).expect("alloc")).collect();
+        let dst = s.alloc(4096).expect("dst");
+        let refs: Vec<&PimBitVec> = vecs.iter().collect();
+        let summary = s.or_many(&refs, &dst).expect("64-row or");
+        assert_eq!(summary.class, OpClass::IntraSubarray);
+        assert_eq!(s.engine().stats().host_fallback, 0);
+    }
+
+    #[test]
+    fn random_policy_degrades_locality() {
+        let mut s = PimSystem::pcm_default(MappingPolicy::random());
+        let vecs: Vec<_> = (0..16).map(|_| s.alloc(64).expect("alloc")).collect();
+        let dst = s.alloc(64).expect("dst");
+        let refs: Vec<&PimBitVec> = vecs.iter().collect();
+        let summary = s.or_many(&refs, &dst).expect("or");
+        assert!(
+            summary.class > OpClass::IntraSubarray,
+            "random placement should not stay intra-subarray"
+        );
+    }
+
+    #[test]
+    fn multi_segment_vectors_work() {
+        let mut s = sys();
+        let row_bits = s.row_bits();
+        let len = row_bits * 2 + 17;
+        let a = s.alloc(len).expect("a");
+        let b = s.alloc(len).expect("b");
+        let dst = s.alloc(len).expect("dst");
+        // Set one bit in the final partial segment of `a`.
+        let mut bits = vec![false; len as usize];
+        bits[len as usize - 1] = true;
+        s.store(&a, &bits).expect("store");
+        let summary = s.bitwise(BitwiseOp::Or, &[&a, &b], &dst).expect("or");
+        assert_eq!(summary.segments, 3);
+        assert_eq!(s.count_ones(&dst), 1);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let mut s = sys();
+        let a = s.alloc(100).expect("a");
+        let b = s.alloc(200).expect("b");
+        let dst = s.alloc(100).expect("dst");
+        assert!(matches!(
+            s.bitwise(BitwiseOp::Or, &[&a, &b], &dst),
+            Err(RuntimeError::LengthMismatch { .. })
+        ));
+        let dst_short = s.alloc(50).expect("short dst");
+        assert!(matches!(
+            s.bitwise(BitwiseOp::Or, &[&a, &a], &dst_short),
+            Err(RuntimeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_too_long_is_rejected() {
+        let mut s = sys();
+        let a = s.alloc(10).expect("a");
+        assert!(matches!(
+            s.store(&a, &[true; 11]),
+            Err(RuntimeError::StoreTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_records_ops() {
+        let mut s = sys();
+        let a = s.alloc(64).expect("a");
+        let b = s.alloc(64).expect("b");
+        let dst = s.alloc(64).expect("dst");
+        s.bitwise(BitwiseOp::Xor, &[&a, &b], &dst).expect("xor");
+        s.not(&dst, &dst).expect("not");
+        let trace = s.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].op, BitwiseOp::Xor);
+        assert_eq!(trace[1].op, BitwiseOp::Not);
+        assert_eq!(trace[0].bits, 64);
+    }
+
+    #[test]
+    fn worn_rows_are_retired_from_allocation() {
+        let mut s = sys();
+        let a = s.alloc(64).expect("a");
+        let dst = s.alloc(64).expect("dst");
+        // Hammer the destination row with writes.
+        for _ in 0..10 {
+            s.or_many(&[&a, &a], &dst).expect("or");
+        }
+        assert_eq!(s.engine().memory().row_wear(dst.rows()[0]), 10);
+
+        let retired = s.retire_worn_rows(10);
+        assert_eq!(retired, 1, "only the hammered dst row is worn");
+        assert_eq!(s.allocator().retired_rows(), 1);
+        // A second call retires nothing new.
+        assert_eq!(s.retire_worn_rows(10), 0);
+        // Fresh allocations proceed and never land on the retired row.
+        let fresh = s.alloc(64).expect("fresh allocation still works");
+        assert_ne!(fresh.rows()[0], dst.rows()[0]);
+    }
+
+    #[test]
+    fn copy_through_the_stack() {
+        let mut s = sys();
+        let src = s.alloc(300).expect("src");
+        let dst = s.alloc(300).expect("dst");
+        let bits: Vec<bool> = (0..300).map(|i| i % 3 == 0).collect();
+        s.store(&src, &bits).expect("store");
+        let summary = s.copy(&src, &dst).expect("copy");
+        assert_eq!(summary.segments, 1);
+        assert_eq!(s.load(&dst), bits);
+
+        let short = s.alloc(100).expect("short");
+        assert!(matches!(
+            s.copy(&src, &short),
+            Err(RuntimeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn not_through_the_stack() {
+        let mut s = sys();
+        let a = s.alloc(8).expect("a");
+        let dst = s.alloc(8).expect("dst");
+        s.store(&a, &[true, false, true, false, true, false, true, false])
+            .expect("store");
+        s.not(&a, &dst).expect("not");
+        assert_eq!(
+            s.load(&dst),
+            vec![false, true, false, true, false, true, false, true]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Bioinformatics example: comparative k-mer analysis of a synthetic
+//! cohort, computed with in-memory set operations (the paper's §3
+//! bioinformatics motivation).
+//!
+//! Run with `cargo run --release --example kmer_analysis`.
+
+use pinatubo_apps::genomics::KmerCohort;
+use pinatubo_runtime::{MappingPolicy, PimSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+    // Five descendants of one ancestor genome, 1% substitution rate.
+    let samples = KmerCohort::synthetic_samples(5, 20_000, 0.01, 0xD7A);
+    let cohort = KmerCohort::load(samples, 8, &mut sys)?;
+    println!(
+        "cohort of {} samples, k = 8 ({}-bit presence bitmaps)\n",
+        cohort.len(),
+        cohort.universe_bits()
+    );
+
+    let pan = cohort.pan_kmer_count(&mut sys)?;
+    let core = cohort.core_kmer_count(&mut sys)?;
+    println!("pan-genome k-mers  (one multi-row OR): {pan}");
+    println!("core-genome k-mers (chained AND)     : {core}");
+    println!(
+        "accessory fraction                   : {:.1}%",
+        100.0 * (pan - core) as f64 / pan as f64
+    );
+
+    println!("\npairwise Jaccard similarity:");
+    for a in 0..cohort.len() {
+        let row: Vec<String> = (0..cohort.len())
+            .map(|b| {
+                if a == b {
+                    " 1.00".to_owned()
+                } else {
+                    format!("{:5.2}", cohort.jaccard(a, b, &mut sys).unwrap_or(f64::NAN))
+                }
+            })
+            .collect();
+        println!("  {}: {}", cohort.names()[a], row.join(" "));
+    }
+
+    println!("\ndistinctive k-mers per sample:");
+    for idx in 0..cohort.len() {
+        let unique = cohort.distinctive_kmer_count(idx, &mut sys)?;
+        println!("  {}: {unique}", cohort.names()[idx]);
+    }
+
+    let stats = sys.stats();
+    println!(
+        "\n{} bulk ops, {:.1} us simulated, {:.1} nJ, {} DDR bus bits",
+        sys.trace().len(),
+        stats.time_ns / 1000.0,
+        stats.total_energy_pj() / 1000.0,
+        stats.events.bus_bits
+    );
+    Ok(())
+}

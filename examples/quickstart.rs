@@ -1,0 +1,62 @@
+//! Quickstart: allocate bit-vectors in NVM, run bulk bitwise operations in
+//! memory, and read the command-level cost back.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use pinatubo_core::BitwiseOp;
+use pinatubo_runtime::{MappingPolicy, PimSystem, RuntimeError};
+
+fn main() -> Result<(), RuntimeError> {
+    // A Pinatubo system over the paper's PCM main memory, with the
+    // PIM-aware allocator that co-locates related bit-vectors.
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+
+    // pim_malloc: sixteen 4096-bit vectors plus a destination, placed in
+    // one subarray so the operation runs as a single multi-row activation.
+    let len = 4096;
+    let mut vectors = sys.alloc_group(17, len)?;
+    let dst = vectors
+        .pop()
+        .expect("seventeenth vector is the destination");
+
+    // Give each vector one set bit.
+    for (i, v) in vectors.iter().enumerate() {
+        let mut bits = vec![false; len as usize];
+        bits[i * 37] = true;
+        sys.store(v, &bits)?;
+    }
+
+    // One 16-operand OR — a single reference-shifted sense in the array.
+    let operands: Vec<_> = vectors.iter().collect();
+    let summary = sys.or_many(&operands, &dst)?;
+
+    println!("16-operand OR over {len}-bit vectors:");
+    println!("  locality class : {}", summary.class);
+    println!("  simulated time : {:.1} ns", summary.time_ns);
+    println!("  energy         : {:.1} pJ", summary.energy_pj);
+    println!("  result ones    : {}", sys.count_ones(&dst));
+
+    // Follow up with AND / XOR / NOT through the same API.
+    let inverted = sys.alloc(len)?;
+    sys.not(&dst, &inverted)?;
+    let both = sys.alloc(len)?;
+    sys.bitwise(BitwiseOp::And, &[&dst, &inverted], &both)?;
+    println!(
+        "  x AND NOT x    : {} ones (always zero)",
+        sys.count_ones(&both)
+    );
+
+    // The command-level statistics the figures are built from.
+    let stats = sys.stats();
+    println!("\ncommand-level account:");
+    println!("  multi-row activations : {}", stats.events.multi_activates);
+    println!("  rows opened           : {}", stats.events.rows_activated);
+    println!("  sense passes          : {}", stats.events.sense_passes);
+    println!("  row writes            : {}", stats.events.row_writes);
+    println!("  DDR bus bits          : {}", stats.events.bus_bits);
+    println!(
+        "  total energy          : {:.1} pJ",
+        stats.total_energy_pj()
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! A compact version of the Fig. 9 experiment: equivalent OR bandwidth
+//! versus vector length and fan-in, straight from the public executor API.
+//!
+//! Run with `cargo run --release --example throughput_sweep`.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor, SimdCpu};
+use pinatubo_core::{BitwiseOp, BulkOp};
+
+fn main() {
+    let mut pim = PinatuboExecutor::multi_row();
+    let mut cpu = SimdCpu::with_pcm();
+    cpu.set_workload_footprint(Some(4 << 30)); // streaming workload
+
+    println!(
+        "{:<12}{:>16}{:>16}{:>16}{:>12}",
+        "length", "2-row (GB/s)", "128-row (GB/s)", "SIMD (GB/s)", "128 vs SIMD"
+    );
+    for len_log2 in [12u32, 14, 16, 19] {
+        let bits = 1u64 << len_log2;
+        let two = BulkOp::intra(BitwiseOp::Or, 2, bits);
+        let wide = BulkOp::intra(BitwiseOp::Or, 128, bits);
+        let r2 = pim.execute(&two);
+        let r128 = pim.execute(&wide);
+        let rcpu = cpu.execute(&wide);
+        println!(
+            "{:<12}{:>16.1}{:>16.1}{:>16.1}{:>11.0}x",
+            format!("2^{len_log2} bits"),
+            r2.throughput_gbps(two.operand_bits()),
+            r128.throughput_gbps(wide.operand_bits()),
+            rcpu.throughput_gbps(wide.operand_bits()),
+            rcpu.time_ns / r128.time_ns
+        );
+    }
+}

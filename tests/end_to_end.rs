@@ -1,0 +1,137 @@
+//! Cross-crate integration: the full stack from user API down to the
+//! circuit models, exercised end-to-end.
+
+use pinatubo_core::{BitwiseOp, OpClass};
+use pinatubo_runtime::{MappingPolicy, PimSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized "application": a few hundred mixed bitwise operations over
+/// a pool of vectors, checked bit-for-bit against a host-side model, with
+/// the command accounting sanity-checked at the end.
+#[test]
+fn random_program_matches_host_model() {
+    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+    let len = 777u64;
+
+    // A pool of vectors with host-side mirrors.
+    let mut pool: Vec<(pinatubo_runtime::PimBitVec, Vec<bool>)> = Vec::new();
+    for _ in 0..12 {
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+        let vec = sys.alloc(len).expect("allocates");
+        sys.store(&vec, &bits).expect("stores");
+        pool.push((vec, bits));
+    }
+
+    for round in 0..200 {
+        let op = match round % 4 {
+            0 => BitwiseOp::Or,
+            1 => BitwiseOp::And,
+            2 => BitwiseOp::Xor,
+            _ => BitwiseOp::Not,
+        };
+        let operand_count = if op == BitwiseOp::Not {
+            1
+        } else {
+            // Leave at least one pool slot free for the destination.
+            rng.gen_range(2..pool.len())
+        };
+        let chosen: Vec<usize> = (0..operand_count)
+            .map(|_| rng.gen_range(0..pool.len()))
+            .collect();
+        // Chained operations reject a destination that aliases an operand
+        // (see `PimError::DstAliasesOperands`); pick a non-operand dst.
+        let dst_idx = (0..pool.len())
+            .find(|i| !chosen.contains(i))
+            .expect("pool is larger than any operand set");
+
+        // Host model.
+        let mut expect = pool[chosen[0]].1.clone();
+        if op == BitwiseOp::Not {
+            for b in &mut expect {
+                *b = !*b;
+            }
+        } else {
+            for &idx in &chosen[1..] {
+                for (e, &b) in expect.iter_mut().zip(&pool[idx].1) {
+                    *e = op.apply(*e, b);
+                }
+            }
+        }
+
+        // Device.
+        let operands: Vec<&pinatubo_runtime::PimBitVec> =
+            chosen.iter().map(|&i| &pool[i].0).collect();
+        let dst = pool[dst_idx].0.clone();
+        sys.bitwise(op, &operands, &dst).expect("bulk op runs");
+
+        assert_eq!(sys.load(&dst), expect, "round {round}, op {op}");
+        pool[dst_idx].1 = expect;
+    }
+
+    // Accounting sanity: work happened, time and energy are positive and
+    // finite, and the op trace matches the rounds executed.
+    let stats = sys.stats();
+    assert!(stats.time_ns > 0.0 && stats.time_ns.is_finite());
+    assert!(stats.total_energy_pj() > 0.0 && stats.total_energy_pj().is_finite());
+    assert_eq!(sys.trace().len(), 200);
+    assert!(stats.events.rows_activated > 0);
+}
+
+/// The same program executed under every mapping policy produces identical
+/// *results* — placement changes cost, never semantics.
+#[test]
+fn mapping_policy_never_changes_results() {
+    let policies = [
+        MappingPolicy::SubarrayFirst,
+        MappingPolicy::BankInterleave,
+        MappingPolicy::random(),
+    ];
+    let mut outcomes = Vec::new();
+    for policy in policies {
+        let mut sys = PimSystem::pcm_default(policy);
+        let vectors: Vec<_> = (0..8)
+            .map(|i| {
+                let v = sys.alloc(256).expect("alloc");
+                let bits: Vec<bool> = (0..256).map(|j| (i * 31 + j) % 7 == 0).collect();
+                sys.store(&v, &bits).expect("store");
+                v
+            })
+            .collect();
+        let dst = sys.alloc(256).expect("dst");
+        let refs: Vec<_> = vectors.iter().collect();
+        sys.or_many(&refs, &dst).expect("or");
+        outcomes.push((sys.load(&dst), sys.stats().time_ns));
+    }
+    assert_eq!(outcomes[0].0, outcomes[1].0);
+    assert_eq!(outcomes[0].0, outcomes[2].0);
+    // ...but the PIM-aware policy is the cheapest.
+    assert!(outcomes[0].1 <= outcomes[1].1);
+    assert!(outcomes[0].1 <= outcomes[2].1);
+}
+
+/// Vectors spanning several rows keep working across the whole stack.
+#[test]
+fn multi_row_vectors_end_to_end() {
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+    let row_bits = 1u64 << 19;
+    let len = row_bits * 2 + 123;
+    let a = sys.alloc(len).expect("a");
+    let b = sys.alloc(len).expect("b");
+    let dst = sys.alloc(len).expect("dst");
+
+    let mut bits = vec![false; len as usize];
+    // One bit per segment, including the ragged tail.
+    bits[5] = true;
+    bits[row_bits as usize + 6] = true;
+    bits[len as usize - 1] = true;
+    sys.store(&a, &bits).expect("store a");
+    sys.bitwise(BitwiseOp::Or, &[&a, &b], &dst).expect("or");
+    assert_eq!(sys.count_ones(&dst), 3);
+
+    let trace = sys.trace();
+    assert_eq!(trace.len(), 1);
+    assert_eq!(trace[0].bits, len);
+    assert_eq!(trace[0].locality, OpClass::IntraSubarray);
+}

@@ -1,0 +1,172 @@
+//! The paper's quantitative claims, asserted as tests: these pin the
+//! *shape* of every headline result (who wins, by roughly what factor,
+//! where the turning points fall). `EXPERIMENTS.md` records the exact
+//! measured numbers next to the paper's.
+
+use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor, SimdCpu};
+use pinatubo_core::{BitwiseOp, BulkOp};
+use pinatubo_nvm::area::AreaModel;
+use pinatubo_nvm::sense_amp::CurrentSenseAmp;
+use pinatubo_nvm::technology::Technology;
+
+fn throughput(executor: &mut PinatuboExecutor, operands: usize, bits: u64) -> f64 {
+    let op = BulkOp::intra(BitwiseOp::Or, operands, bits);
+    executor.execute(&op).throughput_gbps(op.operand_bits())
+}
+
+/// A warmed-up executor: the first operation pays a one-off mode-register
+/// set that would skew small ratio measurements.
+fn warm_executor() -> PinatuboExecutor {
+    let mut x = PinatuboExecutor::multi_row();
+    let _ = x.execute(&BulkOp::intra(BitwiseOp::Or, 2, 64));
+    x
+}
+
+/// §4.2: the PCM sense margin supports 128-row OR; STT-MRAM is held to 2;
+/// multi-row AND is impossible beyond 2 on any technology.
+#[test]
+fn fan_in_limits_match_section_4_2() {
+    assert_eq!(
+        CurrentSenseAmp::new(&Technology::pcm()).max_or_fan_in(),
+        128
+    );
+    assert_eq!(
+        CurrentSenseAmp::new(&Technology::reram()).max_or_fan_in(),
+        128
+    );
+    assert_eq!(
+        CurrentSenseAmp::new(&Technology::stt_mram()).max_or_fan_in(),
+        2
+    );
+    assert!(pinatubo_nvm::sense_amp::SenseMode::and(3).is_err());
+}
+
+/// Fig. 9, turning point A: throughput growth slows past 2^14 bits (the SA
+/// mux limit) — the step from 2^13 to 2^14 doubles throughput, the step
+/// from 2^14 to 2^15 does not.
+#[test]
+fn fig9_turning_point_a() {
+    let mut x = warm_executor();
+    let up_to_a = throughput(&mut x, 2, 1 << 14) / throughput(&mut x, 2, 1 << 13);
+    let past_a = throughput(&mut x, 2, 1 << 15) / throughput(&mut x, 2, 1 << 14);
+    assert!(
+        up_to_a > 1.9,
+        "pre-A scaling should be ~linear, got {up_to_a}"
+    );
+    assert!(past_a < 1.95, "post-A scaling must slow, got {past_a}");
+}
+
+/// Fig. 9, turning point B: beyond the 2^19-bit row, vectors span
+/// rank-serial segments and throughput flattens completely.
+#[test]
+fn fig9_turning_point_b() {
+    let mut x = warm_executor();
+    let at_b = throughput(&mut x, 2, 1 << 19);
+    let past_b = throughput(&mut x, 2, 1 << 20);
+    assert!(
+        (past_b / at_b - 1.0).abs() < 0.01,
+        "post-B throughput must be flat ({at_b} vs {past_b})"
+    );
+}
+
+/// Fig. 9's three regions: short vectors sit below the 51.2 GB/s DDR bus,
+/// long 2-row ops reach the memory-internal region, and 128-row ops go
+/// beyond it ("~1000× larger than the DDR3 bus", §3).
+#[test]
+fn fig9_bandwidth_regions() {
+    let mut x = warm_executor();
+    let bus = 51.2;
+    assert!(throughput(&mut x, 2, 1 << 10) < bus);
+    let internal = throughput(&mut x, 2, 1 << 19);
+    assert!(internal > bus && internal < 2000.0);
+    let beyond = throughput(&mut x, 128, 1 << 19);
+    assert!(
+        beyond > 2000.0,
+        "128-row OR should exceed internal bandwidth, got {beyond}"
+    );
+    assert!(
+        beyond / 12.8 > 400.0,
+        "equivalent bandwidth should approach ~1000x one DDR3 channel"
+    );
+}
+
+/// Abstract: ~500× bitwise speedup and ~28000× bitwise energy saving for
+/// multi-row operations over the SIMD baseline (order-of-magnitude band).
+#[test]
+fn headline_speedup_and_energy_bands() {
+    let op = BulkOp::intra(BitwiseOp::Or, 128, 1 << 19);
+    let mut cpu = SimdCpu::with_pcm();
+    cpu.set_workload_footprint(Some(4 << 30));
+    let simd = cpu.execute(&op);
+    let pim = PinatuboExecutor::multi_row().execute(&op);
+    let speedup = simd.time_ns / pim.time_ns;
+    let saving = simd.energy_pj / pim.energy_pj;
+    assert!(
+        (250.0..1000.0).contains(&speedup),
+        "speedup {speedup:.0} should sit in the ~500x band"
+    );
+    assert!(
+        (10_000.0..60_000.0).contains(&saving),
+        "energy saving {saving:.0} should sit in the ~28000x band"
+    );
+}
+
+/// §6.2: Pinatubo-128 is ~22× faster than S-DRAM on multi-row work.
+#[test]
+fn multi_row_advantage_over_sdram() {
+    use pinatubo_baselines::SdramExecutor;
+    let op = BulkOp::intra(BitwiseOp::Or, 128, 1 << 19);
+    let sdram = SdramExecutor::new().execute(&op);
+    let pim = PinatuboExecutor::multi_row().execute(&op);
+    let ratio = sdram.time_ns / pim.time_ns;
+    assert!(
+        (8.0..60.0).contains(&ratio),
+        "Pinatubo-128 vs S-DRAM should be ~22x, got {ratio:.1}"
+    );
+}
+
+/// Fig. 13: area overhead 0.9% (Pinatubo) vs 6.4% (AC-PIM), with the
+/// breakdown dominated by the inter-subarray buffer logic.
+#[test]
+fn fig13_area_numbers() {
+    let model = AreaModel::pcm_65nm();
+    let pin = model.pinatubo_overhead_pct();
+    let ac = model.acpim_overhead_pct();
+    assert!(
+        (pin - 0.9).abs() < 0.1,
+        "Pinatubo overhead {pin}% vs paper 0.9%"
+    );
+    assert!(
+        (ac - 6.4).abs() < 0.2,
+        "AC-PIM overhead {ac}% vs paper 6.4%"
+    );
+    let b = model.pinatubo_breakdown();
+    assert!(b.inter_subarray_pct > b.intra_subarray_pct());
+    assert!((b.intra_subarray_pct() - 0.13).abs() < 0.02);
+}
+
+/// Table 1 / §6.2: the random-placement workload 14-16-7r is dominated by
+/// inter-subarray/bank operations, so Pinatubo-128 degrades to roughly
+/// Pinatubo-2 speed.
+#[test]
+fn random_placement_erases_the_multi_row_advantage() {
+    use pinatubo_apps::VectorWorkload;
+    let random = VectorWorkload::parse("14-16-7r").expect("parses").run();
+    // Subsample: the ratio is per-op, 300 ops are plenty.
+    let sample: Vec<_> = random.trace.iter().copied().take(300).collect();
+    let t128 = PinatuboExecutor::multi_row().execute_trace(&sample).time_ns;
+    let t2 = PinatuboExecutor::two_row().execute_trace(&sample).time_ns;
+    assert!(
+        t128 > t2 * 0.5,
+        "Pinatubo-128 should be as slow as Pinatubo-2 on random placement ({t128} vs {t2})"
+    );
+
+    let sequential = VectorWorkload::parse("14-12-7s").expect("parses").run();
+    let sample: Vec<_> = sequential.trace.iter().copied().take(300).collect();
+    let t128_seq = PinatuboExecutor::multi_row().execute_trace(&sample).time_ns;
+    let t2_seq = PinatuboExecutor::two_row().execute_trace(&sample).time_ns;
+    assert!(
+        t128_seq < t2_seq / 4.0,
+        "sequential placement should restore the multi-row advantage"
+    );
+}

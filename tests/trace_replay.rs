@@ -1,0 +1,118 @@
+//! Integration: application traces flow into every executor, and the
+//! paper's qualitative orderings hold on real (not synthetic) op mixes.
+
+use pinatubo_apps::database::run_database_workload;
+use pinatubo_apps::graph::{Graph, GraphProfile};
+use pinatubo_apps::{bfs, VectorWorkload};
+use pinatubo_baselines::{
+    AcPimExecutor, BitwiseExecutor, PinatuboExecutor, SdramExecutor, SimdCpu,
+};
+use pinatubo_core::OpClass;
+use pinatubo_runtime::{MappingPolicy, PimSystem};
+
+/// A real BFS trace, priced on every executor: every PIM solution beats
+/// the streaming CPU, and AC-PIM never beats Pinatubo.
+#[test]
+fn graph_trace_ordering_holds() {
+    // Big enough that the working bitmaps are row-scale: tiny bitmaps sit
+    // in Fig. 9's below-bus region where the CPU legitimately competes.
+    let graph = Graph::synthetic(&GraphProfile::dblp().scaled(32768));
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+    let result = bfs::frontier_bfs(&graph, &mut sys).expect("bfs runs");
+    let trace = &result.run.trace;
+    assert!(!trace.is_empty(), "dense BFS must produce bulk ops");
+
+    let mut cpu = SimdCpu::with_pcm();
+    cpu.set_workload_footprint(Some(64 << 20));
+    let simd = cpu.execute_trace(trace);
+    let pin128 = PinatuboExecutor::multi_row().execute_trace(trace);
+    let pin2 = PinatuboExecutor::two_row().execute_trace(trace);
+    let acpim = AcPimExecutor::new().execute_trace(trace);
+
+    assert!(
+        pin128.time_ns < simd.time_ns,
+        "Pinatubo beats SIMD on BFS bitmaps"
+    );
+    assert!(pin128.time_ns <= pin2.time_ns);
+    assert!(
+        acpim.time_ns > pin128.time_ns,
+        "AC-PIM never beats Pinatubo"
+    );
+    assert!(pin128.energy_pj < simd.energy_pj);
+}
+
+/// A real database trace keeps its intra-subarray locality thanks to the
+/// group allocator, and multi-row ORs dominate its operand count.
+#[test]
+fn database_trace_is_intra_subarray_multirow() {
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+    let run = run_database_workload(15, &mut sys).expect("queries run");
+    assert!(!run.trace.is_empty());
+    let intra = run
+        .trace
+        .iter()
+        .filter(|o| o.locality == OpClass::IntraSubarray)
+        .count();
+    assert_eq!(
+        intra,
+        run.trace.len(),
+        "co-allocated index + scratch must stay intra-subarray"
+    );
+    assert!(run.trace.iter().any(|o| o.operand_count >= 4));
+}
+
+/// The Vector workload's replayed cost is consistent between the runtime
+/// path (engine via PimSystem) and the trace path (engine via the
+/// executor): same command model, same totals.
+#[test]
+fn runtime_and_replay_agree_on_cost() {
+    // Run 32 ops of 4-operand OR through the runtime.
+    let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
+    let mut total_runtime_ns = 0.0;
+    for _ in 0..32 {
+        let group = sys.alloc_group(5, 1 << 14).expect("alloc");
+        let refs: Vec<_> = group[..4].iter().collect();
+        let summary = sys.or_many(&refs, &group[4]).expect("or");
+        total_runtime_ns += summary.time_ns;
+    }
+    let trace = sys.take_trace();
+
+    // Replay the same trace through the executor.
+    let replay = PinatuboExecutor::multi_row().execute_trace(&trace);
+    let drift = (replay.time_ns - total_runtime_ns).abs() / total_runtime_ns;
+    assert!(
+        drift < 0.02,
+        "replay time should match the runtime path within 2% (drift {:.3})",
+        drift
+    );
+}
+
+/// S-DRAM's XOR fallback means workloads with XOR lean on the CPU — a
+/// trace with only AND/OR stays fully in DRAM and is far cheaper.
+#[test]
+fn sdram_xor_fallback_costs() {
+    use pinatubo_core::{BitwiseOp, BulkOp};
+    let and_or: Vec<BulkOp> = (0..16)
+        .map(|_| BulkOp::intra(BitwiseOp::Or, 2, 1 << 19))
+        .collect();
+    let xor: Vec<BulkOp> = (0..16)
+        .map(|_| BulkOp::intra(BitwiseOp::Xor, 2, 1 << 19))
+        .collect();
+    let mut sdram = SdramExecutor::new();
+    sdram.set_workload_footprint(Some(4 << 30));
+    let in_dram = sdram.execute_trace(&and_or);
+    let via_cpu = sdram.execute_trace(&xor);
+    assert!(via_cpu.time_ns > 5.0 * in_dram.time_ns);
+}
+
+/// Vector workload traces have exactly the shape Table 1 promises, and the
+/// sequential/random pair splits cleanly by locality.
+#[test]
+fn vector_workloads_match_table1_shape() {
+    for name in ["19-16-1s", "14-16-7r"] {
+        let w = VectorWorkload::parse(name).expect("parses");
+        let run = w.run();
+        assert_eq!(run.trace.len() as u64, w.op_count(), "{name}");
+        assert!(run.trace.iter().all(|o| o.operand_count == w.rows_per_op()));
+    }
+}
