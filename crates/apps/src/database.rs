@@ -15,10 +15,9 @@
 //! the STAR experiment data the paper queries (see `DESIGN.md` §4).
 
 use crate::AppRun;
+use pinatubo_core::rng::SimRng;
 use pinatubo_core::BitwiseOp;
 use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Shape of the synthetic event table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +71,7 @@ impl BitmapIndex {
     ///
     /// Propagates allocation/store failures.
     pub fn build(spec: TableSpec, sys: &mut PimSystem) -> Result<Self, RuntimeError> {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = SimRng::seed_from_u64(spec.seed);
         // Event attributes cluster around detector-dependent peaks rather
         // than spreading uniformly; a simple triangular distribution gives
         // the bins realistic, unequal populations.
@@ -80,8 +79,8 @@ impl BitmapIndex {
         for _ in 0..spec.attributes {
             let column: Vec<u8> = (0..spec.rows)
                 .map(|_| {
-                    let a = rng.gen_range(0..spec.bins as u32);
-                    let b = rng.gen_range(0..spec.bins as u32);
+                    let a = rng.gen_range_u64(0, spec.bins as u64) as u32;
+                    let b = rng.gen_range_u64(0, spec.bins as u64) as u32;
                     ((a + b) / 2) as u8
                 })
                 .collect();
@@ -201,11 +200,13 @@ impl Query {
     /// A random query over `spec`'s attributes, with range widths drawn to
     /// mix selective and broad predicates.
     #[must_use]
-    pub fn random<R: Rng + ?Sized>(spec: &TableSpec, rng: &mut R) -> Self {
+    pub fn random(spec: &TableSpec, rng: &mut SimRng) -> Self {
         let ranges = (0..spec.attributes)
             .map(|_| {
-                let lo = rng.gen_range(0..spec.bins as u8);
-                let width = rng.gen_range(0..spec.bins as u8 - lo.min(spec.bins as u8 - 1));
+                let lo = rng.gen_range_u64(0, spec.bins as u64) as u8;
+                let width = rng
+                    .gen_range_u64(0, u64::from(spec.bins as u8 - lo.min(spec.bins as u8 - 1)))
+                    as u8;
                 (lo, (lo + width).min(spec.bins as u8 - 1))
             })
             .collect();
@@ -236,7 +237,7 @@ pub fn run_database_workload(
 ) -> Result<AppRun, RuntimeError> {
     let spec = TableSpec::star_like();
     let index = BitmapIndex::build(spec, sys)?;
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ query_count as u64);
+    let mut rng = SimRng::seed_from_u64(spec.seed ^ query_count as u64);
 
     // Measured region: the queries.
     sys.take_stats();
@@ -281,7 +282,7 @@ mod tests {
     fn query_counts_match_reference() {
         let mut s = sys();
         let index = BitmapIndex::build(small_spec(), &mut s).expect("build");
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         for _ in 0..20 {
             let q = Query::random(index.spec(), &mut rng);
             let got = index.run_query(&q, &mut s).expect("query").count;
@@ -332,8 +333,8 @@ mod tests {
     #[test]
     fn query_generation_is_reproducible() {
         let spec = small_spec();
-        let mut a = StdRng::seed_from_u64(9);
-        let mut b = StdRng::seed_from_u64(9);
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
         for _ in 0..10 {
             assert_eq!(Query::random(&spec, &mut a), Query::random(&spec, &mut b));
         }
@@ -342,7 +343,7 @@ mod tests {
     #[test]
     fn ranges_are_always_valid() {
         let spec = small_spec();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         for _ in 0..500 {
             let q = Query::random(&spec, &mut rng);
             for &(lo, hi) in &q.ranges {

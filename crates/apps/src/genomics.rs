@@ -14,10 +14,9 @@
 //! * **Jaccard similarity** — popcounts of intersection and union.
 
 use crate::AppRun;
+use pinatubo_core::rng::SimRng;
 use pinatubo_core::BitwiseOp;
 use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Nucleotide alphabet used by the synthetic generator.
 const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
@@ -118,17 +117,15 @@ impl KmerCohort {
         mutation_rate: f64,
         seed: u64,
     ) -> Vec<(String, Vec<u8>)> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ancestor: Vec<u8> = (0..genome_len)
-            .map(|_| BASES[rng.gen_range(0..4)])
-            .collect();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let ancestor: Vec<u8> = (0..genome_len).map(|_| BASES[rng.gen_index(4)]).collect();
         let mut out = vec![("s0".to_owned(), ancestor.clone())];
         for i in 1..samples {
             let descendant: Vec<u8> = ancestor
                 .iter()
                 .map(|&b| {
                     if rng.gen_bool(mutation_rate) {
-                        BASES[rng.gen_range(0..4)]
+                        BASES[rng.gen_index(4)]
                     } else {
                         b
                     }

@@ -15,8 +15,7 @@
 //! graphs are loose (small frontiers, many components → the traversal
 //! spends its time "searching for an unvisited bit-vector", paper §6.2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pinatubo_core::rng::SimRng;
 use std::collections::HashSet;
 
 /// Connectivity profile of a synthetic graph.
@@ -133,11 +132,11 @@ impl Graph {
     #[must_use]
     pub fn synthetic(profile: &GraphProfile) -> Self {
         let mut g = Graph::new(profile.nodes);
-        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let mut rng = SimRng::seed_from_u64(profile.seed);
         let mut seen: HashSet<(u32, u32)> = HashSet::new();
 
         let sample = |g: &mut Graph,
-                      rng: &mut StdRng,
+                      rng: &mut SimRng,
                       seen: &mut HashSet<(u32, u32)>,
                       pool: u32,
                       target: u64| {
@@ -148,8 +147,8 @@ impl Graph {
             let mut attempts = 0u64;
             while added < target && attempts < target * 20 {
                 attempts += 1;
-                let u = rng.gen_range(0..pool);
-                let v = rng.gen_range(0..pool);
+                let u = rng.gen_range_u64(0, u64::from(pool)) as u32;
+                let v = rng.gen_range_u64(0, u64::from(pool)) as u32;
                 if u == v {
                     continue;
                 }

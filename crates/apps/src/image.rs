@@ -18,10 +18,9 @@
 //! same conjunctive structure as the database workload, on image data.
 
 use crate::AppRun;
+use pinatubo_core::rng::SimRng;
 use pinatubo_core::BitwiseOp;
 use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One 8-bit image channel resident in PIM memory as bit planes.
 #[derive(Debug)]
@@ -67,13 +66,13 @@ impl BitPlaneChannel {
     /// kind of content segmentation thresholds carve up.
     #[must_use]
     pub fn synthetic_pixels(width: usize, height: usize, seed: u64) -> Vec<u8> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let blobs: Vec<(f64, f64, f64)> = (0..6)
             .map(|_| {
                 (
-                    rng.gen_range(0.0..width as f64),
-                    rng.gen_range(0.0..height as f64),
-                    rng.gen_range(4.0..(width.min(height) as f64 / 3.0).max(5.0)),
+                    rng.gen_range_f64(0.0, width as f64),
+                    rng.gen_range_f64(0.0, height as f64),
+                    rng.gen_range_f64(4.0, (width.min(height) as f64 / 3.0).max(5.0)),
                 )
             })
             .collect();
@@ -209,9 +208,9 @@ pub fn run_image_workload(
     let _ = sys.take_trace();
     let mut scalar_instructions = 0u64;
     let mut scalar_bytes = 0u64;
-    let mut rng = StdRng::seed_from_u64(0x5E6);
+    let mut rng = SimRng::seed_from_u64(0x5E6);
     for _ in 0..mask_count {
-        let t = rng.gen_range(16..240u8);
+        let t = rng.gen_range_u64(16, 240) as u8;
         let mask = channel.threshold_mask(t, sys)?;
         // Scalar: consume the mask (connected components, moments, …).
         let hits = sys.count_ones(&mask);

@@ -1,65 +1,86 @@
-//! Property tests for the application layer: every in-memory kernel must
-//! agree with its scalar reference on arbitrary inputs.
+//! Randomized tests for the application layer: every in-memory kernel must
+//! agree with its scalar reference on arbitrary inputs. Cases come from the
+//! in-repo seedable [`SimRng`], so runs are deterministic.
 
 use pinatubo_apps::database::{BitmapIndex, Query, TableSpec};
 use pinatubo_apps::genomics::kmer_presence_bits;
 use pinatubo_apps::image::BitPlaneChannel;
 use pinatubo_apps::VectorWorkload;
+use pinatubo_core::rng::SimRng;
 use pinatubo_runtime::{MappingPolicy, PimSystem};
-use proptest::prelude::*;
 
 fn sys() -> PimSystem {
     PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The bit-serial threshold comparator equals `pixel > t` for random
-    /// images and thresholds.
-    #[test]
-    fn image_comparator_is_exact(
-        pixels in prop::collection::vec(any::<u8>(), 1..400),
-        threshold in any::<u8>(),
-    ) {
+/// The bit-serial threshold comparator equals `pixel > t` for random images
+/// and thresholds.
+#[test]
+fn image_comparator_is_exact() {
+    let mut rng = SimRng::seed_from_u64(0x1316);
+    for _ in 0..24 {
+        let len = 1 + rng.gen_index(399);
+        let pixels: Vec<u8> = (0..len).map(|_| rng.gen_range_u64(0, 256) as u8).collect();
+        let threshold = rng.gen_range_u64(0, 256) as u8;
         let mut s = sys();
         let channel = BitPlaneChannel::load(pixels, &mut s).expect("load");
         let mask = channel.threshold_mask(threshold, &mut s).expect("mask");
-        prop_assert_eq!(s.load(&mask), channel.threshold_reference(threshold));
+        assert_eq!(
+            s.load(&mask),
+            channel.threshold_reference(threshold),
+            "threshold {threshold}"
+        );
     }
+    // The boundary thresholds as well.
+    for threshold in [0u8, 255] {
+        let pixels: Vec<u8> = (0..=255u16).map(|p| p as u8).collect();
+        let mut s = sys();
+        let channel = BitPlaneChannel::load(pixels, &mut s).expect("load");
+        let mask = channel.threshold_mask(threshold, &mut s).expect("mask");
+        assert_eq!(s.load(&mask), channel.threshold_reference(threshold));
+    }
+}
 
-    /// Bitmap-index queries equal the scalar filter for arbitrary tables
-    /// and queries.
-    #[test]
-    fn database_queries_are_exact(
-        rows in 64u64..2048,
-        seed in any::<u64>(),
-        query_seed in any::<u64>(),
-    ) {
-        use rand::SeedableRng;
-        let spec = TableSpec { rows, attributes: 3, bins: 8, seed };
+/// Bitmap-index queries equal the scalar filter for arbitrary tables and
+/// queries.
+#[test]
+fn database_queries_are_exact() {
+    let mut outer = SimRng::seed_from_u64(0xDB);
+    for _ in 0..16 {
+        let rows = 64 + outer.gen_range_u64(0, 2048 - 64);
+        let spec = TableSpec {
+            rows,
+            attributes: 3,
+            bins: 8,
+            seed: outer.next_u64(),
+        };
         let mut s = sys();
         let index = BitmapIndex::build(spec, &mut s).expect("build");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(query_seed);
+        let mut rng = SimRng::seed_from_u64(outer.next_u64());
         for _ in 0..4 {
             let q = Query::random(&spec, &mut rng);
             let got = index.run_query(&q, &mut s).expect("query").count;
-            prop_assert_eq!(got, index.count_reference(&q));
+            assert_eq!(got, index.count_reference(&q), "rows {rows}, query {q:?}");
         }
     }
+}
 
-    /// K-mer presence bitmaps: every set bit corresponds to a k-mer that
-    /// actually occurs, and the popcount never exceeds the window count.
-    #[test]
-    fn kmer_bits_are_sound(
-        sequence in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..300),
-        k in 1usize..=6,
-    ) {
+/// K-mer presence bitmaps: every set bit corresponds to a k-mer that
+/// actually occurs, and the popcount never exceeds the window count.
+#[test]
+fn kmer_bits_are_sound() {
+    let mut rng = SimRng::seed_from_u64(0x63E);
+    for _ in 0..48 {
+        let len = rng.gen_index(300);
+        let sequence: Vec<u8> = (0..len)
+            .map(|_| [b'A', b'C', b'G', b'T'][rng.gen_index(4)])
+            .collect();
+        let k = 1 + rng.gen_index(6);
         let bits = kmer_presence_bits(&sequence, k);
-        prop_assert_eq!(bits.len(), 1 << (2 * k));
+        assert_eq!(bits.len(), 1 << (2 * k));
         let count = bits.iter().filter(|&&b| b).count();
         let windows = sequence.len().saturating_sub(k - 1);
-        prop_assert!(count <= windows);
+        assert!(count <= windows);
         // Spot-check every set bit decodes to a substring of the input.
         for (code, _) in bits.iter().enumerate().filter(|&(_, &b)| b) {
             let mut kmer = vec![0u8; k];
@@ -68,24 +89,26 @@ proptest! {
                 *slot = [b'A', b'C', b'G', b'T'][(code >> shift) & 3];
             }
             let found = sequence.windows(k).any(|w| w == kmer.as_slice());
-            prop_assert!(found, "k-mer {:?} not in input", String::from_utf8_lossy(&kmer));
+            assert!(
+                found,
+                "k-mer {:?} not in input",
+                String::from_utf8_lossy(&kmer)
+            );
         }
     }
+}
 
-    /// Vector workload names round-trip through the parser.
-    #[test]
-    fn vector_names_round_trip(
-        len in 1u32..30,
-        count in 1u32..30,
-        rows in 0u32..10,
-        random in any::<bool>(),
-    ) {
+/// Vector workload names round-trip through the parser.
+#[test]
+fn vector_names_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0x2A3);
+    for _ in 0..256 {
         let w = VectorWorkload {
-            len_log2: len,
-            count_log2: count,
-            rows_per_op_log2: rows,
-            random_access: random,
+            len_log2: 1 + rng.gen_range_u64(0, 29) as u32,
+            count_log2: 1 + rng.gen_range_u64(0, 29) as u32,
+            rows_per_op_log2: rng.gen_range_u64(0, 10) as u32,
+            random_access: rng.gen_bit(),
         };
-        prop_assert_eq!(VectorWorkload::parse(&w.to_string()), Some(w));
+        assert_eq!(VectorWorkload::parse(&w.to_string()), Some(w));
     }
 }

@@ -157,10 +157,43 @@ impl BenchmarkEval {
 }
 
 /// Runs and prices every Table 1 benchmark (the expensive step shared by
-/// Fig. 10/11/12).
+/// Fig. 10/11/12), one worker thread per benchmark. Each worker owns its
+/// own simulators and seeded RNG state, so the output is deterministic
+/// and identical to [`evaluate_benchmarks_serial`].
 #[must_use]
 pub fn evaluate_table1() -> Vec<BenchmarkEval> {
-    pinatubo_apps::Benchmark::table1()
+    evaluate_benchmarks(pinatubo_apps::Benchmark::table1())
+}
+
+/// Prices `benchmarks` in parallel with scoped threads, one worker per
+/// config point. Results come back in input order regardless of which
+/// worker finishes first.
+///
+/// # Panics
+///
+/// Propagates a worker's panic (a failing benchmark is a bug, not an
+/// input error).
+#[must_use]
+pub fn evaluate_benchmarks(benchmarks: Vec<pinatubo_apps::Benchmark>) -> Vec<BenchmarkEval> {
+    let mut results: Vec<Option<BenchmarkEval>> = benchmarks.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, benchmark) in results.iter_mut().zip(benchmarks.iter()) {
+            scope.spawn(move || {
+                *slot = Some(BenchmarkEval::evaluate(benchmark.group(), benchmark.run()));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled its slot"))
+        .collect()
+}
+
+/// The serial reference for [`evaluate_benchmarks`] (tests assert the two
+/// agree bit for bit; the parallel path is the one the binaries use).
+#[must_use]
+pub fn evaluate_benchmarks_serial(benchmarks: Vec<pinatubo_apps::Benchmark>) -> Vec<BenchmarkEval> {
+    benchmarks
         .into_iter()
         .map(|b| BenchmarkEval::evaluate(b.group(), b.run()))
         .collect()
@@ -346,6 +379,32 @@ mod tests {
         assert!(pin_speed <= ideal_speed);
         assert!(pin_energy <= ideal_energy);
         assert!(pin_speed > 1.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_exactly() {
+        // The scoped-thread fan-out must be a pure reordering of work:
+        // same benchmarks in, bit-identical tables out.
+        let make = || -> Vec<pinatubo_apps::Benchmark> {
+            ["12-10-5s", "13-11-6s", "14-12-7s"]
+                .iter()
+                .map(|spec| {
+                    let w = VectorWorkload::parse(spec).expect("parses");
+                    pinatubo_apps::Benchmark {
+                        name: w.to_string(),
+                        kind: pinatubo_apps::BenchmarkKind::Vector(w),
+                    }
+                })
+                .collect()
+        };
+        let serial = evaluate_benchmarks_serial(make());
+        let parallel = evaluate_benchmarks(make());
+        assert_eq!(serial.len(), parallel.len());
+        assert_eq!(fig10_table(&serial), fig10_table(&parallel));
+        assert_eq!(fig11_table(&serial), fig11_table(&parallel));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name, "input order is preserved");
+        }
     }
 
     #[test]

@@ -461,6 +461,7 @@ fn subtract_stats(after: MemStats, before: MemStats) -> MemStats {
     use pinatubo_mem::EnergyBreakdown;
     MemStats {
         time_ns: after.time_ns - before.time_ns,
+        time: after.time - before.time,
         energy: EnergyBreakdown {
             activate_pj: after.energy.activate_pj - before.energy.activate_pj,
             sense_pj: after.energy.sense_pj - before.energy.sense_pj,

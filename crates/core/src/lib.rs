@@ -50,6 +50,11 @@ pub mod engine;
 pub mod op;
 pub mod trace;
 
+/// The workspace-wide seedable PRNG (re-exported from the device layer so
+/// every crate above `pinatubo-core` reaches it without an extra
+/// dependency edge).
+pub use pinatubo_nvm::rng;
+
 pub use classify::OpClass;
 pub use config::PinatuboConfig;
 pub use engine::{EngineStats, OpOutcome, PinatuboEngine};

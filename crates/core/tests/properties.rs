@@ -1,10 +1,11 @@
-//! Property tests: the engine's decomposition and routing never change the
-//! functional result, for any operation, operand count, placement, and
-//! fan-in configuration.
+//! Randomized tests: the engine's decomposition and routing never change
+//! the functional result, for any operation, operand count, placement, and
+//! fan-in configuration. Cases are drawn from the in-repo seedable
+//! [`SimRng`], so every run exercises the same deterministic sample.
 
+use pinatubo_core::rng::SimRng;
 use pinatubo_core::{BitwiseOp, PinatuboConfig, PinatuboEngine};
 use pinatubo_mem::{MemConfig, RowAddr, RowData};
-use proptest::prelude::*;
 
 /// Apply `op` across operand bit-vectors, scalar reference semantics.
 fn reference(op: BitwiseOp, rows: &[Vec<bool>]) -> Vec<bool> {
@@ -21,12 +22,10 @@ fn reference(op: BitwiseOp, rows: &[Vec<bool>]) -> Vec<bool> {
         .collect()
 }
 
-fn op_strategy() -> impl Strategy<Value = BitwiseOp> {
-    prop::sample::select(vec![BitwiseOp::Or, BitwiseOp::And, BitwiseOp::Xor])
-}
+const OPS: [BitwiseOp; 3] = [BitwiseOp::Or, BitwiseOp::And, BitwiseOp::Xor];
 
 /// A placement: which subarray/bank/rank each operand row goes to.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Placement {
     SameSubarray,
     SameBank,
@@ -34,16 +33,14 @@ enum Placement {
     Scattered,
 }
 
-fn placement_strategy() -> impl Strategy<Value = Placement> {
-    prop::sample::select(vec![
-        Placement::SameSubarray,
-        Placement::SameBank,
-        Placement::SameRank,
-        Placement::Scattered,
-    ])
-}
+const PLACEMENTS: [Placement; 4] = [
+    Placement::SameSubarray,
+    Placement::SameBank,
+    Placement::SameRank,
+    Placement::Scattered,
+];
 
-fn place(p: &Placement, i: u32) -> RowAddr {
+fn place(p: Placement, i: u32) -> RowAddr {
     match p {
         Placement::SameSubarray => RowAddr::new(0, 0, 0, 0, i),
         Placement::SameBank => RowAddr::new(0, 0, 0, i % 16, i / 16),
@@ -52,122 +49,150 @@ fn place(p: &Placement, i: u32) -> RowAddr {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// dst = op(operands…) matches the scalar reference for every shape.
-    #[test]
-    fn bulk_op_matches_reference(
-        op in op_strategy(),
-        placement in placement_strategy(),
-        n in 2usize..=20,
-        cols in 1usize..=128,
-        fan_cap in 2usize..=128,
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// dst = op(operands…) matches the scalar reference for every shape.
+#[test]
+fn bulk_op_matches_reference() {
+    let mut rng = SimRng::seed_from_u64(0xB0B);
+    for case in 0..96 {
+        let op = OPS[case % OPS.len()];
+        let placement = PLACEMENTS[(case / OPS.len()) % PLACEMENTS.len()];
+        let n = 2 + rng.gen_index(19);
+        let cols = 1 + rng.gen_index(128);
+        let fan_cap = 2 + rng.gen_index(127);
         let data: Vec<Vec<bool>> = (0..n)
-            .map(|_| (0..cols).map(|_| rng.gen()).collect())
+            .map(|_| (0..cols).map(|_| rng.gen_bit()).collect())
             .collect();
 
         let mut engine = PinatuboEngine::new(
             MemConfig::pcm_default(),
             PinatuboConfig::with_fan_in(fan_cap),
         );
-        let addrs: Vec<RowAddr> = (0..n as u32).map(|i| place(&placement, i)).collect();
-        let dst = place(&placement, 500);
+        let addrs: Vec<RowAddr> = (0..n as u32).map(|i| place(placement, i)).collect();
+        let dst = place(placement, 500);
         for (a, bits) in addrs.iter().zip(&data) {
-            engine.memory_mut().poke_row(*a, &RowData::from_bits(bits)).expect("poke");
+            engine
+                .memory_mut()
+                .poke_row(*a, &RowData::from_bits(bits))
+                .expect("poke");
         }
 
         let outcome = engine
             .bulk_op(op, &addrs, dst, cols as u64)
             .expect("bulk op succeeds");
-        prop_assert!(outcome.time_ns() > 0.0);
-        prop_assert!(outcome.energy_pj() > 0.0);
+        assert!(outcome.time_ns() > 0.0);
+        assert!(outcome.energy_pj() > 0.0);
 
-        let got = engine.memory().peek_row(dst).expect("dst written").bits(cols as u64);
-        prop_assert_eq!(got, reference(op, &data));
-    }
-
-    /// NOT matches inversion for every placement.
-    #[test]
-    fn not_matches_reference(
-        placement in placement_strategy(),
-        cols in 1usize..=128,
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let bits: Vec<bool> = (0..cols).map(|_| rng.gen()).collect();
-
-        let mut engine = PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::default());
-        let src = place(&placement, 0);
-        let dst = place(&placement, 500);
-        engine.memory_mut().poke_row(src, &RowData::from_bits(&bits)).expect("poke");
-        engine.bulk_op(BitwiseOp::Not, &[src], dst, cols as u64).expect("NOT");
-        let got = engine.memory().peek_row(dst).expect("dst").bits(cols as u64);
-        let want: Vec<bool> = bits.iter().map(|b| !b).collect();
-        prop_assert_eq!(got, want);
-    }
-
-    /// Cost is monotone in work: more operands or more columns never cost
-    /// less, on any placement class.
-    #[test]
-    fn cost_is_monotone_in_work(
-        placement in placement_strategy(),
-        n in 2usize..=32,
-        extra_n in 0usize..=32,
-        cols in 64u64..=(1 << 14),
-        extra_cols in 0u64..=(1 << 14),
-    ) {
-        let run = |n: usize, cols: u64| {
-            let mut engine = PinatuboEngine::new(
-                MemConfig::pcm_default(),
-                PinatuboConfig::default(),
-            );
-            let addrs: Vec<RowAddr> = (0..n as u32).map(|i| place(&placement, i)).collect();
-            let dst = place(&placement, 500);
-            let outcome = engine.bulk_op(BitwiseOp::Or, &addrs, dst, cols).expect("or");
-            (outcome.time_ns(), outcome.energy_pj())
-        };
-        let (t_small, e_small) = run(n, cols);
-        let (t_big, e_big) = run(n + extra_n, cols + extra_cols);
-        prop_assert!(t_big >= t_small - 1e-9, "time {t_big} < {t_small}");
-        prop_assert!(e_big >= e_small - 1e-9, "energy {e_big} < {e_small}");
-    }
-
-    /// Copy is exact and charged on every placement class.
-    #[test]
-    fn copy_matches_source(
-        placement in placement_strategy(),
-        cols in 1usize..=256,
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let bits: Vec<bool> = (0..cols).map(|_| rng.gen()).collect();
-        let mut engine = PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::default());
-        let src = place(&placement, 0);
-        let dst = place(&placement, 500);
-        engine.memory_mut().poke_row(src, &RowData::from_bits(&bits)).expect("poke");
-        let outcome = engine.copy_row(src, dst, cols as u64).expect("copy");
-        prop_assert!(outcome.time_ns() > 0.0);
-        prop_assert_eq!(
-            engine.memory().peek_row(dst).expect("copied").bits(cols as u64),
-            bits
+        let got = engine
+            .memory()
+            .peek_row(dst)
+            .expect("dst written")
+            .bits(cols as u64);
+        assert_eq!(
+            got,
+            reference(op, &data),
+            "op {op:?}, placement {placement:?}, n {n}, cols {cols}, cap {fan_cap}"
         );
     }
+}
 
-    /// Raising the fan-in cap never slows an intra-subarray OR down.
-    #[test]
-    fn wider_fan_in_never_hurts(
-        n in 2usize..=128,
-        lo_cap in 2usize..=16,
-        extra in 0usize..=112,
-    ) {
-        let hi_cap = lo_cap + extra;
+/// NOT matches inversion for every placement.
+#[test]
+fn not_matches_reference() {
+    let mut rng = SimRng::seed_from_u64(0x407);
+    for placement in PLACEMENTS {
+        for _ in 0..8 {
+            let cols = 1 + rng.gen_index(128);
+            let bits: Vec<bool> = (0..cols).map(|_| rng.gen_bit()).collect();
+
+            let mut engine =
+                PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::default());
+            let src = place(placement, 0);
+            let dst = place(placement, 500);
+            engine
+                .memory_mut()
+                .poke_row(src, &RowData::from_bits(&bits))
+                .expect("poke");
+            engine
+                .bulk_op(BitwiseOp::Not, &[src], dst, cols as u64)
+                .expect("NOT");
+            let got = engine
+                .memory()
+                .peek_row(dst)
+                .expect("dst")
+                .bits(cols as u64);
+            let want: Vec<bool> = bits.iter().map(|b| !b).collect();
+            assert_eq!(got, want, "placement {placement:?}");
+        }
+    }
+}
+
+/// Cost is monotone in work: more operands or more columns never cost less,
+/// on any placement class.
+#[test]
+fn cost_is_monotone_in_work() {
+    let mut rng = SimRng::seed_from_u64(0xC057);
+    for placement in PLACEMENTS {
+        for _ in 0..8 {
+            let n = 2 + rng.gen_index(31);
+            let extra_n = rng.gen_index(33);
+            let cols = 64 + rng.gen_range_u64(0, (1 << 14) - 63);
+            let extra_cols = rng.gen_range_u64(0, 1 << 14);
+            let run = |n: usize, cols: u64| {
+                let mut engine =
+                    PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::default());
+                let addrs: Vec<RowAddr> = (0..n as u32).map(|i| place(placement, i)).collect();
+                let dst = place(placement, 500);
+                let outcome = engine
+                    .bulk_op(BitwiseOp::Or, &addrs, dst, cols)
+                    .expect("or");
+                (outcome.time_ns(), outcome.energy_pj())
+            };
+            let (t_small, e_small) = run(n, cols);
+            let (t_big, e_big) = run(n + extra_n, cols + extra_cols);
+            assert!(t_big >= t_small - 1e-9, "time {t_big} < {t_small}");
+            assert!(e_big >= e_small - 1e-9, "energy {e_big} < {e_small}");
+        }
+    }
+}
+
+/// Copy is exact and charged on every placement class.
+#[test]
+fn copy_matches_source() {
+    let mut rng = SimRng::seed_from_u64(0xC0B1);
+    for placement in PLACEMENTS {
+        for _ in 0..8 {
+            let cols = 1 + rng.gen_index(256);
+            let bits: Vec<bool> = (0..cols).map(|_| rng.gen_bit()).collect();
+            let mut engine =
+                PinatuboEngine::new(MemConfig::pcm_default(), PinatuboConfig::default());
+            let src = place(placement, 0);
+            let dst = place(placement, 500);
+            engine
+                .memory_mut()
+                .poke_row(src, &RowData::from_bits(&bits))
+                .expect("poke");
+            let outcome = engine.copy_row(src, dst, cols as u64).expect("copy");
+            assert!(outcome.time_ns() > 0.0);
+            assert_eq!(
+                engine
+                    .memory()
+                    .peek_row(dst)
+                    .expect("copied")
+                    .bits(cols as u64),
+                bits
+            );
+        }
+    }
+}
+
+/// Raising the fan-in cap never slows an intra-subarray OR down.
+#[test]
+fn wider_fan_in_never_hurts() {
+    let mut rng = SimRng::seed_from_u64(0xFA9);
+    for _ in 0..48 {
+        let n = 2 + rng.gen_index(127);
+        let lo_cap = 2 + rng.gen_index(15);
+        let hi_cap = lo_cap + rng.gen_index(113);
         let rows: Vec<RowAddr> = (0..n as u32).map(|i| RowAddr::new(0, 0, 0, 0, i)).collect();
         let dst = RowAddr::new(0, 0, 0, 0, 900);
 
@@ -175,14 +200,23 @@ proptest! {
             MemConfig::pcm_default(),
             PinatuboConfig::with_fan_in(lo_cap),
         );
-        let t_narrow = narrow.bulk_op(BitwiseOp::Or, &rows, dst, 64).expect("narrow").time_ns();
+        let t_narrow = narrow
+            .bulk_op(BitwiseOp::Or, &rows, dst, 64)
+            .expect("narrow")
+            .time_ns();
 
         let mut wide = PinatuboEngine::new(
             MemConfig::pcm_default(),
             PinatuboConfig::with_fan_in(hi_cap),
         );
-        let t_wide = wide.bulk_op(BitwiseOp::Or, &rows, dst, 64).expect("wide").time_ns();
+        let t_wide = wide
+            .bulk_op(BitwiseOp::Or, &rows, dst, 64)
+            .expect("wide")
+            .time_ns();
 
-        prop_assert!(t_wide <= t_narrow + 1e-9);
+        assert!(
+            t_wide <= t_narrow + 1e-9,
+            "caps {lo_cap} vs {hi_cap}, n {n}"
+        );
     }
 }

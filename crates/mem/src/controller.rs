@@ -93,6 +93,9 @@ pub struct MainMemory {
     /// Open-page state: the row currently latched in each subarray's row
     /// buffer (open-page policy only).
     open_rows: HashMap<crate::address::SubarrayId, u32>,
+    /// Recent activation issue times per (channel, rank), oldest first
+    /// (at most four kept), for the tRRD/tFAW inter-activation gate.
+    act_history: HashMap<(u32, u32), Vec<f64>>,
     mode: PimConfig,
     stats: MemStats,
     trace: Vec<MemCommand>,
@@ -115,6 +118,7 @@ impl MainMemory {
             rows: HashMap::new(),
             wear: HashMap::new(),
             open_rows: HashMap::new(),
+            act_history: HashMap::new(),
             mode: PimConfig::Off,
             stats: MemStats::new(),
             trace: Vec::new(),
@@ -140,7 +144,10 @@ impl MainMemory {
     }
 
     /// Resets the statistics (not the contents) and returns the old tally.
+    /// The activation history is cleared too — its issue times are on the
+    /// clock that just restarted at zero.
     pub fn take_stats(&mut self) -> MemStats {
+        self.act_history.clear();
         std::mem::take(&mut self.stats)
     }
 
@@ -173,6 +180,7 @@ impl MainMemory {
         }
         self.mode = cfg;
         self.stats.time_ns += self.config.timing.t_mrs_ns;
+        self.stats.time.mrs_ns += self.config.timing.t_mrs_ns;
         self.stats.events.mode_sets += 1;
         self.record(MemCommand::ModeRegisterSet(cfg));
     }
@@ -280,6 +288,7 @@ impl MainMemory {
             // Row-buffer hit: the row is already on the sense amplifiers;
             // only the column accesses are paid.
             self.stats.time_ns += passes as f64 * t.t_cl_ns;
+            self.stats.time.sense_ns += passes as f64 * t.t_cl_ns;
             self.stats.energy.sense_pj += e.sense_pj(cols);
             self.stats.events.row_buffer_hits += 1;
             self.stats.events.sense_passes += passes;
@@ -287,10 +296,33 @@ impl MainMemory {
             if self.config.open_page && self.open_rows.remove(&subarray).is_some() {
                 // Close the previously open row first.
                 self.stats.time_ns += t.t_rp_ns;
+                self.stats.time.precharge_ns += t.t_rp_ns;
                 self.stats.energy.precharge_pj += e.precharge_pj(row_bits);
                 self.stats.events.precharges += 1;
             }
-            self.stats.time_ns += t.multi_activate_ns(operands.len()) + passes as f64 * t.t_cl_ns;
+            // tRRD/tFAW gate. The serial stream already spaces activations
+            // by a full command (≥ tRCD ≥ tRRD at both presets), so this
+            // only stalls under deliberately tight parameters; the batch
+            // scheduler applies the same gate where bank lanes overlap.
+            let history = self
+                .act_history
+                .entry((first.channel, first.rank))
+                .or_default();
+            let issue = t.earliest_activation_ns(history, self.stats.time_ns);
+            let stall = issue - self.stats.time_ns;
+            history.push(issue);
+            if history.len() > 4 {
+                history.remove(0);
+            }
+            if stall > 0.0 {
+                self.stats.time_ns += stall;
+                self.stats.time.stall_ns += stall;
+            }
+            let act_ns = t.multi_activate_ns(operands.len());
+            let sense_ns = passes as f64 * t.t_cl_ns;
+            self.stats.time_ns += act_ns + sense_ns;
+            self.stats.time.activate_ns += act_ns;
+            self.stats.time.sense_ns += sense_ns;
             self.stats.energy.activate_pj += e.activate_pj(operands.len(), row_bits);
             self.stats.energy.sense_pj += e.sense_pj(cols);
             if single {
@@ -308,6 +340,7 @@ impl MainMemory {
                 // precharge so the next reference configuration starts
                 // clean.
                 self.stats.time_ns += t.t_rp_ns;
+                self.stats.time.precharge_ns += t.t_rp_ns;
                 self.stats.energy.precharge_pj += e.precharge_pj(row_bits);
                 self.stats.events.precharges += 1;
             }
@@ -571,6 +604,7 @@ impl MainMemory {
 
     fn charge_write(&mut self, addr: RowAddr, bits: u64, local: bool) {
         self.stats.time_ns += self.config.timing.t_wr_ns;
+        self.stats.time.write_ns += self.config.timing.t_wr_ns;
         self.stats.energy.write_pj += self.config.energy.write_pj(bits);
         self.stats.events.row_writes += 1;
         *self.wear.entry(addr).or_insert(0) += 1;
@@ -582,6 +616,7 @@ impl MainMemory {
     fn charge_gdl(&mut self, bits: u64) {
         let cycles = self.config.geometry.gdl_cycles(bits);
         self.stats.time_ns += cycles as f64 * self.config.timing.t_gdl_cycle_ns;
+        self.stats.time.gdl_ns += cycles as f64 * self.config.timing.t_gdl_cycle_ns;
         self.stats.energy.gdl_pj += self.config.energy.gdl_pj(bits);
         self.stats.events.gdl_transfers += 1;
         if self.config.record_trace {
@@ -591,6 +626,7 @@ impl MainMemory {
 
     fn charge_bus(&mut self, bits: u64) {
         self.stats.time_ns += self.config.timing.bus_transfer_ns(bits);
+        self.stats.time.bus_ns += self.config.timing.bus_transfer_ns(bits);
         self.stats.energy.bus_pj += self.config.energy.bus_pj(bits);
         self.stats.events.bus_bursts += bits.div_ceil(self.config.timing.burst_bits());
         self.stats.events.bus_bits += bits;
@@ -895,6 +931,136 @@ mod tests {
         assert!((report.imbalance() - 2.0 / 1.5).abs() < 1e-12);
         assert_eq!(m.row_wear(addr(0, 1)), 2);
         assert_eq!(m.row_wear(addr(0, 9)), 0);
+    }
+
+    #[test]
+    fn time_breakdown_sums_to_time_ns() {
+        let mut m = mem();
+        m.set_pim_config(PimConfig::Or);
+        let rows: Vec<RowAddr> = (0..4).map(|r| addr(0, r)).collect();
+        m.multi_activate_sense(&rows, SenseMode::or(4).expect("or4"), 64)
+            .expect("or");
+        let data = RowData::from_bits(&[true; 64]);
+        m.write_row_over_bus(addr(0, 9), &data).expect("bus write");
+        m.write_row_local(addr(0, 10), &data).expect("local write");
+        m.read_row_to_buffer(addr(0, 9), 64).expect("buffer read");
+
+        let s = m.stats();
+        assert!(
+            (s.time.total_ns() - s.time_ns).abs() < 1e-9,
+            "breakdown {} vs scalar {}",
+            s.time.total_ns(),
+            s.time_ns
+        );
+        assert!(s.time.mrs_ns > 0.0);
+        assert!(s.time.activate_ns > 0.0);
+        assert!(s.time.sense_ns > 0.0);
+        assert!(s.time.write_ns > 0.0);
+        assert!(s.time.gdl_ns > 0.0);
+        assert!(s.time.bus_ns > 0.0);
+        assert!(s.time.precharge_ns > 0.0);
+        assert_eq!(s.time.stall_ns, 0.0, "default timings never stall");
+        assert!((s.time.shared_ns() - (s.time.bus_ns + s.time.mrs_ns)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_parameters_never_stall_activations() {
+        let mut m = mem();
+        // Back-to-back activations on different banks of one rank — the
+        // densest ACT pattern a serial stream can produce.
+        for bank in 0..8 {
+            m.activate_read(RowAddr::new(0, 0, bank, 0, 0), 64)
+                .expect("read");
+        }
+        assert_eq!(m.stats().time.stall_ns, 0.0);
+    }
+
+    #[test]
+    fn tight_trrd_stalls_back_to_back_activations() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.timing.t_rrd_ns = 1000.0;
+        let mut m = MainMemory::new(cfg);
+        m.activate_read(RowAddr::new(0, 0, 0, 0, 0), 64).expect("a");
+        let after_first = m.stats().time_ns; // 18.3 + 8.9 + 7.8 = 35.0
+        m.activate_read(RowAddr::new(0, 0, 1, 0, 0), 64).expect("b");
+        // The second ACT (to another bank, same rank) waited until
+        // 0 + tRRD = 1000, i.e. a stall of 1000 - 35.
+        let expect_stall = 1000.0 - after_first;
+        assert!(
+            (m.stats().time.stall_ns - expect_stall).abs() < 1e-9,
+            "stall {} vs {}",
+            m.stats().time.stall_ns,
+            expect_stall
+        );
+        assert!((m.stats().time.total_ns() - m.stats().time_ns).abs() < 1e-9);
+
+        // A different rank has its own window: no extra stall.
+        let stalled = m.stats().time.stall_ns;
+        m.activate_read(RowAddr::new(0, 1, 0, 0, 0), 64).expect("c");
+        assert!((m.stats().time.stall_ns - stalled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_tfaw_gates_the_fifth_activation() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.timing.t_faw_ns = 10_000.0;
+        let mut m = MainMemory::new(cfg);
+        for bank in 0..4 {
+            m.activate_read(RowAddr::new(0, 0, bank, 0, 0), 64)
+                .expect("read");
+        }
+        assert_eq!(m.stats().time.stall_ns, 0.0, "first four are free");
+        m.activate_read(RowAddr::new(0, 0, 4, 0, 0), 64).expect("e");
+        // The fifth ACT waits for the window opened by the first (issued
+        // at time 0): stall = tFAW - 4 serial commands of 35 ns.
+        let expect_stall = 10_000.0 - 4.0 * 35.0;
+        assert!(
+            (m.stats().time.stall_ns - expect_stall).abs() < 1e-9,
+            "stall {}",
+            m.stats().time.stall_ns
+        );
+    }
+
+    #[test]
+    fn take_stats_clears_the_activation_history() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.timing.t_rrd_ns = 1000.0;
+        let mut m = MainMemory::new(cfg);
+        m.activate_read(RowAddr::new(0, 0, 0, 0, 0), 64).expect("a");
+        m.take_stats();
+        // On a fresh clock the old issue times must not gate anything.
+        m.activate_read(RowAddr::new(0, 0, 1, 0, 0), 64).expect("b");
+        assert_eq!(m.stats().time.stall_ns, 0.0);
+    }
+
+    #[test]
+    fn worn_rows_respect_the_threshold_and_sort() {
+        let mut m = mem();
+        let data = RowData::from_bits(&[true; 8]);
+        let hot = RowAddr::new(1, 0, 2, 3, 7);
+        let warm = RowAddr::new(0, 1, 0, 0, 1);
+        let cold = RowAddr::new(0, 0, 0, 0, 0);
+        for _ in 0..5 {
+            m.write_row_local(hot, &data).expect("hot");
+        }
+        for _ in 0..3 {
+            m.write_row_local(warm, &data).expect("warm");
+        }
+        m.write_row_local(cold, &data).expect("cold");
+
+        assert_eq!(m.row_wear(hot), 5);
+        assert_eq!(m.row_wear(warm), 3);
+        assert_eq!(m.row_wear(cold), 1);
+        // Threshold is inclusive (`>= limit`) and the result is sorted.
+        assert_eq!(m.worn_rows(3), vec![warm, hot]);
+        assert_eq!(m.worn_rows(5), vec![hot]);
+        assert_eq!(m.worn_rows(6), Vec::<RowAddr>::new());
+        // Every charged write path wears the row; pokes never do.
+        m.write_row_over_bus(cold, &data).expect("bus");
+        m.write_row_from_buffer(cold, &data).expect("buffer");
+        assert_eq!(m.row_wear(cold), 3);
+        m.poke_row(cold, &data).expect("poke");
+        assert_eq!(m.row_wear(cold), 3);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use array::RowData;
 pub use commands::{MemCommand, PimConfig};
 pub use controller::{MainMemory, MemConfig};
 pub use geometry::MemGeometry;
-pub use stats::{EnergyBreakdown, MemStats};
+pub use stats::{EnergyBreakdown, MemStats, TimeBreakdown};
 
 use pinatubo_nvm::NvmError;
 use std::error::Error;

@@ -4,7 +4,7 @@
 //! figure harnesses read these tallies to compute throughput, speedup and
 //! energy-saving ratios.
 
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Energy spent, broken down by physical mechanism (picojoules).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -115,6 +115,99 @@ impl AddAssign for EventCounters {
     }
 }
 
+/// Time spent, broken down by mechanism (nanoseconds). The components sum
+/// to [`MemStats::time_ns`].
+///
+/// The split matters for batch scheduling: [`TimeBreakdown::shared_ns`]
+/// (DDR bus bursts + mode-register sets) occupies the channel's shared
+/// command/data bus and can never overlap within a channel, while
+/// [`TimeBreakdown::lane_ns`] (activation, sensing, writes, GDL hops,
+/// precharge) happens inside a bank and may overlap with other banks'
+/// work, subject to tRRD/tFAW.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdown {
+    /// Row activation (single- and multi-row), tRCD + extra-ACT streaming.
+    pub activate_ns: f64,
+    /// Column accesses / sense passes (tCL).
+    pub sense_ns: f64,
+    /// Array writes (tWR).
+    pub write_ns: f64,
+    /// Chip-internal global-data-line transfers.
+    pub gdl_ns: f64,
+    /// Bit-line precharges (tRP).
+    pub precharge_ns: f64,
+    /// Stalls inserted to honor tRRD/tFAW inter-activation constraints.
+    pub stall_ns: f64,
+    /// Off-chip DDR bus bursts.
+    pub bus_ns: f64,
+    /// Mode-register sets (PIM reconfiguration).
+    pub mrs_ns: f64,
+}
+
+impl TimeBreakdown {
+    /// Total time across all mechanisms.
+    #[must_use]
+    pub fn total_ns(&self) -> f64 {
+        self.lane_ns() + self.shared_ns()
+    }
+
+    /// Bank-local time: may overlap with other banks of the same channel.
+    #[must_use]
+    pub fn lane_ns(&self) -> f64 {
+        self.activate_ns
+            + self.sense_ns
+            + self.write_ns
+            + self.gdl_ns
+            + self.precharge_ns
+            + self.stall_ns
+    }
+
+    /// Channel-serialized time: bus bursts and mode-register sets hold the
+    /// shared command/data bus and never overlap within a channel.
+    #[must_use]
+    pub fn shared_ns(&self) -> f64 {
+        self.bus_ns + self.mrs_ns
+    }
+}
+
+impl Add for TimeBreakdown {
+    type Output = TimeBreakdown;
+    fn add(self, rhs: TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            activate_ns: self.activate_ns + rhs.activate_ns,
+            sense_ns: self.sense_ns + rhs.sense_ns,
+            write_ns: self.write_ns + rhs.write_ns,
+            gdl_ns: self.gdl_ns + rhs.gdl_ns,
+            precharge_ns: self.precharge_ns + rhs.precharge_ns,
+            stall_ns: self.stall_ns + rhs.stall_ns,
+            bus_ns: self.bus_ns + rhs.bus_ns,
+            mrs_ns: self.mrs_ns + rhs.mrs_ns,
+        }
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: TimeBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for TimeBreakdown {
+    type Output = TimeBreakdown;
+    fn sub(self, rhs: TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            activate_ns: self.activate_ns - rhs.activate_ns,
+            sense_ns: self.sense_ns - rhs.sense_ns,
+            write_ns: self.write_ns - rhs.write_ns,
+            gdl_ns: self.gdl_ns - rhs.gdl_ns,
+            precharge_ns: self.precharge_ns - rhs.precharge_ns,
+            stall_ns: self.stall_ns - rhs.stall_ns,
+            bus_ns: self.bus_ns - rhs.bus_ns,
+            mrs_ns: self.mrs_ns - rhs.mrs_ns,
+        }
+    }
+}
+
 /// Per-row write-wear summary (NVM endurance is finite — PCM cells take
 /// ~10^8 writes — so the write concentration of accumulator patterns
 /// matters).
@@ -146,6 +239,8 @@ impl WearReport {
 pub struct MemStats {
     /// Simulated time spent, in nanoseconds.
     pub time_ns: f64,
+    /// The same time, by mechanism (`time.total_ns() == time_ns`).
+    pub time: TimeBreakdown,
     /// Energy spent, by mechanism.
     pub energy: EnergyBreakdown,
     /// Event counts.
@@ -176,6 +271,7 @@ impl Add for MemStats {
     fn add(self, rhs: MemStats) -> MemStats {
         MemStats {
             time_ns: self.time_ns + rhs.time_ns,
+            time: self.time + rhs.time,
             energy: self.energy + rhs.energy,
             events: self.events + rhs.events,
         }
@@ -224,6 +320,31 @@ mod tests {
 
         a += b;
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn time_breakdown_splits_lane_and_shared() {
+        let t = TimeBreakdown {
+            activate_ns: 1.0,
+            sense_ns: 2.0,
+            write_ns: 3.0,
+            gdl_ns: 4.0,
+            precharge_ns: 5.0,
+            stall_ns: 6.0,
+            bus_ns: 7.0,
+            mrs_ns: 8.0,
+        };
+        assert!((t.lane_ns() - 21.0).abs() < 1e-12);
+        assert!((t.shared_ns() - 15.0).abs() < 1e-12);
+        assert!((t.total_ns() - 36.0).abs() < 1e-12);
+
+        let doubled = t + t;
+        assert!((doubled.total_ns() - 72.0).abs() < 1e-12);
+        let back = doubled - t;
+        assert_eq!(back, t);
+        let mut acc = TimeBreakdown::default();
+        acc += t;
+        assert_eq!(acc, t);
     }
 
     #[test]

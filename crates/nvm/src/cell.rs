@@ -7,8 +7,8 @@
 //! tests, SA validation).
 
 use crate::resistance::{Ohms, ResistanceInterval};
+use crate::rng::SimRng;
 use crate::technology::Technology;
-use rand::Rng;
 
 /// One resistive memory cell holding a single bit.
 ///
@@ -70,9 +70,9 @@ impl Cell {
     /// correct sensing for *any* resistance in the interval, so a uniform
     /// draw stresses the bounds harder than a bell-shaped one would.
     #[must_use]
-    pub fn resistance_sampled<R: Rng + ?Sized>(self, tech: &Technology, rng: &mut R) -> Ohms {
+    pub fn resistance_sampled(self, tech: &Technology, rng: &mut SimRng) -> Ohms {
         let iv = self.resistance_interval(tech);
-        Ohms::new(rng.gen_range(iv.lo().get()..=iv.hi().get()))
+        Ohms::new(rng.gen_range_f64(iv.lo().get(), iv.hi().get()))
     }
 }
 
@@ -91,8 +91,6 @@ impl From<Cell> for bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn default_cell_is_reset() {
@@ -111,7 +109,7 @@ mod tests {
     #[test]
     fn sampled_resistance_stays_in_interval() {
         let tech = Technology::pcm();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         for bit in [false, true] {
             let cell = Cell::new(bit);
             let iv = cell.resistance_interval(&tech);

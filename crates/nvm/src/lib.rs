@@ -52,6 +52,7 @@ pub mod cell;
 pub mod energy;
 pub mod lwl_driver;
 pub mod resistance;
+pub mod rng;
 pub mod sense_amp;
 pub mod technology;
 pub mod timing;
@@ -62,6 +63,7 @@ pub use area::{AreaBreakdown, AreaModel};
 pub use cell::Cell;
 pub use energy::EnergyParams;
 pub use resistance::{parallel, Ohms};
+pub use rng::SimRng;
 pub use sense_amp::{CurrentSenseAmp, SenseMargin, SenseMode};
 pub use technology::{Technology, TechnologyKind};
 pub use timing::TimingParams;

@@ -557,6 +557,50 @@ mod tests {
     }
 
     #[test]
+    fn xor_micro_steps_sequence_through_read_senses() {
+        // XOR is two single-row READ micro-steps (paper §4.2): operand A is
+        // sensed and sampled onto Ch, operand B is sensed into the latch,
+        // and the add-on transistors output A ^ B. Regression for the
+        // sequencing: each micro-step is a plain READ (fan-in 1, never a
+        // multi-row mode), Ch holds exactly one operand between the steps,
+        // and the second micro-step cannot be issued twice.
+        let sa = pcm_sa();
+        let tech = Technology::pcm();
+        assert_eq!(SenseMode::Read.fan_in(), 1);
+        for a in [false, true] {
+            for b in [false, true] {
+                let mut unit = XorUnit::new();
+                let sensed_a = sa
+                    .sense(tech.cell_resistance(a), SenseMode::Read)
+                    .expect("micro-step 1 reads A");
+                assert_eq!(sensed_a, a);
+                unit.sample(sensed_a);
+                assert!(unit.is_charged(), "Ch holds A between micro-steps");
+                let sensed_b = sa
+                    .sense(tech.cell_resistance(b), SenseMode::Read)
+                    .expect("micro-step 2 reads B");
+                assert_eq!(unit.resolve(sensed_b), Some(a ^ b), "XOR({a}, {b})");
+                assert!(!unit.is_charged(), "Ch discharges after resolve");
+                assert_eq!(
+                    unit.resolve(sensed_b),
+                    None,
+                    "a second resolve without a fresh sample must fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resampling_overwrites_a_stale_charge() {
+        // An aborted op can leave Ch charged; the next op's first micro-step
+        // must overwrite the stale operand, not XOR against it.
+        let mut unit = XorUnit::new();
+        unit.sample(true);
+        unit.sample(false);
+        assert_eq!(unit.resolve(true), Some(true));
+    }
+
+    #[test]
     #[should_panic(expected = "resistive technology")]
     fn dram_cannot_host_a_current_sa() {
         let _ = CurrentSenseAmp::new(&Technology::dram());

@@ -20,11 +20,10 @@
 //!   sign-off view.
 
 use crate::resistance::parallel;
+use crate::rng::SimRng;
 use crate::sense_amp::{CurrentSenseAmp, SenseMode};
 use crate::technology::Technology;
 use crate::NvmError;
-use rand::Rng;
-use rand_distr_free::sample_gaussian;
 
 /// How cell resistances scatter around their nominal values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,19 +33,6 @@ pub enum VariationModel {
     BoundedUniform,
     /// Log-space Gaussian with σ = spread/3 (±3σ at the interval bounds).
     Gaussian,
-}
-
-/// Minimal Gaussian sampling (Box–Muller) so the crate needs no extra
-/// dependency beyond `rand`.
-mod rand_distr_free {
-    use rand::Rng;
-
-    /// One standard-normal sample via Box–Muller.
-    pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    }
 }
 
 /// The outcome of one Monte-Carlo sweep.
@@ -81,11 +67,11 @@ const SYSTEMATIC_SHARE: f64 = 0.875;
 
 /// Per-trial systematic factor plus a per-cell residual sampler.
 #[allow(clippy::type_complexity)]
-fn sample_factors<R: Rng + ?Sized>(
+fn sample_factors(
     tech: &Technology,
     model: VariationModel,
-    rng: &mut R,
-) -> (f64, Box<dyn FnMut(&mut R) -> f64>) {
+    rng: &mut SimRng,
+) -> (f64, Box<dyn FnMut(&mut SimRng) -> f64>) {
     let v = tech.variation();
     let v_res = v * (1.0 - SYSTEMATIC_SHARE);
     // Multiplicative split: (1 + v_sys)(1 + v_res) = 1 + v exactly, so
@@ -93,18 +79,18 @@ fn sample_factors<R: Rng + ?Sized>(
     let v_sys = (1.0 + v) / (1.0 + v_res) - 1.0;
     match model {
         VariationModel::BoundedUniform => {
-            let global = rng.gen_range(1.0 - v_sys..=1.0 + v_sys);
-            let f = move |rng: &mut R| rng.gen_range(1.0 - v_res..=1.0 + v_res);
-            (global, Box::new(f) as Box<dyn FnMut(&mut R) -> f64>)
+            let global = rng.gen_range_f64(1.0 - v_sys, 1.0 + v_sys);
+            let f = move |rng: &mut SimRng| rng.gen_range_f64(1.0 - v_res, 1.0 + v_res);
+            (global, Box::new(f) as Box<dyn FnMut(&mut SimRng) -> f64>)
         }
         VariationModel::Gaussian => {
             // ±3σ at the worst-case bounds, in log space so factors stay
             // positive.
             let sigma_sys = (1.0 + v_sys).ln() / 3.0;
             let sigma_res = (1.0 + v_res).ln() / 3.0;
-            let global = (sigma_sys * sample_gaussian(rng)).exp();
-            let f = move |rng: &mut R| (sigma_res * sample_gaussian(rng)).exp();
-            (global, Box::new(f) as Box<dyn FnMut(&mut R) -> f64>)
+            let global = (sigma_sys * rng.gen_gaussian()).exp();
+            let f = move |rng: &mut SimRng| (sigma_res * rng.gen_gaussian()).exp();
+            (global, Box::new(f) as Box<dyn FnMut(&mut SimRng) -> f64>)
         }
     }
 }
@@ -122,12 +108,12 @@ fn sample_factors<R: Rng + ?Sized>(
 /// degenerate fan-ins. Fan-ins beyond the margin limit are allowed here —
 /// measuring how badly they fail is the point — so the SA's own fan-in
 /// check is bypassed by sensing against the reference directly.
-pub fn or_error_rate<R: Rng + ?Sized>(
+pub fn or_error_rate(
     tech: &Technology,
     fan_in: usize,
     model: VariationModel,
     trials: u64,
-    rng: &mut R,
+    rng: &mut SimRng,
 ) -> Result<YieldReport, NvmError> {
     let mode = SenseMode::or(fan_in)?;
     let sa = CurrentSenseAmp::new(tech);
@@ -166,11 +152,11 @@ pub fn or_error_rate<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates sampling errors from [`or_error_rate`].
-pub fn max_reliable_or_fan_in<R: Rng + ?Sized>(
+pub fn max_reliable_or_fan_in(
     tech: &Technology,
     target_ber: f64,
     trials: u64,
-    rng: &mut R,
+    rng: &mut SimRng,
 ) -> Result<usize, NvmError> {
     let mut best = 1;
     let mut fan_in = 2;
@@ -188,13 +174,11 @@ pub fn max_reliable_or_fan_in<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn in_spec_uniform_sampling_never_errs() {
         let tech = Technology::pcm();
-        let mut rng = StdRng::seed_from_u64(0x1EAD);
+        let mut rng = SimRng::seed_from_u64(0x1EAD);
         for fan_in in [2usize, 16, 128] {
             let report = or_error_rate(
                 &tech,
@@ -216,7 +200,7 @@ mod tests {
         // Far past the 128-row limit the '1' and '0' regions overlap and
         // even bounded sampling fails.
         let tech = Technology::pcm();
-        let mut rng = StdRng::seed_from_u64(0xBAD);
+        let mut rng = SimRng::seed_from_u64(0xBAD);
         let report = or_error_rate(&tech, 512, VariationModel::BoundedUniform, 4000, &mut rng)
             .expect("valid fan-in");
         assert!(
@@ -229,7 +213,7 @@ mod tests {
     #[test]
     fn gaussian_tails_fail_earlier_than_uniform_bounds() {
         let tech = Technology::pcm();
-        let mut rng = StdRng::seed_from_u64(0x6A55);
+        let mut rng = SimRng::seed_from_u64(0x6A55);
         let reliable = max_reliable_or_fan_in(&tech, 1e-3, 2000, &mut rng).expect("sweep runs");
         assert!(
             (16..=256).contains(&reliable),
@@ -240,7 +224,7 @@ mod tests {
     #[test]
     fn stt_is_reliable_only_at_tiny_fan_in() {
         let tech = Technology::stt_mram();
-        let mut rng = StdRng::seed_from_u64(0x57);
+        let mut rng = SimRng::seed_from_u64(0x57);
         let reliable = max_reliable_or_fan_in(&tech, 1e-3, 2000, &mut rng).expect("sweep runs");
         assert!(
             reliable <= 8,
@@ -262,7 +246,7 @@ mod tests {
 
     #[test]
     fn degenerate_fan_in_is_rejected() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         assert!(or_error_rate(
             &Technology::pcm(),
             1,

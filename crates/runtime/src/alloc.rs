@@ -9,9 +9,8 @@
 use crate::bitvec::PimBitVec;
 use crate::mapping::MappingPolicy;
 use crate::RuntimeError;
+use pinatubo_core::rng::SimRng;
 use pinatubo_mem::{MemGeometry, RowAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// The PIM-aware allocator.
@@ -25,7 +24,7 @@ pub struct PimAllocator {
     retired: HashSet<u64>,
     /// Next candidate for the deterministic policies.
     cursor: u64,
-    rng: StdRng,
+    rng: SimRng,
     next_id: u64,
 }
 
@@ -43,7 +42,7 @@ impl PimAllocator {
             used: HashSet::new(),
             retired: HashSet::new(),
             cursor: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             next_id: 0,
         }
     }
@@ -170,7 +169,7 @@ impl PimAllocator {
                 idx
             }
             MappingPolicy::Random { .. } => loop {
-                let idx = self.rng.gen_range(0..total);
+                let idx = self.rng.gen_range_u64(0, total);
                 if !self.used.contains(&idx) {
                     break idx;
                 }

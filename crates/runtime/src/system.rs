@@ -196,6 +196,9 @@ impl PimSystem {
             let rows: Vec<_> = operands.iter().map(|v| v.rows()[i]).collect();
             let outcome: OpOutcome = self.engine.bulk_op(op, &rows, dst_row, seg_bits)?;
             summary.time_ns += outcome.time_ns();
+            summary.shared_ns += outcome.stats.time.shared_ns();
+            summary.activations +=
+                outcome.stats.events.activates + outcome.stats.events.multi_activates;
             summary.energy_pj += outcome.energy_pj();
             summary.class = summary.class.max(outcome.class);
             summary.segments += 1;
@@ -254,6 +257,9 @@ impl PimSystem {
         {
             let outcome = self.engine.copy_row(src_row, dst_row, seg_bits)?;
             summary.time_ns += outcome.time_ns();
+            summary.shared_ns += outcome.stats.time.shared_ns();
+            summary.activations +=
+                outcome.stats.events.activates + outcome.stats.events.multi_activates;
             summary.energy_pj += outcome.energy_pj();
             summary.class = summary.class.max(outcome.class);
             summary.segments += 1;
@@ -281,6 +287,13 @@ impl PimSystem {
 pub struct OpSummary {
     /// Total simulated time, nanoseconds.
     pub time_ns: f64,
+    /// Channel-serialized portion of `time_ns`: DDR-bus bursts and
+    /// mode-register sets hold the channel's shared command/data bus and
+    /// cannot overlap with other requests on the same channel.
+    pub shared_ns: f64,
+    /// Activation groups the op issued (multi-row and single-row), for
+    /// the scheduler's tRRD/tFAW accounting.
+    pub activations: u64,
     /// Total energy, picojoules.
     pub energy_pj: f64,
     /// Worst locality class among the segments.
@@ -289,10 +302,21 @@ pub struct OpSummary {
     pub segments: u64,
 }
 
+impl OpSummary {
+    /// Bank-local portion of `time_ns` (activation, sensing, writes, GDL,
+    /// precharge): overlappable with other banks' work in a batch.
+    #[must_use]
+    pub fn lane_ns(&self) -> f64 {
+        self.time_ns - self.shared_ns
+    }
+}
+
 impl Default for OpSummary {
     fn default() -> Self {
         OpSummary {
             time_ns: 0.0,
+            shared_ns: 0.0,
+            activations: 0,
             energy_pj: 0.0,
             class: OpClass::IntraSubarray,
             segments: 0,

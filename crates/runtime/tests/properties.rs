@@ -1,37 +1,33 @@
-//! Property tests for the software stack: allocation invariants, ISA
-//! round-trips, and scheduler semantics preservation.
+//! Randomized tests for the software stack: allocation invariants, ISA
+//! round-trips, and scheduler semantics preservation. Driven by the in-repo
+//! seedable [`SimRng`] for deterministic case generation.
 
+use pinatubo_core::rng::SimRng;
 use pinatubo_core::BitwiseOp;
 use pinatubo_mem::{MemGeometry, RowAddr};
 use pinatubo_runtime::isa::{decode_stream, encode_stream, PimInstruction};
 use pinatubo_runtime::{BatchRequest, MappingPolicy, PimAllocator, PimBitVec, PimSystem};
-use proptest::prelude::*;
 
-fn op_strategy() -> impl Strategy<Value = BitwiseOp> {
-    prop::sample::select(vec![
-        BitwiseOp::Or,
-        BitwiseOp::And,
-        BitwiseOp::Xor,
-        BitwiseOp::Not,
-    ])
+const OPS: [BitwiseOp; 4] = [
+    BitwiseOp::Or,
+    BitwiseOp::And,
+    BitwiseOp::Xor,
+    BitwiseOp::Not,
+];
+
+fn random_addr(g: &MemGeometry, rng: &mut SimRng) -> RowAddr {
+    RowAddr::from_linear(g, rng.gen_range_u64(0, g.total_rows()))
 }
 
-fn addr_strategy() -> impl Strategy<Value = RowAddr> {
+/// Any well-formed instruction survives encode → decode unchanged.
+#[test]
+fn isa_round_trips() {
     let g = MemGeometry::pcm_default();
-    (0..g.total_rows()).prop_map(move |i| RowAddr::from_linear(&g, i))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any well-formed instruction survives encode → decode unchanged.
-    #[test]
-    fn isa_round_trips(
-        op in op_strategy(),
-        operands in prop::collection::vec(addr_strategy(), 1..16),
-        dst in addr_strategy(),
-        cols in 1u64..(1 << 19),
-    ) {
+    let mut rng = SimRng::seed_from_u64(0x15A);
+    for case in 0..256 {
+        let op = OPS[case % OPS.len()];
+        let n = 1 + rng.gen_index(15);
+        let operands: Vec<RowAddr> = (0..n).map(|_| random_addr(&g, &mut rng)).collect();
         let operands = if op == BitwiseOp::Not {
             operands[..1].to_vec()
         } else if operands.len() < 2 {
@@ -39,46 +35,59 @@ proptest! {
         } else {
             operands
         };
-        let g = MemGeometry::pcm_default();
-        let instruction = PimInstruction { op, operands, dst, cols };
+        let dst = random_addr(&g, &mut rng);
+        let cols = 1 + rng.gen_range_u64(0, (1 << 19) - 1);
+        let instruction = PimInstruction {
+            op,
+            operands,
+            dst,
+            cols,
+        };
         let words = encode_stream(&g, std::slice::from_ref(&instruction));
         let decoded = decode_stream(&g, &words).expect("round trip decodes");
-        prop_assert_eq!(decoded, vec![instruction]);
+        assert_eq!(decoded, vec![instruction]);
     }
+}
 
-    /// Group allocation never reuses a row and keeps fitting groups in one
-    /// subarray under the PIM-aware policy.
-    #[test]
-    fn alloc_group_invariants(sizes in prop::collection::vec(1usize..64, 1..24)) {
-        let mut allocator = PimAllocator::new(
-            MemGeometry::pcm_default(),
-            MappingPolicy::SubarrayFirst,
-        );
+/// Group allocation never reuses a row and keeps fitting groups in one
+/// subarray under the PIM-aware policy.
+#[test]
+fn alloc_group_invariants() {
+    let mut rng = SimRng::seed_from_u64(0xA110C);
+    for _ in 0..32 {
+        let mut allocator =
+            PimAllocator::new(MemGeometry::pcm_default(), MappingPolicy::SubarrayFirst);
         let mut seen = std::collections::HashSet::new();
-        for size in sizes {
+        let groups = 1 + rng.gen_index(23);
+        for _ in 0..groups {
+            let size = 1 + rng.gen_index(63);
             let group = allocator.alloc_group(size, 64).expect("allocates");
-            prop_assert_eq!(group.len(), size);
+            assert_eq!(group.len(), size);
             let first = group[0].rows()[0];
             for vector in &group {
                 for row in vector.rows() {
-                    prop_assert!(seen.insert(*row), "row {} reused", row);
-                    prop_assert!(row.same_subarray(&first));
+                    assert!(seen.insert(*row), "row {row} reused");
+                    assert!(row.same_subarray(&first));
                 }
             }
         }
     }
+}
 
-    /// A scheduled batch produces exactly the same destination contents as
-    /// submission-order execution, for arbitrary dependency chains.
-    #[test]
-    fn scheduler_preserves_semantics(
-        ops in prop::collection::vec((op_strategy(), any::<u64>()), 2..10),
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
+/// A scheduled batch produces exactly the same destination contents as
+/// submission-order execution, for arbitrary dependency chains.
+#[test]
+fn scheduler_preserves_semantics() {
+    let mut outer = SimRng::seed_from_u64(0x5C4E);
+    for _ in 0..24 {
+        let seed = outer.next_u64();
+        let count = 2 + outer.gen_index(8);
+        let ops: Vec<(BitwiseOp, u64)> = (0..count)
+            .map(|_| (OPS[outer.gen_index(OPS.len())], outer.next_u64()))
+            .collect();
 
         let build = |sys: &mut PimSystem| -> (Vec<BatchRequest>, Vec<PimBitVec>) {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             // A pool the requests read from and write into, creating
             // genuine dependency chains.
             let pool: Vec<PimBitVec> = (0..6)
@@ -94,8 +103,12 @@ proptest! {
                 .map(|&(op, pick)| {
                     let a = pool[(pick % 6) as usize].clone();
                     let b = pool[((pick >> 8) % 6) as usize].clone();
-                    let dst = pool[rng.gen_range(0..6)].clone();
-                    let operands = if op == BitwiseOp::Not { vec![a] } else { vec![a, b] };
+                    let dst = pool[rng.gen_index(6)].clone();
+                    let operands = if op == BitwiseOp::Not {
+                        vec![a]
+                    } else {
+                        vec![a, b]
+                    };
                     BatchRequest { op, operands, dst }
                 })
                 .collect();
@@ -111,21 +124,28 @@ proptest! {
         let (requests, pool) = build(&mut sequential);
         for r in &requests {
             let operands: Vec<&PimBitVec> = r.operands.iter().collect();
-            sequential.bitwise(r.op, &operands, &r.dst).expect("sequential op");
+            sequential
+                .bitwise(r.op, &operands, &r.dst)
+                .expect("sequential op");
         }
         let sequential_state: Vec<Vec<bool>> = pool.iter().map(|v| sequential.load(v)).collect();
 
-        prop_assert_eq!(scheduled_state, sequential_state);
+        assert_eq!(scheduled_state, sequential_state);
     }
+}
 
-    /// Copy is exact for any length, including multi-segment vectors.
-    #[test]
-    fn copy_round_trips(bits in prop::collection::vec(any::<bool>(), 1..2000)) {
+/// Copy is exact for any length, including multi-segment vectors.
+#[test]
+fn copy_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0xC0);
+    for _ in 0..24 {
+        let len = 1 + rng.gen_index(1999);
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen_bit()).collect();
         let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
         let src = sys.alloc(bits.len() as u64).expect("src");
         let dst = sys.alloc(bits.len() as u64).expect("dst");
         sys.store(&src, &bits).expect("store");
         sys.copy(&src, &dst).expect("copy");
-        prop_assert_eq!(sys.load(&dst), bits);
+        assert_eq!(sys.load(&dst), bits);
     }
 }

@@ -37,12 +37,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.serial_time_ns / 1000.0
     );
     println!(
-        "  channel-parallel makespan: {:.2} us ({:.2}x overlap)",
+        "  bank-parallel makespan : {:.2} us ({:.2}x overlap)",
         report.makespan_ns / 1000.0,
         report.channel_parallel_speedup()
     );
     for (channel, t) in report.channel_times_ns.iter().enumerate() {
         println!("    channel {channel}: {:.2} us busy", t / 1000.0);
     }
+    let m = &report.makespan;
+    println!("  critical-path breakdown:");
+    println!(
+        "    bus-serialized (DDR + MRS): {:.2} us, bank-lane work: {:.2} us",
+        m.bus_serialized_ns / 1000.0,
+        m.lane_ns / 1000.0
+    );
+    println!(
+        "    {} bank lanes, {:.0}% of submitted work overlapped away, \
+         {:.0} ns tRRD/tFAW launch stall",
+        m.lanes_used,
+        m.overlapped_fraction() * 100.0,
+        m.rrd_faw_stall_ns
+    );
     Ok(())
 }

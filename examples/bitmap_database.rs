@@ -4,9 +4,8 @@
 //! Run with `cargo run --release --example bitmap_database`.
 
 use pinatubo_apps::database::{BitmapIndex, Query, TableSpec};
+use pinatubo_core::rng::SimRng;
 use pinatubo_runtime::{MappingPolicy, PimSystem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = TableSpec {
@@ -26,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         index.footprint_bytes() as f64 / 1024.0
     );
 
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SimRng::seed_from_u64(99);
     println!(
         "\n{:<42}{:>10}{:>12}",
         "query (bin ranges per attribute)", "hits", "time (ns)"

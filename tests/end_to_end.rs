@@ -1,24 +1,23 @@
 //! Cross-crate integration: the full stack from user API down to the
 //! circuit models, exercised end-to-end.
 
+use pinatubo_core::rng::SimRng;
 use pinatubo_core::{BitwiseOp, OpClass};
 use pinatubo_runtime::{MappingPolicy, PimSystem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A randomized "application": a few hundred mixed bitwise operations over
 /// a pool of vectors, checked bit-for-bit against a host-side model, with
 /// the command accounting sanity-checked at the end.
 #[test]
 fn random_program_matches_host_model() {
-    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let mut rng = SimRng::seed_from_u64(0xE2E);
     let mut sys = PimSystem::pcm_default(MappingPolicy::SubarrayFirst);
     let len = 777u64;
 
     // A pool of vectors with host-side mirrors.
     let mut pool: Vec<(pinatubo_runtime::PimBitVec, Vec<bool>)> = Vec::new();
     for _ in 0..12 {
-        let bits: Vec<bool> = (0..len).map(|_| rng.gen()).collect();
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen_bit()).collect();
         let vec = sys.alloc(len).expect("allocates");
         sys.store(&vec, &bits).expect("stores");
         pool.push((vec, bits));
@@ -35,10 +34,10 @@ fn random_program_matches_host_model() {
             1
         } else {
             // Leave at least one pool slot free for the destination.
-            rng.gen_range(2..pool.len())
+            2 + rng.gen_index(pool.len() - 2)
         };
         let chosen: Vec<usize> = (0..operand_count)
-            .map(|_| rng.gen_range(0..pool.len()))
+            .map(|_| rng.gen_index(pool.len()))
             .collect();
         // Chained operations reject a destination that aliases an operand
         // (see `PimError::DstAliasesOperands`); pick a non-operand dst.
