@@ -12,7 +12,7 @@ use crate::classify::OpClass;
 use crate::config::PinatuboConfig;
 use crate::op::BitwiseOp;
 use crate::PimError;
-use pinatubo_mem::{MainMemory, MemConfig, MemStats, PimConfig, RowAddr, RowData};
+use pinatubo_mem::{MainMemory, MemConfig, MemError, MemStats, PimConfig, RowAddr, RowData};
 use pinatubo_nvm::sense_amp::SenseMode;
 
 /// Engine-level counters (on top of the memory's command statistics).
@@ -322,6 +322,50 @@ impl PinatuboEngine {
         Ok(())
     }
 
+    /// The last rung of the recovery ladder: when the protected multi-row
+    /// sense stays unstable even after re-calibration retries, recompute
+    /// the primitive the processor-centric way — parity-checked single-row
+    /// reads into the row buffer, a digital combine, and a conventional
+    /// write-back. Slower, but immune to multi-row sense-margin faults.
+    fn rmw_fallback(
+        &mut self,
+        cfg: PimConfig,
+        rows: &[RowAddr],
+        dst: RowAddr,
+        cols: u64,
+    ) -> Result<(), PimError> {
+        self.mem.note_rmw_fallback();
+        match self.rmw_combine(cfg, rows, dst, cols) {
+            Ok(()) => {
+                self.mem.note_recovery_resolved();
+                Ok(())
+            }
+            Err(e) => {
+                self.mem.note_recovery_failed();
+                Err(e)
+            }
+        }
+    }
+
+    fn rmw_combine(
+        &mut self,
+        cfg: PimConfig,
+        rows: &[RowAddr],
+        dst: RowAddr,
+        cols: u64,
+    ) -> Result<(), PimError> {
+        let mut acc: Option<RowData> = None;
+        for &row in rows {
+            let data = self.mem.activate_read(row, cols)?;
+            match &mut acc {
+                None => acc = Some(data),
+                Some(acc) => self.mem.buffer_logic(cfg, acc, &data, cols)?,
+            }
+        }
+        let acc = acc.expect("rows is non-empty by construction");
+        self.write_back_local(dst, &acc)
+    }
+
     // ---- primitives ----
 
     /// One OR group (2..=fan rows) into `dst`.
@@ -338,9 +382,14 @@ impl PinatuboEngine {
         match class {
             OpClass::IntraSubarray => {
                 self.mem.set_pim_config(PimConfig::Or);
-                let mode = SenseMode::or(rows.len()).map_err(pinatubo_mem::MemError::from)?;
-                let result = self.mem.multi_activate_sense(rows, mode, cols)?;
-                self.write_back_local(dst, &result)?;
+                let mode = SenseMode::or(rows.len()).map_err(MemError::from)?;
+                match self.mem.multi_activate_sense_protected(rows, mode, cols) {
+                    Ok(result) => self.write_back_local(dst, &result)?,
+                    Err(MemError::SenseUnstable { .. }) => {
+                        self.rmw_fallback(PimConfig::Or, rows, dst, cols)?;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             _ => self.buffered_combine(PimConfig::Or, rows, dst, cols, class)?,
         }
@@ -361,9 +410,14 @@ impl PinatuboEngine {
         match (op, class) {
             (BitwiseOp::And, OpClass::IntraSubarray) => {
                 self.mem.set_pim_config(PimConfig::And);
-                let mode = SenseMode::and(2).map_err(pinatubo_mem::MemError::from)?;
-                let result = self.mem.multi_activate_sense(&[a, b], mode, cols)?;
-                self.write_back_local(dst, &result)?;
+                let mode = SenseMode::and(2).map_err(MemError::from)?;
+                match self.mem.multi_activate_sense_protected(&[a, b], mode, cols) {
+                    Ok(result) => self.write_back_local(dst, &result)?,
+                    Err(MemError::SenseUnstable { .. }) => {
+                        self.rmw_fallback(PimConfig::And, &[a, b], dst, cols)?;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             (BitwiseOp::Xor, OpClass::IntraSubarray) => {
                 // Two micro-steps: operand A sampled onto Ch, operand B into
@@ -458,34 +512,7 @@ impl PinatuboEngine {
 
 /// Componentwise `after - before` for stats deltas.
 fn subtract_stats(after: MemStats, before: MemStats) -> MemStats {
-    use pinatubo_mem::EnergyBreakdown;
-    MemStats {
-        time_ns: after.time_ns - before.time_ns,
-        time: after.time - before.time,
-        energy: EnergyBreakdown {
-            activate_pj: after.energy.activate_pj - before.energy.activate_pj,
-            sense_pj: after.energy.sense_pj - before.energy.sense_pj,
-            write_pj: after.energy.write_pj - before.energy.write_pj,
-            bus_pj: after.energy.bus_pj - before.energy.bus_pj,
-            gdl_pj: after.energy.gdl_pj - before.energy.gdl_pj,
-            logic_pj: after.energy.logic_pj - before.energy.logic_pj,
-            precharge_pj: after.energy.precharge_pj - before.energy.precharge_pj,
-        },
-        events: pinatubo_mem::stats::EventCounters {
-            activates: after.events.activates - before.events.activates,
-            multi_activates: after.events.multi_activates - before.events.multi_activates,
-            rows_activated: after.events.rows_activated - before.events.rows_activated,
-            sense_passes: after.events.sense_passes - before.events.sense_passes,
-            row_writes: after.events.row_writes - before.events.row_writes,
-            bus_bursts: after.events.bus_bursts - before.events.bus_bursts,
-            bus_bits: after.events.bus_bits - before.events.bus_bits,
-            gdl_transfers: after.events.gdl_transfers - before.events.gdl_transfers,
-            logic_passes: after.events.logic_passes - before.events.logic_passes,
-            mode_sets: after.events.mode_sets - before.events.mode_sets,
-            precharges: after.events.precharges - before.events.precharges,
-            row_buffer_hits: after.events.row_buffer_hits - before.events.row_buffer_hits,
-        },
-    }
+    after - before
 }
 
 #[cfg(test)]

@@ -18,11 +18,108 @@ use crate::geometry::MemGeometry;
 use crate::stats::MemStats;
 use crate::MemError;
 use pinatubo_nvm::energy::EnergyParams;
+use pinatubo_nvm::fault::{CellId, FaultModel, FaultState, SensedCell};
 use pinatubo_nvm::lwl_driver::LwlDriverBank;
 use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode};
 use pinatubo_nvm::technology::Technology;
 use pinatubo_nvm::timing::TimingParams;
+use pinatubo_nvm::write_driver::{WriteDriver, WriteSource};
 use std::collections::HashMap;
+
+/// Which analysis bounds the widest OR the protected sense path will issue
+/// in a single multi-row activation. Wider requests are split into chunks
+/// of at most this many rows and merged digitally in the row buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReliableFanIn {
+    /// The worst-case interval margin analysis (the static
+    /// [`CurrentSenseAmp::max_or_fan_in`] cap). No splitting below the cap.
+    Margin,
+    /// A Monte-Carlo yield sweep at construction time
+    /// ([`CurrentSenseAmp::reliable_or_fan_in`]): the widest fan-in whose
+    /// Gaussian-model error rate stays below `target_ber`.
+    Yield {
+        /// Acceptable sense-error rate per bit.
+        target_ber: f64,
+        /// Monte-Carlo trials per fan-in point.
+        trials: u64,
+        /// Seed for the sweep's sampling stream.
+        seed: u64,
+    },
+    /// A fixed limit (conservative provisioning, or tests that need to
+    /// exercise splitting deterministically). Clamped to the margin cap.
+    Fixed(usize),
+}
+
+/// Detection and recovery policy for the fault-injected memory.
+///
+/// With the default ([`ReliabilityConfig::off`]) nothing is checked: faults
+/// (if any are modeled) corrupt results silently, which is exactly what the
+/// error-rate sweeps want to measure. [`ReliabilityConfig::protected`]
+/// enables the full detect/retry ladder the controller implements:
+/// program-and-verify on writes, per-row parity on reads, duplicate sensing
+/// with reference re-calibration on PIM activations, and proactive fan-in
+/// splitting at the yield-analysis limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Verify every charged write (and setup poke) against the intended
+    /// data, retrying failed programming pulses up to
+    /// `max_write_retries` times before reporting
+    /// [`MemError::UncorrectableWrite`].
+    pub verify_writes: bool,
+    /// Keep one parity bit per 64-bit word per row, checked on every
+    /// single-row read; mismatches trigger re-calibrated re-reads and
+    /// eventually [`MemError::UncorrectableRead`].
+    pub parity_check: bool,
+    /// Sense every PIM activation twice and require agreement; disagreement
+    /// triggers re-calibrated retries and eventually
+    /// [`MemError::SenseUnstable`] (the caller's cue to fall back to
+    /// read-modify-write).
+    pub duplicate_sense: bool,
+    /// Extra programming pulses after the first failed verify.
+    pub max_write_retries: u32,
+    /// Re-calibrated re-senses after a detected read/sense error.
+    pub max_sense_retries: u32,
+    /// The fan-in limit the protected sense path enforces by splitting.
+    pub reliable_fan_in: ReliableFanIn,
+}
+
+impl ReliabilityConfig {
+    /// No detection, no recovery (the default).
+    #[must_use]
+    pub fn off() -> Self {
+        ReliabilityConfig {
+            verify_writes: false,
+            parity_check: false,
+            duplicate_sense: false,
+            max_write_retries: 0,
+            max_sense_retries: 0,
+            reliable_fan_in: ReliableFanIn::Margin,
+        }
+    }
+
+    /// The full recovery ladder with the paper-calibrated yield limit.
+    #[must_use]
+    pub fn protected() -> Self {
+        ReliabilityConfig {
+            verify_writes: true,
+            parity_check: true,
+            duplicate_sense: true,
+            max_write_retries: 3,
+            max_sense_retries: 3,
+            reliable_fan_in: ReliableFanIn::Yield {
+                target_ber: 1e-3,
+                trials: 2000,
+                seed: 0x5EED,
+            },
+        }
+    }
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig::off()
+    }
+}
 
 /// Everything needed to instantiate a memory system.
 #[derive(Debug, Clone)]
@@ -42,6 +139,13 @@ pub struct MemConfig {
     /// Off by default (closed-page), matching the calibrated figures;
     /// multi-row PIM activations always close the page.
     pub open_page: bool,
+    /// Deterministic fault injection into the resistive sense/write paths.
+    /// [`FaultModel::none`] (the default) keeps the simulator bit-identical
+    /// to a fault-free build; DRAM ignores the model (it has no current
+    /// SA to inject into).
+    pub fault_model: FaultModel,
+    /// Detection/recovery policy (only meaningful with faults enabled).
+    pub reliability: ReliabilityConfig,
 }
 
 impl MemConfig {
@@ -56,6 +160,8 @@ impl MemConfig {
             energy: EnergyParams::pcm(),
             record_trace: false,
             open_page: false,
+            fault_model: FaultModel::none(),
+            reliability: ReliabilityConfig::off(),
         }
     }
 
@@ -70,6 +176,8 @@ impl MemConfig {
             energy: EnergyParams::dram(),
             record_trace: false,
             open_page: false,
+            fault_model: FaultModel::none(),
+            reliability: ReliabilityConfig::off(),
         }
     }
 }
@@ -96,6 +204,17 @@ pub struct MainMemory {
     /// Recent activation issue times per (channel, rank), oldest first
     /// (at most four kept), for the tRRD/tFAW inter-activation gate.
     act_history: HashMap<(u32, u32), Vec<f64>>,
+    /// Fault-injection state; `None` when the model is
+    /// [`FaultModel::none`] (or the technology has no current SA), in
+    /// which case every fault/recovery branch is skipped entirely.
+    fault: Option<FaultState>,
+    /// The fan-in limit enforced by the protected sense path (resolved
+    /// once at construction from `config.reliability.reliable_fan_in`).
+    reliable_or_fan_in: usize,
+    /// Per-row parity words (one parity bit per 64-bit data word), keyed
+    /// by row, stored alongside the intended data on every write. Only
+    /// maintained when `reliability.parity_check` is set.
+    parity: HashMap<RowAddr, (u64, Vec<u64>)>,
     mode: PimConfig,
     stats: MemStats,
     trace: Vec<MemCommand>,
@@ -111,6 +230,21 @@ impl MainMemory {
             .is_resistive()
             .then(|| CurrentSenseAmp::new(&config.technology));
         let max_or_fan_in = sense_amp.as_ref().map_or(1, CurrentSenseAmp::max_or_fan_in);
+        let fault = (!config.fault_model.is_none() && sense_amp.is_some())
+            .then(|| FaultState::new(config.fault_model));
+        let reliable_or_fan_in = match config.reliability.reliable_fan_in {
+            ReliableFanIn::Margin => max_or_fan_in,
+            ReliableFanIn::Yield {
+                target_ber,
+                trials,
+                seed,
+            } => sense_amp
+                .as_ref()
+                .and_then(|sa| sa.reliable_or_fan_in(target_ber, trials, seed).ok())
+                .unwrap_or(max_or_fan_in),
+            ReliableFanIn::Fixed(limit) => limit.min(max_or_fan_in),
+        }
+        .max(1);
         MainMemory {
             config,
             sense_amp,
@@ -119,6 +253,9 @@ impl MainMemory {
             wear: HashMap::new(),
             open_rows: HashMap::new(),
             act_history: HashMap::new(),
+            fault,
+            reliable_or_fan_in,
+            parity: HashMap::new(),
             mode: PimConfig::Off,
             stats: MemStats::new(),
             trace: Vec::new(),
@@ -171,6 +308,21 @@ impl MainMemory {
         self.max_or_fan_in
     }
 
+    /// Largest OR fan-in the *protected* sense path will issue in one
+    /// activation (see [`ReliableFanIn`]); wider requests are split.
+    /// Always `<=` [`MainMemory::max_or_fan_in`].
+    #[must_use]
+    pub fn reliable_or_fan_in(&self) -> usize {
+        self.reliable_or_fan_in
+    }
+
+    /// Whether fault injection is active (a non-none model on a resistive
+    /// technology).
+    #[must_use]
+    pub fn fault_injection_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
     /// Sets the PIM mode register, charging a mode-register-set command.
     /// Setting the already-current mode is free (the driver library caches
     /// the MR value, §5).
@@ -199,12 +351,53 @@ impl MainMemory {
     /// # Errors
     ///
     /// Returns [`MemError::AddressOutOfRange`] for invalid addresses and
-    /// [`MemError::ColsExceedRow`] if `data` is wider than a row.
+    /// [`MemError::ColsExceedRow`] if `data` is wider than a row. With
+    /// fault injection and `verify_writes` enabled, pokes that cannot land
+    /// on the defective cells report [`MemError::UncorrectableWrite`] —
+    /// setup data must really be in the array for later senses to mean
+    /// anything.
     pub fn poke_row(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols(data.len_bits())?;
-        self.store(addr, data);
-        Ok(())
+        if self.fault.is_none() {
+            self.store(addr, data);
+            self.record_parity(addr, data);
+            return Ok(());
+        }
+        // Setup DMA still goes through the physical write path (the image
+        // must land on the real, possibly defective cells) but charges no
+        // time/energy/wear; the retry loop models the DMA engine's own
+        // program-and-verify.
+        let verify = self.config.reliability.verify_writes;
+        let mut attempt: u32 = 0;
+        loop {
+            let actual = self.store_physical(addr, data, WriteSource::Bus);
+            let mut diff = actual.clone();
+            diff.xor_assign(data);
+            let bad = diff.count_ones();
+            self.stats.reliability.injected_write_faults += bad;
+            if bad == 0 || !verify {
+                self.record_parity(addr, data);
+                self.note_unverified_store(&actual, data, bad);
+                if verify && attempt > 0 {
+                    self.stats.reliability.corrected_errors += 1;
+                }
+                return Ok(());
+            }
+            if attempt == 0 {
+                self.stats.reliability.detected_errors += 1;
+            }
+            if attempt >= self.config.reliability.max_write_retries {
+                self.record_parity(addr, data);
+                self.stats.reliability.uncorrectable_errors += 1;
+                return Err(MemError::UncorrectableWrite {
+                    addr,
+                    bad_bits: bad,
+                });
+            }
+            attempt += 1;
+            self.stats.reliability.write_retries += 1;
+        }
     }
 
     /// Multi-row activation followed by sensing under `mode`, producing
@@ -263,16 +456,16 @@ impl MainMemory {
             lwl.latch(op.row as usize)?;
         }
 
-        // Functional combine, word-wise over the open rows.
-        let mut out = self.load(first, cols);
-        for &other in rest {
-            let row = self.load(other, cols);
-            match mode {
-                SenseMode::Read => {}
-                SenseMode::Or { .. } => out.or_assign(&row),
-                SenseMode::And => out.and_assign(&row),
-            }
-        }
+        // Functional combine, word-wise over the open rows. With fault
+        // injection enabled the returned value is instead re-derived by
+        // per-cell physical sensing; the word-wise result serves as the
+        // ground truth for the injected-error tally.
+        let truth = self.functional_combine(operands, mode, cols);
+        let out = if self.fault.is_some() {
+            self.sense_physical(operands, mode, cols, &truth)
+        } else {
+            truth
+        };
 
         // Accounting.
         let g = &self.config.geometry;
@@ -356,11 +549,93 @@ impl MainMemory {
     /// Reads the first `cols` bits of one row into the subarray's SA latch
     /// (a plain activate + sense, no data movement beyond the mats).
     ///
+    /// With fault injection and `parity_check` enabled, the sensed data is
+    /// checked against the row's stored parity; mismatches trigger up to
+    /// `max_sense_retries` re-calibrated re-reads (each charged one MRS
+    /// plus a full re-activation) before giving up.
+    ///
     /// # Errors
     ///
-    /// Same conditions as [`MainMemory::multi_activate_sense`].
+    /// Same conditions as [`MainMemory::multi_activate_sense`], plus
+    /// [`MemError::UncorrectableRead`] when the parity never checks out.
     pub fn activate_read(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
-        self.multi_activate_sense(std::slice::from_ref(&addr), SenseMode::Read, cols)
+        let operands = [addr];
+        let data = self.multi_activate_sense(&operands, SenseMode::Read, cols)?;
+        if self.fault.is_none() {
+            return Ok(data);
+        }
+        if !self.config.reliability.parity_check || self.parity_matches(addr, &data) {
+            self.note_accepted(&operands, SenseMode::Read, cols, &data);
+            return Ok(data);
+        }
+        self.stats.reliability.detected_errors += 1;
+        for _ in 0..self.config.reliability.max_sense_retries {
+            self.stats.reliability.sense_retries += 1;
+            self.charge_recalibration();
+            let again = self.multi_activate_sense(&operands, SenseMode::Read, cols)?;
+            if self.parity_matches(addr, &again) {
+                self.stats.reliability.corrected_errors += 1;
+                self.note_accepted(&operands, SenseMode::Read, cols, &again);
+                return Ok(again);
+            }
+        }
+        self.stats.reliability.uncorrectable_errors += 1;
+        Err(MemError::UncorrectableRead { addr })
+    }
+
+    /// [`MainMemory::multi_activate_sense`] wrapped in the recovery ladder
+    /// (paper-faithful costs at every step):
+    ///
+    /// 1. **fan-in splitting** — ORs wider than
+    ///    [`MainMemory::reliable_or_fan_in`] are proactively split into
+    ///    chunks and merged digitally in the row buffer;
+    /// 2. **duplicate sensing** — each activation is sensed twice
+    ///    (`duplicate_sense`); disagreement means a transient fault was
+    ///    caught in the act;
+    /// 3. **bounded retry with re-calibration** — up to
+    ///    `max_sense_retries` MRS-charged re-activations;
+    /// 4. **explicit failure** — [`MemError::SenseUnstable`], the caller's
+    ///    cue to fall back to the read-modify-write path.
+    ///
+    /// Without fault injection this is exactly
+    /// [`MainMemory::multi_activate_sense`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MainMemory::multi_activate_sense`], plus
+    /// [`MemError::SenseUnstable`] as described.
+    pub fn multi_activate_sense_protected(
+        &mut self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+    ) -> Result<RowData, MemError> {
+        if self.fault.is_none() {
+            return self.multi_activate_sense(operands, mode, cols);
+        }
+        if let SenseMode::Or { fan_in } = mode {
+            if operands.len() == fan_in && fan_in > self.reliable_or_fan_in {
+                return self.split_or(operands, cols);
+            }
+        }
+        self.sense_stable(operands, mode, cols)
+    }
+
+    /// Records that the caller is re-running an unstable PIM sense through
+    /// its read-modify-write fallback path.
+    pub fn note_rmw_fallback(&mut self) {
+        self.stats.reliability.rmw_fallbacks += 1;
+    }
+
+    /// Records that a detected error was resolved outside the controller
+    /// (e.g. the engine's RMW fallback recomputed the result).
+    pub fn note_recovery_resolved(&mut self) {
+        self.stats.reliability.corrected_errors += 1;
+    }
+
+    /// Records that a detected error survived even the caller's fallback.
+    pub fn note_recovery_failed(&mut self) {
+        self.stats.reliability.uncorrectable_errors += 1;
     }
 
     /// Reads a row and moves it over the global data lines into the bank's
@@ -435,9 +710,7 @@ impl MainMemory {
     pub fn write_row_local(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols_nonzero(data.len_bits())?;
-        self.store(addr, data);
-        self.charge_write(addr, data.len_bits(), true);
-        Ok(())
+        self.program_row(addr, data, true)
     }
 
     /// Writes a row from the bank's global row buffer (GDL transfer + array
@@ -449,10 +722,8 @@ impl MainMemory {
     pub fn write_row_from_buffer(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols_nonzero(data.len_bits())?;
-        self.store(addr, data);
         self.charge_gdl(data.len_bits());
-        self.charge_write(addr, data.len_bits(), false);
-        Ok(())
+        self.program_row(addr, data, false)
     }
 
     /// Writes a row arriving over the DDR bus (conventional write).
@@ -600,6 +871,310 @@ impl MainMemory {
             .entry(addr.subarray_id())
             .or_default()
             .insert(addr.row, data.clone());
+    }
+
+    /// Word-wise combine over the operand rows — the functional ground
+    /// truth of a multi-row sense.
+    fn functional_combine(&self, operands: &[RowAddr], mode: SenseMode, cols: u64) -> RowData {
+        let (&first, rest) = operands.split_first().expect("operands are non-empty");
+        let mut out = self.load(first, cols);
+        for &other in rest {
+            let row = self.load(other, cols);
+            match mode {
+                SenseMode::Read => {}
+                SenseMode::Or { .. } => out.or_assign(&row),
+                SenseMode::And => out.and_assign(&row),
+            }
+        }
+        out
+    }
+
+    /// Per-cell physical sensing with faults injected: every column runs
+    /// the stored operand bits through [`CurrentSenseAmp::sense_with_faults`]
+    /// (stuck overrides, drift, per-sense variation, transient flips).
+    /// Bits differing from the word-wise `truth` are tallied as injected.
+    fn sense_physical(
+        &mut self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+        truth: &RowData,
+    ) -> RowData {
+        let geometry = &self.config.geometry;
+        let rows: Vec<(u64, RowData, u64)> = operands
+            .iter()
+            .map(|&a| (a.to_linear(geometry), self.load(a, cols), self.row_wear(a)))
+            .collect();
+        let mut state = self.fault.take().expect("fault injection enabled");
+        let sa = self.sense_amp.as_ref().expect("resistive technology");
+        let margin = sa.margin(mode);
+        let mut out = RowData::zeros(cols);
+        let mut cells = Vec::with_capacity(rows.len());
+        for bit in 0..cols {
+            cells.clear();
+            for (key, row, wear) in &rows {
+                cells.push(SensedCell {
+                    cell: CellId::new(*key, bit),
+                    stored: row.get(bit),
+                    writes: *wear,
+                });
+            }
+            let sensed = sa
+                .sense_with_faults(mode, &margin, &cells, &mut state)
+                .expect("operand count matches the sense mode");
+            if sensed {
+                out.set(bit, true);
+            }
+        }
+        self.fault = Some(state);
+        let mut diff = out.clone();
+        diff.xor_assign(truth);
+        self.stats.reliability.injected_bit_errors += diff.count_ones();
+        out
+    }
+
+    /// Fires the write drivers against the real (possibly defective)
+    /// cells and stores what they actually hold. Returns the stored image.
+    fn store_physical(&mut self, addr: RowAddr, data: &RowData, source: WriteSource) -> RowData {
+        let mut state = self.fault.take().expect("fault injection enabled");
+        let driver = WriteDriver::new(&self.config.technology);
+        let key = addr.to_linear(&self.config.geometry);
+        // The pulse in flight stresses the cells on top of the wear
+        // charged so far (row-level wear stands in for per-cell counts).
+        let writes = self.row_wear(addr) + 1;
+        let bits = data.len_bits();
+        let mut stored = RowData::zeros(bits);
+        for bit in 0..bits {
+            let driven = driver.drive(source, data.get(bit));
+            if state.commit_write(driven, CellId::new(key, bit), writes) {
+                stored.set(bit, true);
+            }
+        }
+        self.fault = Some(state);
+        self.store(addr, &stored);
+        stored
+    }
+
+    /// One charged write, with program-and-verify when faults and
+    /// `verify_writes` are enabled: every attempt pays the full write
+    /// (time, energy, wear) plus one read-back sense pass for the verify.
+    fn program_row(&mut self, addr: RowAddr, data: &RowData, local: bool) -> Result<(), MemError> {
+        let bits = data.len_bits();
+        if self.fault.is_none() {
+            self.store(addr, data);
+            self.record_parity(addr, data);
+            self.charge_write(addr, bits, local);
+            return Ok(());
+        }
+        let verify = self.config.reliability.verify_writes;
+        let source = if local {
+            WriteSource::SenseAmp
+        } else {
+            WriteSource::Bus
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            let actual = self.store_physical(addr, data, source);
+            self.charge_write(addr, bits, local);
+            let mut diff = actual.clone();
+            diff.xor_assign(data);
+            let bad = diff.count_ones();
+            self.stats.reliability.injected_write_faults += bad;
+            if !verify {
+                // Unverified: parity (of the intended data) still flags the
+                // corruption at read time; with parity off too — or when
+                // the corruption aliases the parity — the wrong bits are
+                // silent.
+                self.record_parity(addr, data);
+                self.note_unverified_store(&actual, data, bad);
+                return Ok(());
+            }
+            self.charge_verify_pass(bits);
+            if bad == 0 {
+                self.record_parity(addr, data);
+                if attempt > 0 {
+                    self.stats.reliability.corrected_errors += 1;
+                }
+                return Ok(());
+            }
+            if attempt == 0 {
+                self.stats.reliability.detected_errors += 1;
+            }
+            if attempt >= self.config.reliability.max_write_retries {
+                self.record_parity(addr, data);
+                self.stats.reliability.uncorrectable_errors += 1;
+                return Err(MemError::UncorrectableWrite {
+                    addr,
+                    bad_bits: bad,
+                });
+            }
+            attempt += 1;
+            self.stats.reliability.write_retries += 1;
+        }
+    }
+
+    /// Duplicate-sense ladder for one activation: sense, confirm with a
+    /// second (sense-only) pass, retry with re-calibration on
+    /// disagreement, surface [`MemError::SenseUnstable`] when the budget
+    /// runs out.
+    fn sense_stable(
+        &mut self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+    ) -> Result<RowData, MemError> {
+        let first = self.multi_activate_sense(operands, mode, cols)?;
+        if !self.config.reliability.duplicate_sense {
+            self.note_accepted(operands, mode, cols, &first);
+            return Ok(first);
+        }
+        let truth = self.functional_combine(operands, mode, cols);
+        if self.resense(operands, mode, cols, &truth) == first {
+            self.note_accepted(operands, mode, cols, &first);
+            return Ok(first);
+        }
+        self.stats.reliability.detected_errors += 1;
+        let retries = self.config.reliability.max_sense_retries;
+        for _ in 0..retries {
+            self.stats.reliability.sense_retries += 1;
+            self.charge_recalibration();
+            let again = self.multi_activate_sense(operands, mode, cols)?;
+            if self.resense(operands, mode, cols, &truth) == again {
+                self.stats.reliability.corrected_errors += 1;
+                self.note_accepted(operands, mode, cols, &again);
+                return Ok(again);
+            }
+        }
+        Err(MemError::SenseUnstable {
+            addr: operands[0],
+            retries,
+        })
+    }
+
+    /// Splits an over-wide OR into reliable-width chunks, each run through
+    /// the duplicate-sense ladder, merged digitally in the row buffer.
+    fn split_or(&mut self, operands: &[RowAddr], cols: u64) -> Result<RowData, MemError> {
+        self.stats.reliability.fan_in_splits += 1;
+        let limit = self.reliable_or_fan_in.max(1);
+        let mut acc: Option<RowData> = None;
+        for chunk in operands.chunks(limit) {
+            let mode = if chunk.len() >= 2 {
+                SenseMode::or(chunk.len()).map_err(MemError::from)?
+            } else {
+                SenseMode::Read
+            };
+            let part = self.sense_stable(chunk, mode, cols)?;
+            match &mut acc {
+                None => acc = Some(part),
+                Some(acc) => self.buffer_logic(PimConfig::Or, acc, &part, cols)?,
+            }
+        }
+        Ok(acc.expect("operands are non-empty"))
+    }
+
+    /// A duplicate sense re-fires the SA strip while the rows stay open:
+    /// the column passes and sense energy are paid again, the activation
+    /// is not.
+    fn resense(
+        &mut self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+        truth: &RowData,
+    ) -> RowData {
+        self.charge_verify_pass(cols);
+        self.sense_physical(operands, mode, cols, truth)
+    }
+
+    /// Tallies wrong bits in a result the recovery machinery accepted as
+    /// correct — the silent-corruption metric.
+    fn note_accepted(&mut self, operands: &[RowAddr], mode: SenseMode, cols: u64, out: &RowData) {
+        let truth = self.functional_combine(operands, mode, cols);
+        let mut diff = out.clone();
+        diff.xor_assign(&truth);
+        self.stats.reliability.silent_wrong_bits += diff.count_ones();
+    }
+
+    /// One packed parity bit per 64-bit data word.
+    fn parity_words(data: &RowData) -> Vec<u64> {
+        let words = data.as_words();
+        let mut out = vec![0u64; words.len().div_ceil(64)];
+        for (i, w) in words.iter().enumerate() {
+            if w.count_ones() & 1 == 1 {
+                out[i / 64] |= 1 << (i % 64);
+            }
+        }
+        out
+    }
+
+    /// Accounts the wrong bits an unverified (or verify-accepted-anyway)
+    /// store left behind. With parity off every bad bit is silent; with
+    /// parity on, only corruption that *aliases* the per-word parity (an
+    /// even number of flips inside each 64-bit word) can ever be accepted
+    /// by a later read, so exactly those bits are charged to the silent
+    /// ledger — non-aliasing corruption deterministically fails the read's
+    /// parity check and surfaces as an explicit error instead.
+    fn note_unverified_store(&mut self, actual: &RowData, intended: &RowData, bad: u64) {
+        if bad == 0 {
+            return;
+        }
+        if !self.config.reliability.parity_check
+            || Self::parity_words(actual) == Self::parity_words(intended)
+        {
+            self.stats.reliability.silent_wrong_bits += bad;
+        }
+    }
+
+    /// Stores the parity of the *intended* data alongside a write, so a
+    /// later read of cells that silently failed to program flags a
+    /// mismatch. The parity array itself is modeled as reliable (a real
+    /// design would protect it with stronger coding).
+    fn record_parity(&mut self, addr: RowAddr, data: &RowData) {
+        if !self.config.reliability.parity_check {
+            return;
+        }
+        self.parity
+            .insert(addr, (data.len_bits(), Self::parity_words(data)));
+    }
+
+    /// Checks sensed data against the stored parity. Only words fully
+    /// determined on both sides are compared: all stored words when the
+    /// read covers the whole row (sensing zero-extends, matching the
+    /// zero-padded stored tail), otherwise only the complete words read.
+    /// Rows never written have no parity and pass vacuously.
+    fn parity_matches(&self, addr: RowAddr, data: &RowData) -> bool {
+        let Some((stored_bits, stored_parity)) = self.parity.get(&addr) else {
+            return true;
+        };
+        let sensed = Self::parity_words(data);
+        let cols = data.len_bits();
+        let checkable = if cols >= *stored_bits {
+            stored_bits.div_ceil(64)
+        } else {
+            cols / 64
+        };
+        let bit = |v: &[u64], w: u64| v.get((w / 64) as usize).map_or(0, |x| x >> (w % 64) & 1);
+        (0..checkable).all(|w| bit(&sensed, w) == bit(stored_parity, w))
+    }
+
+    /// One read-back / duplicate sense: the column passes through the SA
+    /// mux plus sense energy, no activation or precharge.
+    fn charge_verify_pass(&mut self, bits: u64) {
+        let passes = self.config.geometry.sense_passes(bits);
+        let t = passes as f64 * self.config.timing.t_cl_ns;
+        self.stats.time_ns += t;
+        self.stats.time.sense_ns += t;
+        self.stats.energy.sense_pj += self.config.energy.sense_pj(bits);
+        self.stats.events.sense_passes += passes;
+    }
+
+    /// Re-calibrating the sense reference re-programs the mode register:
+    /// one MRS-class command.
+    fn charge_recalibration(&mut self) {
+        self.stats.time_ns += self.config.timing.t_mrs_ns;
+        self.stats.time.mrs_ns += self.config.timing.t_mrs_ns;
+        self.stats.events.mode_sets += 1;
+        self.record(MemCommand::ModeRegisterSet(self.mode));
     }
 
     fn charge_write(&mut self, addr: RowAddr, bits: u64, local: bool) {
@@ -1099,5 +1674,197 @@ mod tests {
             m.activate_read(addr(0, 0), row_bits + 1),
             Err(MemError::ColsExceedRow { .. })
         ));
+    }
+
+    // ---- fault injection & recovery ----
+
+    /// A PCM memory with the given fault model and reliability policy.
+    fn faulty_mem(model: FaultModel, reliability: ReliabilityConfig) -> MainMemory {
+        let mut config = MemConfig::pcm_default();
+        config.fault_model = model;
+        config.reliability = reliability;
+        MainMemory::new(config)
+    }
+
+    /// A fault model that is *active* (so the physical sense path runs)
+    /// but injects nothing: every probability is zero except a transient
+    /// rate far below anything a finite random stream can hit.
+    fn benign_model() -> FaultModel {
+        FaultModel::with_seed(7).with_transients(1e-300, 1e-300, 1e-300)
+    }
+
+    #[test]
+    fn none_model_disables_injection_even_with_protection_on() {
+        let mut m = faulty_mem(FaultModel::none(), ReliabilityConfig::protected());
+        assert!(!m.fault_injection_active());
+        let mut plain = mem();
+        let pattern = RowData::from_bits(&[true, false, true, true]);
+        for target in [&mut m, &mut plain] {
+            target.poke_row(addr(0, 0), &pattern).expect("poke");
+            target.poke_row(addr(0, 1), &pattern).expect("poke");
+            let out = target
+                .multi_activate_sense_protected(
+                    &[addr(0, 0), addr(0, 1)],
+                    SenseMode::or(2).expect("or2"),
+                    4,
+                )
+                .expect("protected OR");
+            assert_eq!(out.bits(4), vec![true, false, true, true]);
+        }
+        assert_eq!(m.stats(), plain.stats(), "none model must be bit-identical");
+        assert!(m.stats().reliability.is_zero());
+    }
+
+    #[test]
+    fn physical_sense_path_is_exact_when_faults_never_fire() {
+        let mut m = faulty_mem(benign_model(), ReliabilityConfig::off());
+        assert!(m.fault_injection_active());
+        m.poke_row(addr(0, 0), &RowData::from_bits(&[true, false, true, false]))
+            .expect("poke a");
+        m.poke_row(addr(0, 1), &RowData::from_bits(&[false, false, true, true]))
+            .expect("poke b");
+        let out = m
+            .multi_activate_sense(&[addr(0, 0), addr(0, 1)], SenseMode::or(2).expect("or2"), 4)
+            .expect("2-row OR");
+        assert_eq!(out.bits(4), vec![true, false, true, true]);
+        assert_eq!(m.stats().reliability.injected_bit_errors, 0);
+        assert_eq!(m.stats().reliability.silent_wrong_bits, 0);
+    }
+
+    #[test]
+    fn verified_write_retries_through_transient_flips() {
+        let mut cfg = ReliabilityConfig::protected();
+        cfg.max_write_retries = 40;
+        let mut m = faulty_mem(FaultModel::with_seed(0xBAD).with_write_flips(0.02), cfg);
+        let data = RowData::from_bits(&[true; 32]);
+        m.write_row_local(addr(0, 0), &data).expect("write lands");
+        assert_eq!(m.peek_row(addr(0, 0)).expect("stored"), &data);
+        let r = m.stats().reliability;
+        assert!(r.injected_write_faults > 0, "flips must have fired");
+        assert!(r.write_retries > 0, "verify must have caught them");
+        assert!(r.is_consistent(), "{r:?}");
+        assert_eq!(r.silent_wrong_bits, 0);
+    }
+
+    #[test]
+    fn stuck_cells_defeat_verified_writes_explicitly() {
+        let mut m = faulty_mem(
+            FaultModel::with_seed(0xBAD).with_stuck_at(0.3, 0.0),
+            ReliabilityConfig::protected(),
+        );
+        let err = m
+            .write_row_local(addr(0, 0), &RowData::from_bits(&[true; 128]))
+            .expect_err("stuck-at-0 cells cannot hold ones");
+        assert!(matches!(err, MemError::UncorrectableWrite { .. }));
+        let r = m.stats().reliability;
+        assert!(r.uncorrectable_errors >= 1);
+        assert!(r.is_consistent(), "{r:?}");
+    }
+
+    #[test]
+    fn parity_flags_unverified_bad_writes_on_read() {
+        // Writes are not verified, so stuck cells corrupt the array
+        // silently; the per-row parity must catch it at read time, and
+        // since the corruption is deterministic, retries cannot fix it —
+        // the read must fail *explicitly*. Parity's blind spot (an even
+        // number of flips inside one 64-bit word) must land in the
+        // silent-wrong-bits ledger, never go completely unaccounted.
+        let mut cfg = ReliabilityConfig::protected();
+        cfg.verify_writes = false;
+        let mut m = faulty_mem(FaultModel::with_seed(0xBAD).with_stuck_at(0.01, 0.0), cfg);
+        let data = RowData::from_bits(&[true; 128]);
+        let mut explicit_failures = 0u64;
+        let mut escaped_bits = 0u64;
+        for row in 0..16 {
+            m.poke_row(addr(0, row), &data).expect("unverified poke");
+            match m.activate_read(addr(0, row), 128) {
+                Ok(got) => {
+                    let mut diff = got;
+                    diff.xor_assign(&data);
+                    escaped_bits += diff.count_ones();
+                }
+                Err(MemError::UncorrectableRead { .. }) => explicit_failures += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let r = m.stats().reliability;
+        assert!(explicit_failures >= 1, "some rows must fail parity");
+        assert!(r.detected_errors >= explicit_failures);
+        assert!(r.sense_retries > 0, "the ladder must have retried");
+        assert_eq!(
+            r.silent_wrong_bits, escaped_bits,
+            "every wrong bit in accepted data must be in the ledger"
+        );
+        assert!(r.is_consistent(), "{r:?}");
+    }
+
+    #[test]
+    fn wide_or_splits_at_the_reliable_fan_in() {
+        let mut cfg = ReliabilityConfig::protected();
+        cfg.reliable_fan_in = ReliableFanIn::Fixed(4);
+        let mut m = faulty_mem(benign_model(), cfg);
+        assert_eq!(m.reliable_or_fan_in(), 4);
+        let rows: Vec<RowAddr> = (0..8).map(|r| addr(0, r)).collect();
+        m.poke_row(addr(0, 6), &RowData::from_bits(&[false, true]))
+            .expect("poke");
+        let out = m
+            .multi_activate_sense_protected(&rows, SenseMode::or(8).expect("or8"), 2)
+            .expect("split OR");
+        assert_eq!(out.bits(2), vec![false, true]);
+        let r = m.stats().reliability;
+        assert_eq!(r.fan_in_splits, 1);
+        assert_eq!(
+            m.stats().events.multi_activates,
+            2,
+            "8 rows at limit 4 means two OR-4 chunks"
+        );
+        assert!(r.is_consistent(), "{r:?}");
+    }
+
+    #[test]
+    fn unstable_sense_surfaces_after_bounded_retries() {
+        // A transient rate of 0.5 per cell makes duplicate senses disagree
+        // essentially always: the ladder must exhaust its retries and hand
+        // the decision up instead of looping or returning garbage.
+        let mut m = faulty_mem(
+            FaultModel::with_seed(0xF1).with_transients(0.0, 0.5, 0.0),
+            ReliabilityConfig::protected(),
+        );
+        let rows = [addr(0, 0), addr(0, 1)];
+        let err = m
+            .multi_activate_sense_protected(&rows, SenseMode::or(2).expect("or2"), 64)
+            .expect_err("duplicate senses cannot agree at 50% flip rate");
+        assert!(matches!(err, MemError::SenseUnstable { .. }));
+        let r = m.stats().reliability;
+        assert!(r.detected_errors >= 1);
+        assert_eq!(r.sense_retries, 3, "protected() allows three retries");
+        // The caller now resolves it; mimic the engine's RMW fallback so
+        // the ledger closes.
+        m.note_rmw_fallback();
+        m.note_recovery_resolved();
+        let r = m.stats().reliability;
+        assert_eq!(r.rmw_fallbacks, 1);
+        assert!(r.is_consistent(), "{r:?}");
+    }
+
+    #[test]
+    fn recovery_charges_real_time_and_energy() {
+        // The ladder is not free: a run with retries must cost strictly
+        // more than the same run fault-free.
+        let mut clean = mem();
+        let mut noisy = faulty_mem(
+            FaultModel::with_seed(0xF1).with_transients(0.0, 0.5, 0.0),
+            ReliabilityConfig::protected(),
+        );
+        for m in [&mut clean, &mut noisy] {
+            let _ = m.multi_activate_sense_protected(
+                &[addr(0, 0), addr(0, 1)],
+                SenseMode::or(2).expect("or2"),
+                64,
+            );
+        }
+        assert!(noisy.stats().time_ns > clean.stats().time_ns);
+        assert!(noisy.stats().total_energy_pj() > clean.stats().total_energy_pj());
+        assert!(noisy.stats().events.mode_sets > clean.stats().events.mode_sets);
     }
 }

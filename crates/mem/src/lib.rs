@@ -46,9 +46,9 @@ pub mod stats;
 pub use address::RowAddr;
 pub use array::RowData;
 pub use commands::{MemCommand, PimConfig};
-pub use controller::{MainMemory, MemConfig};
+pub use controller::{MainMemory, MemConfig, ReliabilityConfig, ReliableFanIn};
 pub use geometry::MemGeometry;
-pub use stats::{EnergyBreakdown, MemStats, TimeBreakdown};
+pub use stats::{EnergyBreakdown, MemStats, ReliabilityStats, TimeBreakdown};
 
 use pinatubo_nvm::NvmError;
 use std::error::Error;
@@ -80,6 +80,29 @@ pub enum MemError {
     },
     /// A column count of zero was requested.
     EmptyOperation,
+    /// Program-and-verify exhausted its retry budget: some cells refuse to
+    /// hold the data (stuck-at defects or worn-out cells).
+    UncorrectableWrite {
+        /// The row that failed to program.
+        addr: RowAddr,
+        /// Bits still wrong after the final verify.
+        bad_bits: u64,
+    },
+    /// A parity-checked read kept disagreeing with the stored parity after
+    /// exhausting its retry budget.
+    UncorrectableRead {
+        /// The row whose parity never checked out.
+        addr: RowAddr,
+    },
+    /// Duplicate sensing of a multi-row activation kept disagreeing after
+    /// re-calibration retries — the caller should fall back to the
+    /// read-modify-write path.
+    SenseUnstable {
+        /// First operand row of the unstable activation.
+        addr: RowAddr,
+        /// Re-sense attempts that still disagreed.
+        retries: u32,
+    },
     /// A circuit-level limit was hit (fan-in, latch capacity, …).
     Nvm(NvmError),
 }
@@ -99,6 +122,18 @@ impl fmt::Display for MemError {
                 "operation spans {cols} columns but a row holds only {row_bits} bits"
             ),
             MemError::EmptyOperation => write!(f, "operation covers zero columns"),
+            MemError::UncorrectableWrite { addr, bad_bits } => write!(
+                f,
+                "write to row {addr} left {bad_bits} bits wrong after exhausting verify retries"
+            ),
+            MemError::UncorrectableRead { addr } => write!(
+                f,
+                "read of row {addr} failed its parity check after exhausting retries"
+            ),
+            MemError::SenseUnstable { addr, retries } => write!(
+                f,
+                "multi-row sense at {addr} stayed unstable after {retries} re-calibration retries"
+            ),
             MemError::Nvm(e) => write!(f, "circuit limit: {e}"),
         }
     }

@@ -60,6 +60,21 @@ impl AddAssign for EnergyBreakdown {
     }
 }
 
+impl Sub for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn sub(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            activate_pj: self.activate_pj - rhs.activate_pj,
+            sense_pj: self.sense_pj - rhs.sense_pj,
+            write_pj: self.write_pj - rhs.write_pj,
+            bus_pj: self.bus_pj - rhs.bus_pj,
+            gdl_pj: self.gdl_pj - rhs.gdl_pj,
+            logic_pj: self.logic_pj - rhs.logic_pj,
+            precharge_pj: self.precharge_pj - rhs.precharge_pj,
+        }
+    }
+}
+
 /// Event counters, for sanity checks and command traces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EventCounters {
@@ -112,6 +127,123 @@ impl Add for EventCounters {
 impl AddAssign for EventCounters {
     fn add_assign(&mut self, rhs: EventCounters) {
         *self = *self + rhs;
+    }
+}
+
+impl Sub for EventCounters {
+    type Output = EventCounters;
+    fn sub(self, rhs: EventCounters) -> EventCounters {
+        EventCounters {
+            activates: self.activates - rhs.activates,
+            multi_activates: self.multi_activates - rhs.multi_activates,
+            rows_activated: self.rows_activated - rhs.rows_activated,
+            sense_passes: self.sense_passes - rhs.sense_passes,
+            row_writes: self.row_writes - rhs.row_writes,
+            bus_bursts: self.bus_bursts - rhs.bus_bursts,
+            bus_bits: self.bus_bits - rhs.bus_bits,
+            gdl_transfers: self.gdl_transfers - rhs.gdl_transfers,
+            logic_passes: self.logic_passes - rhs.logic_passes,
+            mode_sets: self.mode_sets - rhs.mode_sets,
+            precharges: self.precharges - rhs.precharges,
+            row_buffer_hits: self.row_buffer_hits - rhs.row_buffer_hits,
+        }
+    }
+}
+
+/// Reliability bookkeeping under fault injection: what went wrong, what
+/// was caught, and what the recovery ladder did about it.
+///
+/// Invariants (asserted by [`ReliabilityStats::is_consistent`]):
+/// every detection event is eventually either corrected or reported
+/// uncorrectable, and retries only happen where something was detected.
+/// All counters stay zero when the fault model is
+/// `FaultModel::none()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReliabilityStats {
+    /// Wrong bits produced by the sense path before any detection ran
+    /// (summed over every sense evaluation, including retries).
+    pub injected_bit_errors: u64,
+    /// Faulty bits encountered on the write path (stuck cells or missed
+    /// programming pulses), before verify-after-write ran.
+    pub injected_write_faults: u64,
+    /// Detection events: an operation where duplicate sensing, parity, or
+    /// write verification flagged a mismatch at least once.
+    pub detected_errors: u64,
+    /// Detection events resolved by the recovery ladder.
+    pub corrected_errors: u64,
+    /// Wrong bits accepted without detection — the silent data corruption
+    /// the reliability machinery exists to prevent.
+    pub silent_wrong_bits: u64,
+    /// Sense retries issued (re-sense after re-calibrating the reference).
+    pub sense_retries: u64,
+    /// Write retries issued by program-and-verify.
+    pub write_retries: u64,
+    /// Multi-row activations split into narrower groups because the
+    /// requested fan-in exceeded the reliable limit.
+    pub fan_in_splits: u64,
+    /// PIM operations that fell back to the read-modify-write path after
+    /// sensing kept failing.
+    pub rmw_fallbacks: u64,
+    /// Detection events the ladder could not resolve (surfaced to the
+    /// caller as explicit errors).
+    pub uncorrectable_errors: u64,
+}
+
+impl ReliabilityStats {
+    /// Whether the counters satisfy their bookkeeping invariants:
+    /// `detected == corrected + uncorrectable`, and no retries, splits or
+    /// fallbacks went unaccounted.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.detected_errors == self.corrected_errors + self.uncorrectable_errors
+    }
+
+    /// Whether any fault was injected or any recovery action ran.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == ReliabilityStats::default()
+    }
+}
+
+impl Add for ReliabilityStats {
+    type Output = ReliabilityStats;
+    fn add(self, rhs: ReliabilityStats) -> ReliabilityStats {
+        ReliabilityStats {
+            injected_bit_errors: self.injected_bit_errors + rhs.injected_bit_errors,
+            injected_write_faults: self.injected_write_faults + rhs.injected_write_faults,
+            detected_errors: self.detected_errors + rhs.detected_errors,
+            corrected_errors: self.corrected_errors + rhs.corrected_errors,
+            silent_wrong_bits: self.silent_wrong_bits + rhs.silent_wrong_bits,
+            sense_retries: self.sense_retries + rhs.sense_retries,
+            write_retries: self.write_retries + rhs.write_retries,
+            fan_in_splits: self.fan_in_splits + rhs.fan_in_splits,
+            rmw_fallbacks: self.rmw_fallbacks + rhs.rmw_fallbacks,
+            uncorrectable_errors: self.uncorrectable_errors + rhs.uncorrectable_errors,
+        }
+    }
+}
+
+impl AddAssign for ReliabilityStats {
+    fn add_assign(&mut self, rhs: ReliabilityStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ReliabilityStats {
+    type Output = ReliabilityStats;
+    fn sub(self, rhs: ReliabilityStats) -> ReliabilityStats {
+        ReliabilityStats {
+            injected_bit_errors: self.injected_bit_errors - rhs.injected_bit_errors,
+            injected_write_faults: self.injected_write_faults - rhs.injected_write_faults,
+            detected_errors: self.detected_errors - rhs.detected_errors,
+            corrected_errors: self.corrected_errors - rhs.corrected_errors,
+            silent_wrong_bits: self.silent_wrong_bits - rhs.silent_wrong_bits,
+            sense_retries: self.sense_retries - rhs.sense_retries,
+            write_retries: self.write_retries - rhs.write_retries,
+            fan_in_splits: self.fan_in_splits - rhs.fan_in_splits,
+            rmw_fallbacks: self.rmw_fallbacks - rhs.rmw_fallbacks,
+            uncorrectable_errors: self.uncorrectable_errors - rhs.uncorrectable_errors,
+        }
     }
 }
 
@@ -245,6 +377,8 @@ pub struct MemStats {
     pub energy: EnergyBreakdown,
     /// Event counts.
     pub events: EventCounters,
+    /// Fault-injection and recovery bookkeeping (all zero without faults).
+    pub reliability: ReliabilityStats,
 }
 
 impl MemStats {
@@ -274,6 +408,7 @@ impl Add for MemStats {
             time: self.time + rhs.time,
             energy: self.energy + rhs.energy,
             events: self.events + rhs.events,
+            reliability: self.reliability + rhs.reliability,
         }
     }
 }
@@ -281,6 +416,19 @@ impl Add for MemStats {
 impl AddAssign for MemStats {
     fn add_assign(&mut self, rhs: MemStats) {
         *self = *self + rhs;
+    }
+}
+
+impl Sub for MemStats {
+    type Output = MemStats;
+    fn sub(self, rhs: MemStats) -> MemStats {
+        MemStats {
+            time_ns: self.time_ns - rhs.time_ns,
+            time: self.time - rhs.time,
+            energy: self.energy - rhs.energy,
+            events: self.events - rhs.events,
+            reliability: self.reliability - rhs.reliability,
+        }
     }
 }
 
@@ -345,6 +493,35 @@ mod tests {
         let mut acc = TimeBreakdown::default();
         acc += t;
         assert_eq!(acc, t);
+    }
+
+    #[test]
+    fn reliability_stats_add_sub_and_consistency() {
+        let mut a = ReliabilityStats::default();
+        assert!(a.is_zero());
+        assert!(a.is_consistent());
+        a.injected_bit_errors = 10;
+        a.detected_errors = 4;
+        a.corrected_errors = 3;
+        a.uncorrectable_errors = 1;
+        a.sense_retries = 5;
+        assert!(a.is_consistent());
+        a.corrected_errors = 2;
+        assert!(!a.is_consistent());
+        a.corrected_errors = 3;
+
+        let doubled = a + a;
+        assert_eq!(doubled.injected_bit_errors, 20);
+        assert_eq!(doubled - a, a);
+        let mut acc = ReliabilityStats::default();
+        acc += a;
+        assert_eq!(acc, a);
+
+        let mut s = MemStats::new();
+        s.reliability = a;
+        let sum = s + s;
+        assert_eq!(sum.reliability.sense_retries, 10);
+        assert_eq!((sum - s).reliability, a);
     }
 
     #[test]

@@ -1,0 +1,628 @@
+//! Deterministic fault injection for the NVM array and its sense path.
+//!
+//! The margin analysis in [`crate::sense_amp`] and the Monte-Carlo sweep in
+//! [`crate::yield_analysis`] both stay *analytic*: the functional simulator
+//! above them never actually mis-senses a bit. This module closes that gap
+//! with a seedable [`FaultModel`] that perturbs the physical quantities the
+//! rest of the crate already models:
+//!
+//! * **stuck-at cells** — a per-cell manufactured defect probability, plus
+//!   endurance wear-out after a per-cell write budget (PCM cells fail
+//!   stuck-SET or stuck-RESET once their heater degrades);
+//! * **resistance drift** — a deterministic per-cell multiplicative shift
+//!   that widens each stored level *toward* the sense reference (the
+//!   pessimistic direction for sensing);
+//! * **process variation** — the same systematic + residual log-space
+//!   split the yield analysis uses, re-drawn on every sense so Gaussian
+//!   tails produce data-dependent errors exactly where Fig. 5 predicts;
+//! * **transient sense flips** — a per-[`SenseMode`] probability that the
+//!   latch resolves the wrong way regardless of the bit-line current;
+//! * **write-path flips** — a per-attempt probability that the write
+//!   driver fails to program a healthy cell (so program-and-verify retries
+//!   genuinely help).
+//!
+//! Everything is driven by the in-tree [`SimRng`]: per-cell quantities are
+//! *hashed* from `(seed, cell)` so they are stable across the run, while
+//! per-sense draws come from one sequential stream. Same seed ⇒ same fault
+//! pattern ⇒ same statistics, on every platform.
+//!
+//! [`FaultModel::none`] disables every mechanism; callers are expected to
+//! skip the fault path entirely in that case (see
+//! [`FaultModel::is_none`]), keeping the fault-free simulator bit-identical
+//! to a build without this module.
+
+use crate::resistance::{parallel, Ohms};
+use crate::rng::{splitmix64, SimRng};
+use crate::sense_amp::{CurrentSenseAmp, SenseMargin, SenseMode};
+use crate::write_driver::DrivenBit;
+use crate::yield_analysis::{sample_factors, ResidualSampler, VariationModel};
+use crate::NvmError;
+
+/// Domain-separation salts for the per-cell hashes, so the stuck map, the
+/// endurance budgets and the drift magnitudes are independent functions of
+/// the same seed.
+const SALT_STUCK: u64 = 0x5EED_57AC_0000_0001;
+const SALT_ENDURANCE: u64 = 0x5EED_E27D_0000_0002;
+const SALT_WEAR_VALUE: u64 = 0x5EED_3EA2_0000_0003;
+const SALT_DRIFT: u64 = 0x5EED_D21F_0000_0004;
+const SALT_STREAM: u64 = 0x5EED_F10A_0000_0005;
+
+/// Identifies one physical cell: a linear row index and a bit position.
+///
+/// The memory controller derives `row_key` from the full
+/// channel/rank/bank/subarray/row coordinate, so the same logical data
+/// stored on different rows sees a different (but still deterministic)
+/// fault pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellId {
+    /// Linear row index within the device.
+    pub row_key: u64,
+    /// Bit position within the row.
+    pub bit: u64,
+}
+
+impl CellId {
+    /// Builds a cell identity.
+    #[must_use]
+    pub fn new(row_key: u64, bit: u64) -> Self {
+        CellId { row_key, bit }
+    }
+}
+
+/// Whether a cell can still be programmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellHealth {
+    /// Programs and senses normally (up to stochastic effects).
+    Healthy,
+    /// Holds this value regardless of what is written.
+    StuckAt(bool),
+}
+
+/// Endurance wear-out: cells die after a budget of charged writes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// Mean per-cell write budget.
+    pub mean_writes: u64,
+    /// Relative half-width of the uniform budget spread, in `[0, 1)`:
+    /// budgets are drawn per cell from
+    /// `mean · [1 − spread, 1 + spread]`.
+    pub spread: f64,
+}
+
+/// A deterministic, seedable fault model for the cell array.
+///
+/// All probabilities are per cell (stuck-at, endurance) or per sense /
+/// write attempt (variation, transients, write flips). The default is
+/// [`FaultModel::none`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Root seed for the per-cell hashes and the per-sense stream.
+    pub seed: u64,
+    /// Manufactured stuck-at-0 probability per cell.
+    pub stuck_at_zero: f64,
+    /// Manufactured stuck-at-1 probability per cell.
+    pub stuck_at_one: f64,
+    /// Maximum deterministic per-cell resistance shift toward the sense
+    /// reference, as a relative factor (0.05 = up to 5%). Each cell's
+    /// actual shift is hashed uniformly from `[0, drift_spread]`.
+    pub drift_spread: f64,
+    /// Stochastic process variation re-drawn on every sense, using the
+    /// yield analysis' systematic + residual split. `None` disables it.
+    pub variation: Option<VariationModel>,
+    /// Endurance wear-out; `None` means cells never wear out.
+    pub endurance: Option<EnduranceModel>,
+    /// Transient sense-flip probability in READ mode.
+    pub transient_read_flip: f64,
+    /// Transient sense-flip probability for a 2-row OR; wider ORs scale it
+    /// linearly with fan-in (weaker margin ⇒ a noisier latch decision),
+    /// clamped to 0.5.
+    pub transient_or_flip: f64,
+    /// Transient sense-flip probability in AND mode.
+    pub transient_and_flip: f64,
+    /// Probability that one write attempt fails to program a healthy cell.
+    pub write_flip: f64,
+}
+
+impl FaultModel {
+    /// The fault-free model: every mechanism disabled.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultModel {
+            seed: 0,
+            stuck_at_zero: 0.0,
+            stuck_at_one: 0.0,
+            drift_spread: 0.0,
+            variation: None,
+            endurance: None,
+            transient_read_flip: 0.0,
+            transient_or_flip: 0.0,
+            transient_and_flip: 0.0,
+            write_flip: 0.0,
+        }
+    }
+
+    /// A fault-free model carrying a seed, as a builder starting point.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        FaultModel {
+            seed,
+            ..FaultModel::none()
+        }
+    }
+
+    /// Adds manufactured stuck-at defects.
+    #[must_use]
+    pub fn with_stuck_at(mut self, p_stuck_zero: f64, p_stuck_one: f64) -> Self {
+        self.stuck_at_zero = p_stuck_zero;
+        self.stuck_at_one = p_stuck_one;
+        self
+    }
+
+    /// Adds deterministic per-cell drift toward the reference.
+    #[must_use]
+    pub fn with_drift(mut self, spread: f64) -> Self {
+        self.drift_spread = spread;
+        self
+    }
+
+    /// Adds per-sense stochastic process variation.
+    #[must_use]
+    pub fn with_variation(mut self, model: VariationModel) -> Self {
+        self.variation = Some(model);
+        self
+    }
+
+    /// Adds endurance wear-out.
+    #[must_use]
+    pub fn with_endurance(mut self, mean_writes: u64, spread: f64) -> Self {
+        self.endurance = Some(EnduranceModel {
+            mean_writes,
+            spread,
+        });
+        self
+    }
+
+    /// Adds transient sense flips (READ / 2-row OR / AND probabilities).
+    #[must_use]
+    pub fn with_transients(mut self, read: f64, or2: f64, and2: f64) -> Self {
+        self.transient_read_flip = read;
+        self.transient_or_flip = or2;
+        self.transient_and_flip = and2;
+        self
+    }
+
+    /// Adds write-attempt failures on healthy cells.
+    #[must_use]
+    pub fn with_write_flips(mut self, p: f64) -> Self {
+        self.write_flip = p;
+        self
+    }
+
+    /// `true` when every mechanism is disabled — callers then skip the
+    /// fault path entirely, guaranteeing bit-identical behavior to a
+    /// simulator without fault injection.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.stuck_at_zero <= 0.0
+            && self.stuck_at_one <= 0.0
+            && self.drift_spread <= 0.0
+            && self.variation.is_none()
+            && self.endurance.is_none()
+            && self.transient_read_flip <= 0.0
+            && self.transient_or_flip <= 0.0
+            && self.transient_and_flip <= 0.0
+            && self.write_flip <= 0.0
+    }
+
+    /// The transient latch-flip probability for one sense under `mode`.
+    #[must_use]
+    pub fn transient_flip_probability(&self, mode: SenseMode) -> f64 {
+        match mode {
+            SenseMode::Read => self.transient_read_flip,
+            SenseMode::Or { fan_in } => (self.transient_or_flip * fan_in as f64 / 2.0).min(0.5),
+            SenseMode::And => self.transient_and_flip,
+        }
+    }
+
+    /// A uniform `[0, 1)` hash of `(seed, cell, salt)` — stable for the
+    /// whole run, independent across salts.
+    fn cell_unit(&self, cell: CellId, salt: u64) -> f64 {
+        let mut s = self.seed ^ salt;
+        let a = splitmix64(&mut s);
+        s ^= cell.row_key.wrapping_add(a);
+        let b = splitmix64(&mut s);
+        s ^= cell.bit.wrapping_add(b);
+        (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The manufactured stuck-at value of `cell`, if any.
+    #[must_use]
+    pub fn manufactured_stuck(&self, cell: CellId) -> Option<bool> {
+        let p0 = self.stuck_at_zero.max(0.0);
+        let p1 = self.stuck_at_one.max(0.0);
+        if p0 <= 0.0 && p1 <= 0.0 {
+            return None;
+        }
+        let u = self.cell_unit(cell, SALT_STUCK);
+        if u < p0 {
+            Some(false)
+        } else if u < p0 + p1 {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// The per-cell write budget before endurance failure, if endurance is
+    /// modeled.
+    #[must_use]
+    pub fn endurance_budget(&self, cell: CellId) -> Option<u64> {
+        self.endurance.map(|e| {
+            let u = self.cell_unit(cell, SALT_ENDURANCE);
+            let lo = e.mean_writes as f64 * (1.0 - e.spread);
+            let hi = e.mean_writes as f64 * (1.0 + e.spread);
+            (lo + u * (hi - lo)).max(1.0) as u64
+        })
+    }
+
+    /// The health of `cell` after `writes` charged writes: manufactured
+    /// defects first, then endurance wear-out (worn cells latch a
+    /// hash-chosen stuck value — a degraded PCM heater can fail either
+    /// stuck-SET or stuck-RESET).
+    #[must_use]
+    pub fn cell_health(&self, cell: CellId, writes: u64) -> CellHealth {
+        if let Some(v) = self.manufactured_stuck(cell) {
+            return CellHealth::StuckAt(v);
+        }
+        if let Some(budget) = self.endurance_budget(cell) {
+            if writes > budget {
+                return CellHealth::StuckAt(self.cell_unit(cell, SALT_WEAR_VALUE) < 0.5);
+            }
+        }
+        CellHealth::Healthy
+    }
+
+    /// The deterministic drift factor applied to `cell`'s resistance when
+    /// it stores `stored`: stored '1' (low resistance) drifts *up*, stored
+    /// '0' (high resistance) drifts *down* — both toward the reference,
+    /// the pessimistic direction for sensing.
+    #[must_use]
+    pub fn drift_factor(&self, cell: CellId, stored: bool) -> f64 {
+        if self.drift_spread <= 0.0 {
+            return 1.0;
+        }
+        let magnitude = self.cell_unit(cell, SALT_DRIFT) * self.drift_spread;
+        if stored {
+            1.0 + magnitude
+        } else {
+            1.0 / (1.0 + magnitude)
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+/// One cell as presented to a faulty sense: its identity, the value the
+/// controller believes it stores, and its charged-write count (for
+/// endurance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensedCell {
+    /// Physical identity.
+    pub cell: CellId,
+    /// The functionally stored value.
+    pub stored: bool,
+    /// Charged writes this cell has absorbed.
+    pub writes: u64,
+}
+
+/// Mutable fault-injection state: the model plus the sequential stream for
+/// per-sense stochastic draws.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    model: FaultModel,
+    rng: SimRng,
+}
+
+impl FaultState {
+    /// Initializes the state; the stochastic stream is derived from the
+    /// model's seed (domain-separated from the per-cell hashes).
+    #[must_use]
+    pub fn new(model: FaultModel) -> Self {
+        let mut s = model.seed ^ SALT_STREAM;
+        FaultState {
+            model,
+            rng: SimRng::seed_from_u64(splitmix64(&mut s)),
+        }
+    }
+
+    /// The model being injected.
+    #[must_use]
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Commits one write-driver firing to a cell: stuck cells keep their
+    /// stuck value, healthy cells occasionally miss the programming pulse
+    /// ([`FaultModel::write_flip`]). Returns the value the cell actually
+    /// holds afterwards.
+    pub fn commit_write(&mut self, driven: DrivenBit, cell: CellId, writes: u64) -> bool {
+        match self.model.cell_health(cell, writes) {
+            CellHealth::StuckAt(v) => v,
+            CellHealth::Healthy => {
+                if self.model.write_flip > 0.0 && self.rng.gen_bool(self.model.write_flip.min(1.0))
+                {
+                    !driven.bit()
+                } else {
+                    driven.bit()
+                }
+            }
+        }
+    }
+}
+
+impl CurrentSenseAmp {
+    /// Senses `cells` in parallel under `mode` with faults injected: stuck
+    /// overrides, deterministic drift, per-sense process variation on each
+    /// cell's resistance, then a transient latch flip. `margin` must be
+    /// this amplifier's margin for `mode` (callers cache it — the interval
+    /// construction is too costly per column).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::FanInExceeded`] when `cells.len()` disagrees
+    /// with the mode's fan-in. The margin-based fan-in cap is *not*
+    /// enforced here — measuring how over-wide activations fail is the
+    /// point — mirroring [`crate::yield_analysis::or_error_rate`].
+    pub fn sense_with_faults(
+        &self,
+        mode: SenseMode,
+        margin: &SenseMargin,
+        cells: &[SensedCell],
+        state: &mut FaultState,
+    ) -> Result<bool, NvmError> {
+        if cells.len() != mode.fan_in() {
+            return Err(NvmError::FanInExceeded {
+                requested: cells.len(),
+                supported: mode.fan_in(),
+            });
+        }
+        let model = state.model;
+        let tech = self.technology();
+        let (global, mut residual): (f64, ResidualSampler) = match model.variation {
+            Some(m) => sample_factors(tech, m, &mut state.rng),
+            None => (1.0, Box::new(|_| 1.0)),
+        };
+        let rng = &mut state.rng;
+        let bitline = parallel(cells.iter().map(|c| {
+            let effective = match model.cell_health(c.cell, c.writes) {
+                CellHealth::StuckAt(v) => v,
+                CellHealth::Healthy => c.stored,
+            };
+            let r = tech.cell_resistance(effective).get()
+                * model.drift_factor(c.cell, effective)
+                * global
+                * residual(rng);
+            Ohms::new(r)
+        }));
+        let mut sensed = bitline < margin.reference();
+        let p = model.transient_flip_probability(mode);
+        if p > 0.0 && state.rng.gen_bool(p) {
+            sensed = !sensed;
+        }
+        Ok(sensed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::Technology;
+    use crate::write_driver::{WriteDriver, WriteSource};
+
+    fn cell(row: u64, bit: u64) -> CellId {
+        CellId::new(row, bit)
+    }
+
+    #[test]
+    fn none_is_none_and_default() {
+        assert!(FaultModel::none().is_none());
+        assert!(FaultModel::default().is_none());
+        assert!(!FaultModel::with_seed(1).with_stuck_at(1e-3, 0.0).is_none());
+        assert!(!FaultModel::with_seed(1)
+            .with_variation(VariationModel::Gaussian)
+            .is_none());
+    }
+
+    #[test]
+    fn stuck_map_is_deterministic_and_tracks_probability() {
+        let model = FaultModel::with_seed(0xC0FFEE).with_stuck_at(0.05, 0.05);
+        let n = 20_000u64;
+        let mut stuck0 = 0u64;
+        let mut stuck1 = 0u64;
+        for i in 0..n {
+            match model.manufactured_stuck(cell(i / 64, i % 64)) {
+                Some(false) => stuck0 += 1,
+                Some(true) => stuck1 += 1,
+                None => {}
+            }
+            // Stable across repeated queries.
+            assert_eq!(
+                model.manufactured_stuck(cell(i / 64, i % 64)),
+                model.manufactured_stuck(cell(i / 64, i % 64))
+            );
+        }
+        let rate0 = stuck0 as f64 / n as f64;
+        let rate1 = stuck1 as f64 / n as f64;
+        assert!((rate0 - 0.05).abs() < 0.01, "stuck-at-0 rate {rate0}");
+        assert!((rate1 - 0.05).abs() < 0.01, "stuck-at-1 rate {rate1}");
+    }
+
+    #[test]
+    fn endurance_kills_cells_past_budget() {
+        let model = FaultModel::with_seed(7).with_endurance(100, 0.2);
+        let c = cell(3, 17);
+        let budget = model.endurance_budget(c).expect("endurance modeled");
+        assert!((80..=120).contains(&budget), "budget {budget}");
+        assert_eq!(model.cell_health(c, budget), CellHealth::Healthy);
+        assert!(matches!(
+            model.cell_health(c, budget + 1),
+            CellHealth::StuckAt(_)
+        ));
+    }
+
+    #[test]
+    fn drift_moves_both_levels_toward_the_reference() {
+        let model = FaultModel::with_seed(9).with_drift(0.10);
+        let c = cell(0, 0);
+        let up = model.drift_factor(c, true);
+        let down = model.drift_factor(c, false);
+        assert!((1.0..=1.10).contains(&up), "low-R drift {up}");
+        assert!((1.0 / 1.10..=1.0).contains(&down), "high-R drift {down}");
+        // Deterministic.
+        assert_eq!(up, model.drift_factor(c, true));
+    }
+
+    #[test]
+    fn or_transients_scale_with_fan_in() {
+        let model = FaultModel::with_seed(1).with_transients(1e-4, 1e-3, 2e-4);
+        assert_eq!(model.transient_flip_probability(SenseMode::Read), 1e-4);
+        assert_eq!(
+            model.transient_flip_probability(SenseMode::or(2).unwrap()),
+            1e-3
+        );
+        assert_eq!(
+            model.transient_flip_probability(SenseMode::or(8).unwrap()),
+            4e-3
+        );
+        assert_eq!(model.transient_flip_probability(SenseMode::And), 2e-4);
+    }
+
+    #[test]
+    fn faultless_sense_matches_logical_or() {
+        let tech = Technology::pcm();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mode = SenseMode::or(4).unwrap();
+        let margin = sa.margin(mode);
+        let mut state = FaultState::new(FaultModel::none());
+        for pattern in 0u32..16 {
+            let cells: Vec<SensedCell> = (0..4)
+                .map(|i| SensedCell {
+                    cell: cell(0, i),
+                    stored: pattern >> i & 1 == 1,
+                    writes: 0,
+                })
+                .collect();
+            let sensed = sa
+                .sense_with_faults(mode, &margin, &cells, &mut state)
+                .unwrap();
+            assert_eq!(sensed, pattern != 0, "pattern {pattern:04b}");
+        }
+    }
+
+    #[test]
+    fn stuck_at_one_forces_or_result_high() {
+        let tech = Technology::pcm();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mode = SenseMode::or(2).unwrap();
+        let margin = sa.margin(mode);
+        // Find a cell the model says is stuck at 1.
+        let model = FaultModel::with_seed(0xABCD).with_stuck_at(0.0, 0.2);
+        let stuck = (0..4096)
+            .map(|b| cell(11, b))
+            .find(|&c| model.manufactured_stuck(c) == Some(true))
+            .expect("a stuck-at-1 cell exists at p = 0.2");
+        let healthy = (0..4096)
+            .map(|b| cell(11, b))
+            .find(|&c| model.manufactured_stuck(c).is_none())
+            .expect("a healthy cell exists");
+        let mut state = FaultState::new(model);
+        let cells = [
+            SensedCell {
+                cell: stuck,
+                stored: false,
+                writes: 0,
+            },
+            SensedCell {
+                cell: healthy,
+                stored: false,
+                writes: 0,
+            },
+        ];
+        let sensed = sa
+            .sense_with_faults(mode, &margin, &cells, &mut state)
+            .unwrap();
+        assert!(sensed, "stuck-at-1 cell must pull the OR high");
+    }
+
+    #[test]
+    fn write_commit_respects_stuck_cells_and_flips() {
+        let tech = Technology::pcm();
+        let wd = WriteDriver::new(&tech);
+        let model = FaultModel::with_seed(0xABCD).with_stuck_at(0.2, 0.0);
+        let stuck = (0..4096)
+            .map(|b| cell(5, b))
+            .find(|&c| model.manufactured_stuck(c) == Some(false))
+            .expect("a stuck-at-0 cell exists at p = 0.2");
+        let mut state = FaultState::new(model);
+        let driven = wd.drive(WriteSource::SenseAmp, true);
+        assert!(!state.commit_write(driven, stuck, 0));
+
+        // Healthy cells with heavy write flips fail sometimes, not always.
+        let mut state = FaultState::new(FaultModel::with_seed(3).with_write_flips(0.3));
+        let healthy = cell(6, 0);
+        let attempts = 2000;
+        let failures = (0..attempts)
+            .filter(|_| !state.commit_write(wd.drive(WriteSource::Bus, true), healthy, 0))
+            .count();
+        let rate = failures as f64 / f64::from(attempts);
+        assert!((rate - 0.3).abs() < 0.05, "write-flip rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_sense_stream() {
+        let tech = Technology::pcm();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mode = SenseMode::or(8).unwrap();
+        let margin = sa.margin(mode);
+        let model = FaultModel::with_seed(0x5EED)
+            .with_variation(VariationModel::Gaussian)
+            .with_transients(1e-3, 1e-3, 1e-3);
+        let run = |mut state: FaultState| -> Vec<bool> {
+            (0..256)
+                .map(|col| {
+                    let cells: Vec<SensedCell> = (0..8)
+                        .map(|r| SensedCell {
+                            cell: cell(r, col),
+                            stored: (r + col) % 3 == 0,
+                            writes: 0,
+                        })
+                        .collect();
+                    sa.sense_with_faults(mode, &margin, &cells, &mut state)
+                        .unwrap()
+                })
+                .collect()
+        };
+        assert_eq!(run(FaultState::new(model)), run(FaultState::new(model)));
+    }
+
+    #[test]
+    fn fan_in_mismatch_is_rejected() {
+        let tech = Technology::pcm();
+        let sa = CurrentSenseAmp::new(&tech);
+        let mode = SenseMode::or(4).unwrap();
+        let margin = sa.margin(mode);
+        let mut state = FaultState::new(FaultModel::none());
+        let cells = [SensedCell {
+            cell: cell(0, 0),
+            stored: true,
+            writes: 0,
+        }];
+        assert!(sa
+            .sense_with_faults(mode, &margin, &cells, &mut state)
+            .is_err());
+    }
+}

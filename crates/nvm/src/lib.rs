@@ -19,6 +19,9 @@
 //!   (paper Fig. 7).
 //! * [`write_driver`] — the write driver with the added in-place-update
 //!   path from the SA output (paper Fig. 8a).
+//! * [`fault`] — deterministic, seedable fault injection (stuck-at cells,
+//!   drift, process variation, transient sense flips) so the layers above
+//!   can exercise detection and recovery.
 //! * [`timing`], [`energy`], [`area`] — calibrated parameter tables playing
 //!   the role NVSim / CACTI-3DD play in the paper's methodology.
 //!
@@ -50,6 +53,7 @@
 pub mod area;
 pub mod cell;
 pub mod energy;
+pub mod fault;
 pub mod lwl_driver;
 pub mod resistance;
 pub mod rng;
@@ -62,6 +66,7 @@ pub mod yield_analysis;
 pub use area::{AreaBreakdown, AreaModel};
 pub use cell::Cell;
 pub use energy::EnergyParams;
+pub use fault::{CellHealth, CellId, FaultModel, FaultState, SensedCell};
 pub use resistance::{parallel, Ohms};
 pub use rng::SimRng;
 pub use sense_amp::{CurrentSenseAmp, SenseMargin, SenseMode};

@@ -250,6 +250,37 @@ impl CurrentSenseAmp {
         }
     }
 
+    /// Largest OR fan-in the Monte-Carlo yield analysis calls reliable at
+    /// `target_ber`, evaluated with a fresh deterministic stream from
+    /// `seed`.
+    ///
+    /// This is the stochastic counterpart of
+    /// [`CurrentSenseAmp::max_or_fan_in`]: the margin analysis asks "can
+    /// the worst case ever fail?", this asks "how often do Gaussian tails
+    /// fail?". The two are reconciled by construction — both derive from
+    /// the same [`Technology`] held by this amplifier — and the reliable
+    /// fan-in can only be at or below the margin limit for any sane BER
+    /// target (pinned by regression tests at the PCM and STT-MRAM
+    /// presets). The memory controller uses this value to decide when a
+    /// requested multi-row activation must be split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling errors from
+    /// [`crate::yield_analysis::max_reliable_or_fan_in`].
+    pub fn reliable_or_fan_in(
+        &self,
+        target_ber: f64,
+        trials: u64,
+        seed: u64,
+    ) -> Result<usize, NvmError> {
+        let mut rng = crate::rng::SimRng::seed_from_u64(seed);
+        let reliable = crate::yield_analysis::max_reliable_or_fan_in(
+            &self.tech, target_ber, trials, &mut rng,
+        )?;
+        Ok(reliable.min(self.max_or_fan_in()))
+    }
+
     /// Validates that `mode` is sensible on this technology.
     ///
     /// # Errors
@@ -429,6 +460,36 @@ mod tests {
             CurrentSenseAmp::new(&Technology::stt_mram()).max_or_fan_in(),
             2
         );
+    }
+
+    #[test]
+    fn margin_and_yield_fan_in_limits_are_reconciled() {
+        // Regression pin: the interval-analysis cap and the Monte-Carlo
+        // reliability limit must agree through the controller's single
+        // source of truth (`reliable_or_fan_in`, which clips to
+        // `max_or_fan_in`). Pinned at both presets so a drift in either
+        // model shows up here first.
+        let pcm = pcm_sa();
+        let pcm_reliable = pcm
+            .reliable_or_fan_in(1e-3, 2000, 0x5EED)
+            .expect("yield sweep runs");
+        assert_eq!(pcm.max_or_fan_in(), 128);
+        assert_eq!(pcm_reliable, 128);
+
+        let stt = CurrentSenseAmp::new(&Technology::stt_mram());
+        let stt_reliable = stt
+            .reliable_or_fan_in(1e-3, 2000, 0x5EED)
+            .expect("yield sweep runs");
+        assert_eq!(stt.max_or_fan_in(), 2);
+        assert_eq!(stt_reliable, 2);
+
+        for sa in [&pcm, &stt] {
+            let reliable = sa.reliable_or_fan_in(1e-3, 2000, 0x5EED).expect("sweep");
+            assert!(
+                reliable <= sa.max_or_fan_in(),
+                "the stochastic limit can never exceed the margin limit"
+            );
+        }
     }
 
     #[test]

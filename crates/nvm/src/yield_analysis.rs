@@ -65,13 +65,16 @@ impl YieldReport {
 /// against.
 const SYSTEMATIC_SHARE: f64 = 0.875;
 
+/// Per-cell residual resistance-factor sampler, drawn once per sensed
+/// column on top of the trial-wide systematic factor.
+pub(crate) type ResidualSampler = Box<dyn FnMut(&mut SimRng) -> f64>;
+
 /// Per-trial systematic factor plus a per-cell residual sampler.
-#[allow(clippy::type_complexity)]
-fn sample_factors(
+pub(crate) fn sample_factors(
     tech: &Technology,
     model: VariationModel,
     rng: &mut SimRng,
-) -> (f64, Box<dyn FnMut(&mut SimRng) -> f64>) {
+) -> (f64, ResidualSampler) {
     let v = tech.variation();
     let v_res = v * (1.0 - SYSTEMATIC_SHARE);
     // Multiplicative split: (1 + v_sys)(1 + v_res) = 1 + v exactly, so
@@ -81,7 +84,7 @@ fn sample_factors(
         VariationModel::BoundedUniform => {
             let global = rng.gen_range_f64(1.0 - v_sys, 1.0 + v_sys);
             let f = move |rng: &mut SimRng| rng.gen_range_f64(1.0 - v_res, 1.0 + v_res);
-            (global, Box::new(f) as Box<dyn FnMut(&mut SimRng) -> f64>)
+            (global, Box::new(f) as ResidualSampler)
         }
         VariationModel::Gaussian => {
             // ±3σ at the worst-case bounds, in log space so factors stay
@@ -90,7 +93,7 @@ fn sample_factors(
             let sigma_res = (1.0 + v_res).ln() / 3.0;
             let global = (sigma_sys * rng.gen_gaussian()).exp();
             let f = move |rng: &mut SimRng| (sigma_res * rng.gen_gaussian()).exp();
-            (global, Box::new(f) as Box<dyn FnMut(&mut SimRng) -> f64>)
+            (global, Box::new(f) as ResidualSampler)
         }
     }
 }

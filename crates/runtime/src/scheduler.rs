@@ -27,7 +27,7 @@ use crate::bitvec::PimBitVec;
 use crate::system::{OpSummary, PimSystem};
 use crate::RuntimeError;
 use pinatubo_core::BitwiseOp;
-use pinatubo_mem::RowAddr;
+use pinatubo_mem::{ReliabilityStats, RowAddr};
 use std::collections::{HashMap, HashSet};
 
 /// One queued operation request.
@@ -125,6 +125,8 @@ pub struct MakespanReport {
     pub lanes_used: usize,
     /// Completion time of each channel.
     pub channel_completion_ns: Vec<f64>,
+    /// Fault-injection and recovery counters summed over the batch.
+    pub reliability: ReliabilityStats,
 }
 
 impl MakespanReport {
@@ -138,6 +140,7 @@ impl MakespanReport {
             rrd_faw_stall_ns: 0.0,
             lanes_used: 0,
             channel_completion_ns: vec![0.0; channels],
+            reliability: ReliabilityStats::default(),
         }
     }
 
@@ -264,6 +267,7 @@ impl PimSystem {
             makespan.bus_serialized_ns += summary.shared_ns;
             makespan.lane_ns += summary.lane_ns();
             makespan.rrd_faw_stall_ns += start - ready;
+            makespan.reliability += summary.reliability;
             per_op.push((i, summary));
         }
 

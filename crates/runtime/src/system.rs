@@ -5,7 +5,7 @@ use crate::bitvec::PimBitVec;
 use crate::mapping::MappingPolicy;
 use crate::RuntimeError;
 use pinatubo_core::{BitwiseOp, BulkOp, OpClass, OpOutcome, PinatuboConfig, PinatuboEngine};
-use pinatubo_mem::{MemConfig, MemStats, RowData};
+use pinatubo_mem::{MemConfig, MemStats, ReliabilityStats, RowData};
 
 /// A complete Pinatubo system: engine + allocator + driver.
 ///
@@ -202,6 +202,7 @@ impl PimSystem {
             summary.energy_pj += outcome.energy_pj();
             summary.class = summary.class.max(outcome.class);
             summary.segments += 1;
+            summary.reliability += outcome.stats.reliability;
         }
         self.trace.push(BulkOp {
             op,
@@ -263,6 +264,7 @@ impl PimSystem {
             summary.energy_pj += outcome.energy_pj();
             summary.class = summary.class.max(outcome.class);
             summary.segments += 1;
+            summary.reliability += outcome.stats.reliability;
         }
         Ok(summary)
     }
@@ -300,6 +302,9 @@ pub struct OpSummary {
     pub class: OpClass,
     /// Row segments executed.
     pub segments: u64,
+    /// Fault-injection and recovery counters accumulated over the
+    /// segments (all zero when the memory runs fault-free).
+    pub reliability: ReliabilityStats,
 }
 
 impl OpSummary {
@@ -320,6 +325,7 @@ impl Default for OpSummary {
             energy_pj: 0.0,
             class: OpClass::IntraSubarray,
             segments: 0,
+            reliability: ReliabilityStats::default(),
         }
     }
 }
