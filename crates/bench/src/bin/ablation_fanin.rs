@@ -18,10 +18,13 @@ fn main() {
         "fan-in", "time (us)", "equiv GB/s", "vs cap=2"
     );
 
-    let base = PinatuboExecutor::with_fan_in(2).execute(&op).time_ns;
-    for cap in [2usize, 4, 8, 16, 32, 64, 128] {
+    // One scoped worker per fan-in cap; rows print in input order.
+    let reports = pinatubo_bench::parallel_map(vec![2usize, 4, 8, 16, 32, 64, 128], |cap| {
         let mut x = PinatuboExecutor::with_fan_in(cap);
-        let r = x.execute(&op);
+        (cap, x.execute(&op))
+    });
+    let base = reports[0].1.time_ns;
+    for (cap, r) in reports {
         println!(
             "{:<10}{:>14.2}{:>18.0}{:>11.1}x",
             cap,

@@ -36,23 +36,30 @@ fn main() {
         "{:<18}{:>8}{:>10}{:>8}{:>8}{:>14}",
         "policy", "intra", "inter-sub", "bank", "host", "Pin-128 (us)"
     );
-    for policy in [
-        MappingPolicy::SubarrayFirst,
-        MappingPolicy::BankInterleave,
-        MappingPolicy::random(),
-    ] {
-        let trace = trace_for(policy);
-        let count = |class: OpClass| trace.iter().filter(|o| o.locality == class).count();
-        let mut x = PinatuboExecutor::multi_row();
-        let r = x.execute_trace(&trace);
-        println!(
-            "{:<18}{:>8}{:>10}{:>8}{:>8}{:>14.1}",
-            policy.to_string(),
-            count(OpClass::IntraSubarray),
-            count(OpClass::InterSubarray),
-            count(OpClass::InterBank),
-            count(OpClass::HostFallback),
-            r.time_ns / 1000.0
-        );
+    // One scoped worker per policy; rows print in input order.
+    let rows = pinatubo_bench::parallel_map(
+        vec![
+            MappingPolicy::SubarrayFirst,
+            MappingPolicy::BankInterleave,
+            MappingPolicy::random(),
+        ],
+        |policy| {
+            let trace = trace_for(policy);
+            let count = |class: OpClass| trace.iter().filter(|o| o.locality == class).count();
+            let mut x = PinatuboExecutor::multi_row();
+            let r = x.execute_trace(&trace);
+            format!(
+                "{:<18}{:>8}{:>10}{:>8}{:>8}{:>14.1}",
+                policy.to_string(),
+                count(OpClass::IntraSubarray),
+                count(OpClass::InterSubarray),
+                count(OpClass::InterBank),
+                count(OpClass::HostFallback),
+                r.time_ns / 1000.0
+            )
+        },
+    );
+    for row in rows {
+        println!("{row}");
     }
 }

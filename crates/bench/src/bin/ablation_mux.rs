@@ -18,7 +18,8 @@ fn main() {
         "{:<10}{:>16}{:>14}{:>14}{:>18}",
         "mux", "bits/pass", "passes", "time (us)", "equiv GB/s"
     );
-    for mux in [8u32, 16, 32, 64] {
+    // One scoped worker per mux ratio; rows print in input order.
+    let rows = pinatubo_bench::parallel_map(vec![8u32, 16, 32, 64], |mux| {
         let mut mem = MemConfig::pcm_default();
         mem.geometry.sa_mux_ratio = mux;
         let bits_per_pass = mem.geometry.bits_per_sense_pass();
@@ -29,13 +30,16 @@ fn main() {
             PinatuboConfig::multi_row(),
         );
         let r = x.execute(&op);
-        println!(
+        format!(
             "{:<10}{:>16}{:>14}{:>14.2}{:>18.0}",
             mux,
             format!("2^{}", bits_per_pass.trailing_zeros()),
             passes,
             r.time_ns / 1000.0,
             r.throughput_gbps(op.operand_bits())
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -20,29 +20,36 @@ fn main() {
         "{:<10}{:>8}{:>10}{:>14}{:>16}",
         "tech", "ON/OFF", "fan-in", "time (us)", "energy (uJ)"
     );
-    for (tech, energy) in [
-        (Technology::pcm(), EnergyParams::pcm()),
-        (Technology::stt_mram(), EnergyParams::stt_mram()),
-        (Technology::reram(), EnergyParams::reram()),
-    ] {
-        let fan_in = CurrentSenseAmp::new(&tech).max_or_fan_in();
-        let mut mem = MemConfig::pcm_default();
-        mem.technology = tech.clone();
-        mem.energy = energy;
-        let mut x = PinatuboExecutor::with_config(
-            &format!("Pinatubo/{}", tech.kind()),
-            mem,
-            PinatuboConfig::multi_row(),
-        );
-        let r = x.execute(&op);
-        println!(
-            "{:<10}{:>8.1}{:>10}{:>14.2}{:>16.2}",
-            tech.kind().to_string(),
-            tech.on_off_ratio(),
-            fan_in,
-            r.time_ns / 1000.0,
-            r.energy_pj / 1e6
-        );
+    // One scoped worker per technology; rows print in input order.
+    let rows = pinatubo_bench::parallel_map(
+        vec![
+            (Technology::pcm(), EnergyParams::pcm()),
+            (Technology::stt_mram(), EnergyParams::stt_mram()),
+            (Technology::reram(), EnergyParams::reram()),
+        ],
+        |(tech, energy)| {
+            let fan_in = CurrentSenseAmp::new(&tech).max_or_fan_in();
+            let mut mem = MemConfig::pcm_default();
+            mem.technology = tech.clone();
+            mem.energy = energy;
+            let mut x = PinatuboExecutor::with_config(
+                &format!("Pinatubo/{}", tech.kind()),
+                mem,
+                PinatuboConfig::multi_row(),
+            );
+            let r = x.execute(&op);
+            format!(
+                "{:<10}{:>8.1}{:>10}{:>14.2}{:>16.2}",
+                tech.kind().to_string(),
+                tech.on_off_ratio(),
+                fan_in,
+                r.time_ns / 1000.0,
+                r.energy_pj / 1e6
+            )
+        },
+    );
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!("note: timing held at the PCM/DDR3 values so the comparison isolates");

@@ -18,26 +18,33 @@ fn main() {
         "{:<26}{:>14}{:>16}{:>14}{:>16}",
         "op", "in-place (us)", "in-place (nJ)", "export (us)", "export (nJ)"
     );
-    for (label, operands, bits) in [
-        ("2-row OR, 2^14 bits", 2usize, 1u64 << 14),
-        ("2-row OR, 2^19 bits", 2, 1 << 19),
-        ("128-row OR, 2^19 bits", 128, 1 << 19),
-    ] {
-        let op = BulkOp::intra(BitwiseOp::Or, operands, bits);
-        let with = PinatuboExecutor::multi_row().execute(&op);
-        let mut without = PinatuboExecutor::with_config(
-            "Pinatubo/no-wd",
-            MemConfig::pcm_default(),
-            PinatuboConfig::multi_row().without_in_place_write_back(),
-        );
-        let exported = without.execute(&op);
-        println!(
-            "{:<26}{:>14.2}{:>16.2}{:>14.2}{:>16.2}",
-            label,
-            with.time_ns / 1000.0,
-            with.energy_pj / 1000.0,
-            exported.time_ns / 1000.0,
-            exported.energy_pj / 1000.0
-        );
+    // One scoped worker per workload; rows print in input order.
+    let rows = pinatubo_bench::parallel_map(
+        vec![
+            ("2-row OR, 2^14 bits", 2usize, 1u64 << 14),
+            ("2-row OR, 2^19 bits", 2, 1 << 19),
+            ("128-row OR, 2^19 bits", 128, 1 << 19),
+        ],
+        |(label, operands, bits)| {
+            let op = BulkOp::intra(BitwiseOp::Or, operands, bits);
+            let with = PinatuboExecutor::multi_row().execute(&op);
+            let mut without = PinatuboExecutor::with_config(
+                "Pinatubo/no-wd",
+                MemConfig::pcm_default(),
+                PinatuboConfig::multi_row().without_in_place_write_back(),
+            );
+            let exported = without.execute(&op);
+            format!(
+                "{:<26}{:>14.2}{:>16.2}{:>14.2}{:>16.2}",
+                label,
+                with.time_ns / 1000.0,
+                with.energy_pj / 1000.0,
+                exported.time_ns / 1000.0,
+                exported.energy_pj / 1000.0
+            )
+        },
+    );
+    for row in rows {
+        println!("{row}");
     }
 }

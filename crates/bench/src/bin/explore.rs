@@ -61,25 +61,35 @@ fn main() {
     };
     println!("op: {op} x{operands} over {bits} bits, {locality} placement\n",);
 
-    let mut simd = SimdCpu::with_pcm();
-    simd.set_workload_footprint(Some(footprint));
-    let mut executors: Vec<Box<dyn BitwiseExecutor>> = vec![
-        Box::new(simd),
-        Box::new(SdramExecutor::new()),
-        Box::new(AcPimExecutor::new()),
-        Box::new(PinatuboExecutor::two_row()),
-        Box::new(PinatuboExecutor::with_fan_in(fan_in)),
-    ];
+    // Executors are built inside each scoped worker (trait objects are not
+    // Send); one worker per executor, rows printed in input order.
+    let build = |which: usize| -> Box<dyn BitwiseExecutor> {
+        match which {
+            0 => {
+                let mut simd = SimdCpu::with_pcm();
+                simd.set_workload_footprint(Some(footprint));
+                Box::new(simd)
+            }
+            1 => Box::new(SdramExecutor::new()),
+            2 => Box::new(AcPimExecutor::new()),
+            3 => Box::new(PinatuboExecutor::two_row()),
+            _ => Box::new(PinatuboExecutor::with_fan_in(fan_in)),
+        }
+    };
     println!(
         "{:<16}{:>14}{:>16}{:>16}",
         "executor", "time (us)", "energy (nJ)", "equiv GB/s"
     );
-    let mut reports = Vec::new();
-    for executor in &mut executors {
+    let results = pinatubo_bench::parallel_map((0..5usize).collect(), |which| {
+        let mut executor = build(which);
         let r = executor.execute(&bulk);
+        (executor.name().to_string(), r)
+    });
+    let mut reports = Vec::new();
+    for (name, r) in results {
         println!(
             "{:<16}{:>14.3}{:>16.2}{:>16.1}",
-            executor.name(),
+            name,
             r.time_ns / 1000.0,
             r.energy_pj / 1000.0,
             r.throughput_gbps(bulk.operand_bits())

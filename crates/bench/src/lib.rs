@@ -165,6 +165,36 @@ pub fn evaluate_table1() -> Vec<BenchmarkEval> {
     evaluate_benchmarks(pinatubo_apps::Benchmark::table1())
 }
 
+/// Applies `f` to every item on its own scoped worker thread, returning
+/// results in input order regardless of completion order. The fan-out
+/// pattern behind [`evaluate_benchmarks`], generalized so the sweep and
+/// ablation binaries share it: workloads are pure functions of their
+/// config point, so results are bit-identical to a serial map.
+///
+/// # Panics
+///
+/// Propagates a worker's panic (a failing config point is a bug, not an
+/// input error).
+pub fn parallel_map<T, R>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, item) in results.iter_mut().zip(items) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled its slot"))
+        .collect()
+}
+
 /// Prices `benchmarks` in parallel with scoped threads, one worker per
 /// config point. Results come back in input order regardless of which
 /// worker finishes first.
@@ -175,18 +205,7 @@ pub fn evaluate_table1() -> Vec<BenchmarkEval> {
 /// input error).
 #[must_use]
 pub fn evaluate_benchmarks(benchmarks: Vec<pinatubo_apps::Benchmark>) -> Vec<BenchmarkEval> {
-    let mut results: Vec<Option<BenchmarkEval>> = benchmarks.iter().map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot, benchmark) in results.iter_mut().zip(benchmarks.iter()) {
-            scope.spawn(move || {
-                *slot = Some(BenchmarkEval::evaluate(benchmark.group(), benchmark.run()));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("worker filled its slot"))
-        .collect()
+    parallel_map(benchmarks, |b| BenchmarkEval::evaluate(b.group(), b.run()))
 }
 
 /// The serial reference for [`evaluate_benchmarks`] (tests assert the two

@@ -14,6 +14,7 @@ use crate::op::BitwiseOp;
 use crate::PimError;
 use pinatubo_mem::{MainMemory, MemConfig, MemError, MemStats, PimConfig, RowAddr, RowData};
 use pinatubo_nvm::sense_amp::SenseMode;
+use std::ops::{Add, AddAssign};
 
 /// Engine-level counters (on top of the memory's command statistics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +43,27 @@ impl EngineStats {
             OpClass::InterBank => self.inter_bank += 1,
             OpClass::HostFallback => self.host_fallback += 1,
         }
+    }
+}
+
+impl Add for EngineStats {
+    type Output = EngineStats;
+    fn add(self, rhs: EngineStats) -> EngineStats {
+        EngineStats {
+            bulk_ops: self.bulk_ops + rhs.bulk_ops,
+            primitives: self.primitives + rhs.primitives,
+            intra_subarray: self.intra_subarray + rhs.intra_subarray,
+            inter_subarray: self.inter_subarray + rhs.inter_subarray,
+            inter_bank: self.inter_bank + rhs.inter_bank,
+            host_fallback: self.host_fallback + rhs.host_fallback,
+            operand_rows: self.operand_rows + rhs.operand_rows,
+        }
+    }
+}
+
+impl AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: EngineStats) {
+        *self = *self + rhs;
     }
 }
 
@@ -130,6 +152,35 @@ impl PinatuboEngine {
     #[must_use]
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Splits off a per-channel engine shard: the memory state `channel`
+    /// owns moves into the shard (see [`MainMemory::split_channel`]),
+    /// the engine configuration is shared, and the shard's counters start
+    /// at zero. Merge back with [`PinatuboEngine::absorb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the memory geometry.
+    #[must_use]
+    pub fn split_channel(&mut self, channel: u32) -> PinatuboEngine {
+        PinatuboEngine {
+            mem: self.mem.split_channel(channel),
+            config: self.config.clone(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Merges a shard produced by [`PinatuboEngine::split_channel`] back:
+    /// memory state and statistics ledgers (both the memory's and the
+    /// engine's) are combined deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`MainMemory::absorb`].
+    pub fn absorb(&mut self, shard: PinatuboEngine) {
+        self.mem.absorb(shard.mem);
+        self.stats += shard.stats;
     }
 
     /// Rows one analog OR sense may combine: the configured cap clipped by

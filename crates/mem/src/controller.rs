@@ -204,10 +204,12 @@ pub struct MainMemory {
     /// Recent activation issue times per (channel, rank), oldest first
     /// (at most four kept), for the tRRD/tFAW inter-activation gate.
     act_history: HashMap<(u32, u32), Vec<f64>>,
-    /// Fault-injection state; `None` when the model is
-    /// [`FaultModel::none`] (or the technology has no current SA), in
-    /// which case every fault/recovery branch is skipped entirely.
-    fault: Option<FaultState>,
+    /// Fault-injection state, one sequential draw stream per channel
+    /// (keyed by channel index) so channel shards consume deterministic,
+    /// independent streams no matter how execution interleaves. Empty when
+    /// the model is [`FaultModel::none`] (or the technology has no current
+    /// SA), in which case every fault/recovery branch is skipped entirely.
+    fault: HashMap<u32, FaultState>,
     /// The fan-in limit enforced by the protected sense path (resolved
     /// once at construction from `config.reliability.reliable_fan_in`).
     reliable_or_fan_in: usize,
@@ -230,8 +232,15 @@ impl MainMemory {
             .is_resistive()
             .then(|| CurrentSenseAmp::new(&config.technology));
         let max_or_fan_in = sense_amp.as_ref().map_or(1, CurrentSenseAmp::max_or_fan_in);
-        let fault = (!config.fault_model.is_none() && sense_amp.is_some())
-            .then(|| FaultState::new(config.fault_model));
+        let mut fault = HashMap::new();
+        if !config.fault_model.is_none() && sense_amp.is_some() {
+            for channel in 0..config.geometry.channels {
+                fault.insert(
+                    channel,
+                    FaultState::for_channel(config.fault_model, channel),
+                );
+            }
+        }
         let reliable_or_fan_in = match config.reliability.reliable_fan_in {
             ReliableFanIn::Margin => max_or_fan_in,
             ReliableFanIn::Yield {
@@ -320,7 +329,7 @@ impl MainMemory {
     /// technology).
     #[must_use]
     pub fn fault_injection_active(&self) -> bool {
-        self.fault.is_some()
+        !self.fault.is_empty()
     }
 
     /// Sets the PIM mode register, charging a mode-register-set command.
@@ -335,6 +344,147 @@ impl MainMemory {
         self.stats.time.mrs_ns += self.config.timing.t_mrs_ns;
         self.stats.events.mode_sets += 1;
         self.record(MemCommand::ModeRegisterSet(cfg));
+    }
+
+    /// Forces the PIM mode register without charging anything. Used by the
+    /// sharded batch executor to prime a channel shard to the mode the
+    /// serial command stream would have left behind, so the shard's own
+    /// [`MainMemory::set_pim_config`] charges exactly the MRS commands the
+    /// serial execution would have.
+    pub fn preload_pim_config(&mut self, cfg: PimConfig) {
+        self.mode = cfg;
+    }
+
+    /// Splits off everything `channel` owns into an independent
+    /// [`MainMemory`] shard: the channel's rows, wear, parity, open-page
+    /// state and fault-injection stream move to the shard; configuration
+    /// and the cached fan-in analyses are copied (never re-derived — the
+    /// yield sweep is a Monte-Carlo run). The shard starts with zeroed
+    /// statistics and the parent's current PIM mode; merge it back with
+    /// [`MainMemory::absorb`].
+    ///
+    /// The channel's tRRD/tFAW activation history is *dropped*, not
+    /// moved: its issue times are on the parent's clock, while the shard
+    /// starts a fresh clock at zero, and carrying absolute times across
+    /// would manufacture stalls out of thin air. A split happens between
+    /// whole requests, so the four-activation window has long expired —
+    /// the same clock-scoping [`MainMemory::take_stats`] already applies.
+    ///
+    /// Channels draw from independent fault streams (see
+    /// [`FaultState::for_channel`]), so executing on shards consumes
+    /// exactly the draws serial execution would, regardless of worker
+    /// interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the geometry.
+    #[must_use]
+    pub fn split_channel(&mut self, channel: u32) -> MainMemory {
+        assert!(
+            channel < self.config.geometry.channels,
+            "channel {channel} outside the {}-channel geometry",
+            self.config.geometry.channels
+        );
+        let mut shard = MainMemory {
+            config: self.config.clone(),
+            sense_amp: self.sense_amp.clone(),
+            max_or_fan_in: self.max_or_fan_in,
+            rows: HashMap::new(),
+            wear: HashMap::new(),
+            open_rows: HashMap::new(),
+            act_history: HashMap::new(),
+            fault: HashMap::new(),
+            reliable_or_fan_in: self.reliable_or_fan_in,
+            parity: HashMap::new(),
+            mode: self.mode,
+            stats: MemStats::new(),
+            trace: Vec::new(),
+        };
+        let row_keys: Vec<_> = self
+            .rows
+            .keys()
+            .filter(|id| id.channel == channel)
+            .copied()
+            .collect();
+        for key in row_keys {
+            if let Some(v) = self.rows.remove(&key) {
+                shard.rows.insert(key, v);
+            }
+        }
+        let wear_keys: Vec<_> = self
+            .wear
+            .keys()
+            .filter(|a| a.channel == channel)
+            .copied()
+            .collect();
+        for key in wear_keys {
+            if let Some(v) = self.wear.remove(&key) {
+                shard.wear.insert(key, v);
+            }
+        }
+        let parity_keys: Vec<_> = self
+            .parity
+            .keys()
+            .filter(|a| a.channel == channel)
+            .copied()
+            .collect();
+        for key in parity_keys {
+            if let Some(v) = self.parity.remove(&key) {
+                shard.parity.insert(key, v);
+            }
+        }
+        let open_keys: Vec<_> = self
+            .open_rows
+            .keys()
+            .filter(|id| id.channel == channel)
+            .copied()
+            .collect();
+        for key in open_keys {
+            if let Some(v) = self.open_rows.remove(&key) {
+                shard.open_rows.insert(key, v);
+            }
+        }
+        self.act_history.retain(|&(ch, _), _| ch != channel);
+        if let Some(state) = self.fault.remove(&channel) {
+            shard.fault.insert(channel, state);
+        }
+        shard
+    }
+
+    /// Merges a shard produced by [`MainMemory::split_channel`] back:
+    /// functional state, wear, parity, fault streams and the recorded
+    /// trace move back in, and the shard's statistics are added to this
+    /// memory's ledgers. The shard's tRRD/tFAW activation history is
+    /// dropped for the same clock-scoping reason `split_channel` drops
+    /// the parent's: its issue times are on the shard's local clock and
+    /// the window has expired by the time a merge happens.
+    ///
+    /// The PIM mode register is left untouched: the batch executor primes
+    /// it explicitly to keep MRS accounting identical to serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's geometry disagrees, or if the merged
+    /// [`crate::stats::ReliabilityStats`] ledger violates its
+    /// `detected == corrected + uncorrectable` invariant — a merge must
+    /// never manufacture or lose recovery events.
+    pub fn absorb(&mut self, shard: MainMemory) {
+        assert!(
+            shard.config.geometry == self.config.geometry,
+            "absorbed shard must share the parent geometry"
+        );
+        self.rows.extend(shard.rows);
+        self.wear.extend(shard.wear);
+        self.parity.extend(shard.parity);
+        self.open_rows.extend(shard.open_rows);
+        self.fault.extend(shard.fault);
+        self.trace.extend(shard.trace);
+        self.stats += shard.stats;
+        assert!(
+            self.stats.reliability.is_consistent(),
+            "reliability ledger inconsistent after shard merge: {:?}",
+            self.stats.reliability
+        );
     }
 
     /// Direct (zero-cost) view of a row's contents — for assertions and
@@ -359,7 +509,7 @@ impl MainMemory {
     pub fn poke_row(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols(data.len_bits())?;
-        if self.fault.is_none() {
+        if self.fault.is_empty() {
             self.store(addr, data);
             self.record_parity(addr, data);
             return Ok(());
@@ -461,10 +611,10 @@ impl MainMemory {
         // per-cell physical sensing; the word-wise result serves as the
         // ground truth for the injected-error tally.
         let truth = self.functional_combine(operands, mode, cols);
-        let out = if self.fault.is_some() {
-            self.sense_physical(operands, mode, cols, &truth)
-        } else {
+        let out = if self.fault.is_empty() {
             truth
+        } else {
+            self.sense_physical(operands, mode, cols, &truth)
         };
 
         // Accounting.
@@ -561,7 +711,7 @@ impl MainMemory {
     pub fn activate_read(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
         let operands = [addr];
         let data = self.multi_activate_sense(&operands, SenseMode::Read, cols)?;
-        if self.fault.is_none() {
+        if self.fault.is_empty() {
             return Ok(data);
         }
         if !self.config.reliability.parity_check || self.parity_matches(addr, &data) {
@@ -610,7 +760,7 @@ impl MainMemory {
         mode: SenseMode,
         cols: u64,
     ) -> Result<RowData, MemError> {
-        if self.fault.is_none() {
+        if self.fault.is_empty() {
             return self.multi_activate_sense(operands, mode, cols);
         }
         if let SenseMode::Or { fan_in } = mode {
@@ -905,7 +1055,13 @@ impl MainMemory {
             .iter()
             .map(|&a| (a.to_linear(geometry), self.load(a, cols), self.row_wear(a)))
             .collect();
-        let mut state = self.fault.take().expect("fault injection enabled");
+        // All operands share a subarray (validated by the caller), so the
+        // first one names the owning channel's draw stream.
+        let channel = operands[0].channel;
+        let mut state = self
+            .fault
+            .remove(&channel)
+            .expect("fault injection enabled");
         let sa = self.sense_amp.as_ref().expect("resistive technology");
         let margin = sa.margin(mode);
         let mut out = RowData::zeros(cols);
@@ -926,7 +1082,7 @@ impl MainMemory {
                 out.set(bit, true);
             }
         }
-        self.fault = Some(state);
+        self.fault.insert(channel, state);
         let mut diff = out.clone();
         diff.xor_assign(truth);
         self.stats.reliability.injected_bit_errors += diff.count_ones();
@@ -936,7 +1092,10 @@ impl MainMemory {
     /// Fires the write drivers against the real (possibly defective)
     /// cells and stores what they actually hold. Returns the stored image.
     fn store_physical(&mut self, addr: RowAddr, data: &RowData, source: WriteSource) -> RowData {
-        let mut state = self.fault.take().expect("fault injection enabled");
+        let mut state = self
+            .fault
+            .remove(&addr.channel)
+            .expect("fault injection enabled");
         let driver = WriteDriver::new(&self.config.technology);
         let key = addr.to_linear(&self.config.geometry);
         // The pulse in flight stresses the cells on top of the wear
@@ -950,7 +1109,7 @@ impl MainMemory {
                 stored.set(bit, true);
             }
         }
-        self.fault = Some(state);
+        self.fault.insert(addr.channel, state);
         self.store(addr, &stored);
         stored
     }
@@ -960,7 +1119,7 @@ impl MainMemory {
     /// (time, energy, wear) plus one read-back sense pass for the verify.
     fn program_row(&mut self, addr: RowAddr, data: &RowData, local: bool) -> Result<(), MemError> {
         let bits = data.len_bits();
-        if self.fault.is_none() {
+        if self.fault.is_empty() {
             self.store(addr, data);
             self.record_parity(addr, data);
             self.charge_write(addr, bits, local);
@@ -1866,5 +2025,124 @@ mod tests {
         assert!(noisy.stats().time_ns > clean.stats().time_ns);
         assert!(noisy.stats().total_energy_pj() > clean.stats().total_energy_pj());
         assert!(noisy.stats().events.mode_sets > clean.stats().events.mode_sets);
+    }
+
+    // ---- channel sharding ----
+
+    fn ch_addr(channel: u32, subarray: u32, row: u32) -> RowAddr {
+        RowAddr::new(channel, 0, 0, subarray, row)
+    }
+
+    #[test]
+    fn split_and_absorb_round_trip_state_and_stats() {
+        let mut m = mem();
+        let a = RowData::from_bits(&[true, false, true, false]);
+        let b = RowData::from_bits(&[false, true, true, false]);
+        m.poke_row(ch_addr(0, 0, 0), &a).expect("poke ch0");
+        m.poke_row(ch_addr(1, 0, 0), &b).expect("poke ch1");
+
+        let mut shard = m.split_channel(1);
+        assert!(m.peek_row(ch_addr(1, 0, 0)).is_none(), "ch1 moved out");
+        assert_eq!(shard.peek_row(ch_addr(1, 0, 0)), Some(&b));
+        assert_eq!(shard.peek_row(ch_addr(0, 0, 0)), None);
+        assert_eq!(shard.max_or_fan_in(), m.max_or_fan_in());
+        assert_eq!(shard.reliable_or_fan_in(), m.reliable_or_fan_in());
+        assert!(shard.stats().time_ns == 0.0, "shard ledgers start at zero");
+
+        // Work on both halves independently.
+        let parent_out = m.activate_read(ch_addr(0, 0, 0), 4).expect("read ch0");
+        let shard_out = shard.activate_read(ch_addr(1, 0, 0), 4).expect("read ch1");
+        assert_eq!(parent_out, a);
+        assert_eq!(shard_out, b);
+        let parent_stats = *m.stats();
+        let shard_stats = *shard.stats();
+
+        m.absorb(shard);
+        assert_eq!(m.peek_row(ch_addr(1, 0, 0)), Some(&b));
+        assert_eq!(*m.stats(), parent_stats + shard_stats);
+        assert_eq!(m.wear_report().total_row_writes, 0, "pokes charge no wear");
+    }
+
+    #[test]
+    fn sharded_fault_streams_match_serial_execution() {
+        // With per-channel streams, the draws a channel consumes do not
+        // depend on whether the other channels executed in between — so a
+        // serial run and a split/execute/absorb run are bit-identical.
+        let model = FaultModel::with_seed(0xD15C)
+            .with_transients(1e-2, 1e-2, 1e-2)
+            .with_write_flips(1e-2);
+        let reliability = ReliabilityConfig::protected();
+        let pattern = RowData::from_bits(&[true, false, true, true]);
+
+        let run_serial = |order_ch1_first: bool| -> (Vec<RowData>, MemStats) {
+            let mut m = faulty_mem(model, reliability);
+            for ch in 0..2 {
+                m.poke_row(ch_addr(ch, 0, 0), &pattern).expect("poke");
+                m.poke_row(ch_addr(ch, 0, 1), &pattern).expect("poke");
+            }
+            let channels: &[u32] = if order_ch1_first { &[1, 0] } else { &[0, 1] };
+            let mut outs = vec![RowData::zeros(4); 2];
+            for &ch in channels {
+                outs[ch as usize] = m
+                    .multi_activate_sense_protected(
+                        &[ch_addr(ch, 0, 0), ch_addr(ch, 0, 1)],
+                        SenseMode::or(2).expect("or2"),
+                        4,
+                    )
+                    .expect("protected OR");
+            }
+            (outs, *m.stats())
+        };
+
+        let (serial_outs, serial_stats) = run_serial(false);
+        let (reordered_outs, reordered_stats) = run_serial(true);
+        assert_eq!(serial_outs, reordered_outs, "streams are order-independent");
+        assert_eq!(serial_stats, reordered_stats);
+
+        // Split channel 1 out, execute both halves, merge.
+        let mut m = faulty_mem(model, reliability);
+        for ch in 0..2 {
+            m.poke_row(ch_addr(ch, 0, 0), &pattern).expect("poke");
+            m.poke_row(ch_addr(ch, 0, 1), &pattern).expect("poke");
+        }
+        let before = *m.stats();
+        let mut shard = m.split_channel(1);
+        let out1 = shard
+            .multi_activate_sense_protected(
+                &[ch_addr(1, 0, 0), ch_addr(1, 0, 1)],
+                SenseMode::or(2).expect("or2"),
+                4,
+            )
+            .expect("shard OR");
+        let out0 = m
+            .multi_activate_sense_protected(
+                &[ch_addr(0, 0, 0), ch_addr(0, 0, 1)],
+                SenseMode::or(2).expect("or2"),
+                4,
+            )
+            .expect("parent OR");
+        m.absorb(shard);
+        assert_eq!(vec![out0, out1], serial_outs);
+        assert_eq!(*m.stats() - before, serial_stats - before);
+        assert!(m.stats().reliability.is_consistent());
+    }
+
+    #[test]
+    fn preload_pim_config_is_free() {
+        let mut m = mem();
+        m.preload_pim_config(PimConfig::Or);
+        assert_eq!(m.pim_config(), PimConfig::Or);
+        assert_eq!(m.stats().events.mode_sets, 0);
+        assert_eq!(m.stats().time_ns, 0.0);
+        // A charged set to the preloaded mode is now a cache hit.
+        m.set_pim_config(PimConfig::Or);
+        assert_eq!(m.stats().events.mode_sets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn split_of_an_invalid_channel_panics() {
+        let mut m = mem();
+        let _ = m.split_channel(99);
     }
 }

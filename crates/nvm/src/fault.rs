@@ -46,6 +46,7 @@ const SALT_ENDURANCE: u64 = 0x5EED_E27D_0000_0002;
 const SALT_WEAR_VALUE: u64 = 0x5EED_3EA2_0000_0003;
 const SALT_DRIFT: u64 = 0x5EED_D21F_0000_0004;
 const SALT_STREAM: u64 = 0x5EED_F10A_0000_0005;
+const SALT_CHANNEL: u64 = 0x5EED_C4A2_0000_0006;
 
 /// Identifies one physical cell: a linear row index and a bit position.
 ///
@@ -339,6 +340,26 @@ impl FaultState {
         }
     }
 
+    /// Initializes the per-channel state used when the memory is sharded
+    /// by channel: every channel draws from its own sequential stream, so
+    /// the draws a channel consumes are a pure function of `(seed,
+    /// channel)` — independent of how many worker threads execute, or in
+    /// which order the channels interleave.
+    ///
+    /// Channel 0 reproduces [`FaultState::new`] exactly, which keeps every
+    /// pre-sharding pinned fault scenario (all on channel 0) bit-identical.
+    #[must_use]
+    pub fn for_channel(model: FaultModel, channel: u32) -> Self {
+        if channel == 0 {
+            return FaultState::new(model);
+        }
+        let mut s = model.seed ^ SALT_STREAM ^ (u64::from(channel).wrapping_mul(SALT_CHANNEL | 1));
+        FaultState {
+            model,
+            rng: SimRng::seed_from_u64(splitmix64(&mut s)),
+        }
+    }
+
     /// The model being injected.
     #[must_use]
     pub fn model(&self) -> &FaultModel {
@@ -607,6 +628,33 @@ mod tests {
                 .collect()
         };
         assert_eq!(run(FaultState::new(model)), run(FaultState::new(model)));
+    }
+
+    #[test]
+    fn channel_zero_stream_matches_the_legacy_derivation() {
+        let model = FaultModel::with_seed(0x5EED).with_write_flips(0.25);
+        let draw = |mut state: FaultState| -> Vec<bool> {
+            let tech = Technology::pcm();
+            let wd = WriteDriver::new(&tech);
+            (0..64)
+                .map(|i| state.commit_write(wd.drive(WriteSource::Bus, true), cell(1, i), 0))
+                .collect()
+        };
+        assert_eq!(
+            draw(FaultState::new(model)),
+            draw(FaultState::for_channel(model, 0)),
+            "channel 0 must reproduce the unsharded stream exactly"
+        );
+        assert_ne!(
+            draw(FaultState::for_channel(model, 0)),
+            draw(FaultState::for_channel(model, 1)),
+            "other channels must draw from independent streams"
+        );
+        // Streams are a pure function of (seed, channel).
+        assert_eq!(
+            draw(FaultState::for_channel(model, 3)),
+            draw(FaultState::for_channel(model, 3)),
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct PimAllocator {
     retired: HashSet<u64>,
     /// Next candidate for the deterministic policies.
     cursor: u64,
+    /// Per-channel next candidates (`ChannelRotate` only; empty otherwise).
+    channel_cursors: Vec<u64>,
+    /// Which channel the next `ChannelRotate` allocation group lands on.
+    rotate_channel: usize,
     rng: SimRng,
     next_id: u64,
 }
@@ -36,12 +40,23 @@ impl PimAllocator {
             MappingPolicy::Random { seed } => seed,
             _ => 0,
         };
+        let channel_cursors = match policy {
+            MappingPolicy::ChannelRotate => {
+                let per_channel = geometry.total_rows() / u64::from(geometry.channels);
+                (0..u64::from(geometry.channels))
+                    .map(|c| c * per_channel)
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
         PimAllocator {
             geometry,
             policy,
             used: HashSet::new(),
             retired: HashSet::new(),
             cursor: 0,
+            channel_cursors,
+            rotate_channel: 0,
             rng: SimRng::seed_from_u64(seed),
             next_id: 0,
         }
@@ -128,17 +143,42 @@ impl PimAllocator {
         }
         let rows_per_vector = len_bits.div_ceil(self.geometry.logical_row_bits());
         let group_rows = rows_per_vector * count as u64;
-        if self.policy == MappingPolicy::SubarrayFirst
-            && group_rows <= u64::from(self.geometry.rows_per_subarray)
-        {
-            // Skip to the next subarray boundary if the group would
-            // straddle one.
-            let sub_rows = u64::from(self.geometry.rows_per_subarray);
-            let used_in_subarray = self.cursor % sub_rows;
-            if used_in_subarray + group_rows > sub_rows {
-                let skip_to = (self.cursor / sub_rows + 1) * sub_rows;
-                self.cursor = skip_to % self.geometry.total_rows();
+        let sub_rows = u64::from(self.geometry.rows_per_subarray);
+        let fits_subarray = group_rows <= sub_rows;
+        match self.policy {
+            MappingPolicy::SubarrayFirst if fits_subarray => {
+                // Skip to the next subarray boundary if the group would
+                // straddle one.
+                let used_in_subarray = self.cursor % sub_rows;
+                if used_in_subarray + group_rows > sub_rows {
+                    let skip_to = (self.cursor / sub_rows + 1) * sub_rows;
+                    self.cursor = skip_to % self.geometry.total_rows();
+                }
             }
+            MappingPolicy::ChannelRotate => {
+                if fits_subarray {
+                    // Same boundary skip, but on the current channel's
+                    // cursor (each channel's row range is a whole number
+                    // of subarrays, so `% sub_rows` is subarray-relative
+                    // there too).
+                    let per_channel =
+                        self.geometry.total_rows() / u64::from(self.geometry.channels);
+                    let base = self.rotate_channel as u64 * per_channel;
+                    let cursor = self.channel_cursors[self.rotate_channel];
+                    let used_in_subarray = cursor % sub_rows;
+                    if used_in_subarray + group_rows > sub_rows {
+                        let skip_to = (cursor / sub_rows + 1) * sub_rows;
+                        self.channel_cursors[self.rotate_channel] =
+                            base + ((skip_to - base) % per_channel);
+                    }
+                }
+                let group = (0..count).map(|_| self.alloc(len_bits)).collect();
+                // The next group lands on the next channel, so independent
+                // batch requests spread across channels.
+                self.rotate_channel = (self.rotate_channel + 1) % self.geometry.channels as usize;
+                return group;
+            }
+            _ => {}
         }
         (0..count).map(|_| self.alloc(len_bits)).collect()
     }
@@ -174,6 +214,33 @@ impl PimAllocator {
                     break idx;
                 }
             },
+            MappingPolicy::ChannelRotate => {
+                // Subarray-first scan inside the current channel's row
+                // range; spill to the next channel when one fills up.
+                let channels = self.geometry.channels as usize;
+                let per_channel = total / channels as u64;
+                let mut pick = None;
+                'channels: for attempt in 0..channels {
+                    let c = (self.rotate_channel + attempt) % channels;
+                    let base = c as u64 * per_channel;
+                    let mut idx = self.channel_cursors[c];
+                    let mut steps = 0;
+                    while self.used.contains(&idx) {
+                        idx = base + ((idx - base + 1) % per_channel);
+                        steps += 1;
+                        if steps >= per_channel {
+                            continue 'channels;
+                        }
+                    }
+                    self.channel_cursors[c] = base + ((idx - base + 1) % per_channel);
+                    if attempt > 0 {
+                        self.rotate_channel = c;
+                    }
+                    pick = Some(idx);
+                    break;
+                }
+                pick.expect("alloc() checks free_rows before calling next_row")
+            }
         };
         self.used.insert(linear);
         RowAddr::from_linear(&self.geometry, linear)
@@ -288,6 +355,65 @@ mod tests {
         let mut a = alloc(MappingPolicy::SubarrayFirst);
         let group = a.alloc_group(2000, 64).expect("bigger than a subarray");
         assert_eq!(group.len(), 2000);
+    }
+
+    #[test]
+    fn channel_rotate_spreads_groups_across_channels() {
+        let mut a = alloc(MappingPolicy::ChannelRotate);
+        let channels = MemGeometry::pcm_default().channels;
+        let groups: Vec<Vec<PimBitVec>> = (0..8)
+            .map(|_| a.alloc_group(3, 4096).expect("group"))
+            .collect();
+        for (g, group) in groups.iter().enumerate() {
+            let first = group[0].rows()[0];
+            assert_eq!(
+                first.channel,
+                g as u32 % channels,
+                "group {g} should land on channel {}",
+                g as u32 % channels
+            );
+            for v in group {
+                assert!(
+                    v.rows()[0].same_subarray(&first),
+                    "a rotated group must still share one subarray"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_rotate_groups_never_straddle_subarrays() {
+        let mut a = alloc(MappingPolicy::ChannelRotate);
+        for _ in 0..400 {
+            let group = a.alloc_group(12, 64).expect("group allocates");
+            let first = group[0].rows()[0];
+            for v in &group {
+                assert!(v.rows()[0].same_subarray(&first));
+            }
+        }
+    }
+
+    #[test]
+    fn channel_rotate_spills_when_a_channel_fills() {
+        let mut g = MemGeometry::pcm_default();
+        g.channels = 2;
+        g.ranks_per_channel = 1;
+        g.banks_per_chip = 1;
+        g.subarrays_per_bank = 1;
+        g.rows_per_subarray = 4;
+        let mut a = PimAllocator::new(g, MappingPolicy::ChannelRotate);
+        // 8 rows total. Groups of 3 rotate channels; after filling, plain
+        // allocs spill rather than spin.
+        let g0 = a.alloc_group(3, 64).expect("group 0");
+        let g1 = a.alloc_group(3, 64).expect("group 1");
+        assert_eq!(g0[0].rows()[0].channel, 0);
+        assert_eq!(g1[0].rows()[0].channel, 1);
+        let spill: Vec<PimBitVec> = (0..2).map(|_| a.alloc(64).expect("spill")).collect();
+        assert_eq!(spill.len(), 2);
+        assert!(matches!(
+            a.alloc(64),
+            Err(RuntimeError::OutOfMemory { free_rows: 0, .. })
+        ));
     }
 
     #[test]

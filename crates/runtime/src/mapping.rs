@@ -24,6 +24,12 @@ pub enum MappingPolicy {
         /// RNG seed, so experiments are reproducible.
         seed: u64,
     },
+    /// PIM- and parallelism-aware: each allocation group fills one
+    /// subarray (so its ops stay intra-subarray, like `SubarrayFirst`),
+    /// but successive groups rotate round-robin across channels so
+    /// independent batch requests land on different channels and the
+    /// sharded executor can run them concurrently.
+    ChannelRotate,
 }
 
 impl MappingPolicy {
@@ -40,6 +46,7 @@ impl fmt::Display for MappingPolicy {
             MappingPolicy::SubarrayFirst => write!(f, "subarray-first"),
             MappingPolicy::BankInterleave => write!(f, "bank-interleave"),
             MappingPolicy::Random { seed } => write!(f, "random(seed={seed:#x})"),
+            MappingPolicy::ChannelRotate => write!(f, "channel-rotate"),
         }
     }
 }
@@ -53,5 +60,6 @@ mod tests {
         assert_eq!(MappingPolicy::SubarrayFirst.to_string(), "subarray-first");
         assert_eq!(MappingPolicy::BankInterleave.to_string(), "bank-interleave");
         assert!(MappingPolicy::random().to_string().starts_with("random("));
+        assert_eq!(MappingPolicy::ChannelRotate.to_string(), "channel-rotate");
     }
 }

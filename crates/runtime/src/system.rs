@@ -171,46 +171,20 @@ impl PimSystem {
         operands: &[&PimBitVec],
         dst: &PimBitVec,
     ) -> Result<OpSummary, RuntimeError> {
-        let Some(first) = operands.first() else {
-            return Err(RuntimeError::Pim(pinatubo_core::PimError::EmptyOperands));
-        };
-        let len = first.len_bits();
-        for v in operands.iter().skip(1) {
-            if v.len_bits() != len {
-                return Err(RuntimeError::LengthMismatch {
-                    expected_bits: len,
-                    got_bits: v.len_bits(),
-                });
-            }
-        }
-        if dst.len_bits() != len {
-            return Err(RuntimeError::LengthMismatch {
-                expected_bits: len,
-                got_bits: dst.len_bits(),
-            });
-        }
-
         let row_bits = self.row_bits();
-        let mut summary = OpSummary::default();
-        for (i, dst_row, seg_bits) in dst.segments(row_bits).collect::<Vec<_>>() {
-            let rows: Vec<_> = operands.iter().map(|v| v.rows()[i]).collect();
-            let outcome: OpOutcome = self.engine.bulk_op(op, &rows, dst_row, seg_bits)?;
-            summary.time_ns += outcome.time_ns();
-            summary.shared_ns += outcome.stats.time.shared_ns();
-            summary.activations +=
-                outcome.stats.events.activates + outcome.stats.events.multi_activates;
-            summary.energy_pj += outcome.energy_pj();
-            summary.class = summary.class.max(outcome.class);
-            summary.segments += 1;
-            summary.reliability += outcome.stats.reliability;
-        }
-        self.trace.push(BulkOp {
-            op,
-            operand_count: operands.len(),
-            bits: len,
-            locality: summary.class,
-        });
+        let (summary, record) = bitwise_on_engine(&mut self.engine, row_bits, op, operands, dst)?;
+        self.trace.push(record);
         Ok(summary)
+    }
+
+    /// Mutable engine access for the batch scheduler (shard split/absorb).
+    pub(crate) fn engine_mut(&mut self) -> &mut PinatuboEngine {
+        &mut self.engine
+    }
+
+    /// Records an abstract op in the trace (batch scheduler replay).
+    pub(crate) fn push_trace(&mut self, record: BulkOp) {
+        self.trace.push(record);
     }
 
     /// `dst = a | b | …` over any number of operands.
@@ -279,9 +253,65 @@ impl PimSystem {
         self.allocator.retire_rows(&worn)
     }
 
-    fn row_bits(&self) -> u64 {
+    pub(crate) fn row_bits(&self) -> u64 {
         self.engine.memory().geometry().logical_row_bits()
     }
+}
+
+/// The body of [`PimSystem::bitwise`] against an explicit engine, so the
+/// batch scheduler can run requests on per-channel engine shards. Returns
+/// the cost summary plus the abstract trace record (not yet pushed
+/// anywhere — the caller owns trace ordering).
+///
+/// # Errors
+///
+/// See [`PimSystem::bitwise`].
+pub(crate) fn bitwise_on_engine(
+    engine: &mut PinatuboEngine,
+    row_bits: u64,
+    op: BitwiseOp,
+    operands: &[&PimBitVec],
+    dst: &PimBitVec,
+) -> Result<(OpSummary, BulkOp), RuntimeError> {
+    let Some(first) = operands.first() else {
+        return Err(RuntimeError::Pim(pinatubo_core::PimError::EmptyOperands));
+    };
+    let len = first.len_bits();
+    for v in operands.iter().skip(1) {
+        if v.len_bits() != len {
+            return Err(RuntimeError::LengthMismatch {
+                expected_bits: len,
+                got_bits: v.len_bits(),
+            });
+        }
+    }
+    if dst.len_bits() != len {
+        return Err(RuntimeError::LengthMismatch {
+            expected_bits: len,
+            got_bits: dst.len_bits(),
+        });
+    }
+
+    let mut summary = OpSummary::default();
+    for (i, dst_row, seg_bits) in dst.segments(row_bits).collect::<Vec<_>>() {
+        let rows: Vec<_> = operands.iter().map(|v| v.rows()[i]).collect();
+        let outcome: OpOutcome = engine.bulk_op(op, &rows, dst_row, seg_bits)?;
+        summary.time_ns += outcome.time_ns();
+        summary.shared_ns += outcome.stats.time.shared_ns();
+        summary.activations +=
+            outcome.stats.events.activates + outcome.stats.events.multi_activates;
+        summary.energy_pj += outcome.energy_pj();
+        summary.class = summary.class.max(outcome.class);
+        summary.segments += 1;
+        summary.reliability += outcome.stats.reliability;
+    }
+    let record = BulkOp {
+        op,
+        operand_count: operands.len(),
+        bits: len,
+        locality: summary.class,
+    };
+    Ok((summary, record))
 }
 
 /// What one `pim_op` cost across its row segments.

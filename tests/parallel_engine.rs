@@ -1,0 +1,281 @@
+//! Cross-crate properties of the sharded parallel batch executor:
+//! bit- and stats-parity with serial execution (including fault-injection
+//! ledgers), determinism across worker counts, the merged-ledger
+//! `detected == corrected + uncorrectable` invariant, and the degenerate
+//! empty-batch / single-channel cases.
+
+use pinatubo_core::{BitwiseOp, PinatuboConfig};
+use pinatubo_mem::{MemConfig, MemStats, ReliabilityConfig};
+use pinatubo_nvm::fault::FaultModel;
+use pinatubo_nvm::rng::SimRng;
+use pinatubo_runtime::{BatchRequest, MappingPolicy, PimBitVec, PimSystem};
+
+fn faulty_mem() -> MemConfig {
+    let mut mem = MemConfig::pcm_default();
+    mem.fault_model = FaultModel::with_seed(0xD15C)
+        .with_transients(1e-5, 1e-5, 1e-5)
+        .with_write_flips(1e-5);
+    mem.reliability = ReliabilityConfig::protected();
+    mem
+}
+
+fn sys(mem: MemConfig) -> PimSystem {
+    PimSystem::new(mem, PinatuboConfig::default(), MappingPolicy::ChannelRotate)
+}
+
+/// A mixed batch: twelve single-channel requests rotated across the four
+/// channels (all four ops, fan-ins 2–4), one dependent request reading
+/// two earlier results, and optionally one channel-straddling request
+/// (operands and destination on different channels) to exercise the
+/// unified-memory barrier between sharded phases.
+fn build_batch(s: &mut PimSystem, with_cross: bool) -> (Vec<BatchRequest>, Vec<PimBitVec>) {
+    let mut rng = SimRng::seed_from_u64(0xBA7C4);
+    let len = 6000u64;
+    let ops = [
+        BitwiseOp::Or,
+        BitwiseOp::And,
+        BitwiseOp::Xor,
+        BitwiseOp::Not,
+    ];
+    let mut requests = Vec::new();
+    let mut dsts = Vec::new();
+    for g in 0..12usize {
+        let op = ops[g % 4];
+        let k = if op == BitwiseOp::Not { 1 } else { 2 + g % 3 };
+        let group = s.alloc_group(k + 1, len).expect("group");
+        for v in &group[..k] {
+            let bits: Vec<bool> = (0..len).map(|_| rng.gen_bit()).collect();
+            s.store(v, &bits).expect("store");
+        }
+        dsts.push(group[k].clone());
+        requests.push(BatchRequest {
+            op,
+            operands: group[..k].to_vec(),
+            dst: group[k].clone(),
+        });
+    }
+    // A dependent request: reads the results of requests 0 and 1, so the
+    // scheduler must keep it after both.
+    let dep_dst = s.alloc_group(1, len).expect("dep dst").remove(0);
+    requests.push(BatchRequest {
+        op: BitwiseOp::Or,
+        operands: vec![dsts[0].clone(), dsts[1].clone()],
+        dst: dep_dst.clone(),
+    });
+    dsts.push(dep_dst);
+    if with_cross {
+        // Operands land on one channel, the destination on the next:
+        // no home channel, so the executor must run it on the unified
+        // memory between sharded phases.
+        let a = s.alloc_group(2, len).expect("cross operands");
+        let d = s.alloc_group(1, len).expect("cross dst").remove(0);
+        assert_ne!(
+            a[0].rows()[0].channel,
+            d.rows()[0].channel,
+            "rotation must put the group and its successor on different channels"
+        );
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen_bit()).collect();
+        s.store(&a[0], &bits).expect("store cross");
+        requests.push(BatchRequest {
+            op: BitwiseOp::Or,
+            operands: a.to_vec(),
+            dst: d.clone(),
+        });
+        dsts.push(d);
+    }
+    (requests, dsts)
+}
+
+fn assert_close(label: &str, a: f64, b: f64) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= 1e-6 * scale,
+        "{label} diverged: {a} vs {b}"
+    );
+}
+
+/// Statistics parity up to float summation order (shard merge adds
+/// per-channel subtotals; integer counters must match exactly).
+fn assert_stats_match(serial: &MemStats, parallel: &MemStats) {
+    assert_eq!(serial.events, parallel.events, "event counters must match");
+    assert_eq!(
+        serial.reliability, parallel.reliability,
+        "fault/recovery ledgers must match"
+    );
+    assert_close("time_ns", serial.time_ns, parallel.time_ns);
+    assert_close(
+        "shared_ns",
+        serial.time.shared_ns(),
+        parallel.time.shared_ns(),
+    );
+    assert_close("stall_ns", serial.time.stall_ns, parallel.time.stall_ns);
+    assert_close(
+        "energy_pj",
+        serial.energy.total_pj(),
+        parallel.energy.total_pj(),
+    );
+}
+
+#[test]
+fn parallel_batch_matches_serial_bits_stats_and_faults() {
+    for with_cross in [false, true] {
+        let mut serial = sys(faulty_mem());
+        let (batch, outs) = build_batch(&mut serial, with_cross);
+        serial.execute_batch_serial(&batch).expect("serial batch");
+        let serial_bits: Vec<Vec<bool>> = outs.iter().map(|v| serial.load(v)).collect();
+
+        let mut parallel = sys(faulty_mem());
+        let (batch, outs) = build_batch(&mut parallel, with_cross);
+        parallel.execute_batch(&batch).expect("parallel batch");
+        let parallel_bits: Vec<Vec<bool>> = outs.iter().map(|v| parallel.load(v)).collect();
+
+        assert_eq!(
+            serial_bits, parallel_bits,
+            "parallel execution must be bit-identical (with_cross={with_cross})"
+        );
+        assert_stats_match(serial.stats(), parallel.stats());
+        assert_eq!(
+            serial.trace(),
+            parallel.trace(),
+            "the abstract op trace must replay identically"
+        );
+        assert!(
+            parallel.stats().reliability.detected_errors > 0,
+            "the fault model must actually fire for this test to mean anything"
+        );
+    }
+}
+
+#[test]
+fn fault_free_parallel_batch_matches_serial_exactly() {
+    let mut serial = sys(MemConfig::pcm_default());
+    let (batch, outs) = build_batch(&mut serial, true);
+    let serial_report = serial.execute_batch_serial(&batch).expect("serial batch");
+    let serial_bits: Vec<Vec<bool>> = outs.iter().map(|v| serial.load(v)).collect();
+
+    let mut parallel = sys(MemConfig::pcm_default());
+    let (batch, outs) = build_batch(&mut parallel, true);
+    let parallel_report = parallel.execute_batch(&batch).expect("parallel batch");
+    let parallel_bits: Vec<Vec<bool>> = outs.iter().map(|v| parallel.load(v)).collect();
+
+    assert_eq!(serial_bits, parallel_bits);
+    assert_stats_match(serial.stats(), parallel.stats());
+    assert_eq!(serial_report.per_op.len(), parallel_report.per_op.len());
+    for ((si, ss), (pi, ps)) in serial_report.per_op.iter().zip(&parallel_report.per_op) {
+        assert_eq!(si, pi, "scheduled order must be identical");
+        assert_eq!(ss.activations, ps.activations);
+        assert_eq!(ss.segments, ps.segments);
+        assert_eq!(ss.class, ps.class);
+        assert_close("per-op time", ss.time_ns, ps.time_ns);
+    }
+    assert_close(
+        "makespan",
+        serial_report.makespan_ns,
+        parallel_report.makespan_ns,
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let mut reference: Option<(Vec<Vec<bool>>, MemStats)> = None;
+    for workers in [1usize, 2, 4] {
+        let mut s = sys(faulty_mem());
+        let (batch, outs) = build_batch(&mut s, true);
+        s.execute_batch_with_workers(&batch, workers)
+            .expect("batch runs");
+        let bits: Vec<Vec<bool>> = outs.iter().map(|v| s.load(v)).collect();
+        let stats = *s.stats();
+        match &reference {
+            None => reference = Some((bits, stats)),
+            Some((ref_bits, ref_stats)) => {
+                assert_eq!(
+                    ref_bits, &bits,
+                    "{workers} workers must produce identical bits"
+                );
+                assert_eq!(
+                    ref_stats.events, stats.events,
+                    "{workers} workers must produce identical event counts"
+                );
+                assert_eq!(
+                    ref_stats.reliability, stats.reliability,
+                    "{workers} workers must consume identical fault streams"
+                );
+                assert_close("time_ns", ref_stats.time_ns, stats.time_ns);
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_reliability_ledger_upholds_the_detection_invariant() {
+    let mut s = sys(faulty_mem());
+    let (batch, _) = build_batch(&mut s, true);
+    s.execute_batch(&batch).expect("batch runs");
+    let r = s.stats().reliability;
+    assert!(r.detected_errors > 0, "faults must fire");
+    assert_eq!(
+        r.detected_errors,
+        r.corrected_errors + r.uncorrectable_errors,
+        "every detection must resolve after the shard merge: {r:?}"
+    );
+    assert!(r.is_consistent());
+}
+
+#[test]
+fn empty_batch_is_a_no_op_on_the_parallel_path() {
+    let mut s = sys(faulty_mem());
+    for workers in [1usize, 4] {
+        let report = s
+            .execute_batch_with_workers(&[], workers)
+            .expect("empty batch");
+        assert_eq!(report.serial_time_ns, 0.0);
+        assert_eq!(report.per_op.len(), 0);
+    }
+    assert_eq!(s.stats().time_ns, 0.0);
+}
+
+#[test]
+fn single_channel_geometry_degenerates_to_serial() {
+    let mut mem = faulty_mem();
+    mem.geometry.channels = 1;
+    let build = |s: &mut PimSystem| -> (Vec<BatchRequest>, Vec<PimBitVec>) {
+        let mut rng = SimRng::seed_from_u64(0x51);
+        let len = 3000u64;
+        let mut requests = Vec::new();
+        let mut dsts = Vec::new();
+        for g in 0..6usize {
+            let group = s.alloc_group(3, len).expect("group");
+            for v in &group[..2] {
+                let bits: Vec<bool> = (0..len).map(|_| rng.gen_bit()).collect();
+                s.store(v, &bits).expect("store");
+            }
+            let op = if g % 2 == 0 {
+                BitwiseOp::Or
+            } else {
+                BitwiseOp::Xor
+            };
+            dsts.push(group[2].clone());
+            requests.push(BatchRequest {
+                op,
+                operands: group[..2].to_vec(),
+                dst: group[2].clone(),
+            });
+        }
+        (requests, dsts)
+    };
+
+    let mut serial = sys(mem.clone());
+    let (batch, outs) = build(&mut serial);
+    serial.execute_batch_serial(&batch).expect("serial");
+    let serial_bits: Vec<Vec<bool>> = outs.iter().map(|v| serial.load(v)).collect();
+
+    let mut parallel = sys(mem);
+    let (batch, outs) = build(&mut parallel);
+    parallel
+        .execute_batch_with_workers(&batch, 4)
+        .expect("parallel");
+    let parallel_bits: Vec<Vec<bool>> = outs.iter().map(|v| parallel.load(v)).collect();
+
+    assert_eq!(serial_bits, parallel_bits);
+    assert_stats_match(serial.stats(), parallel.stats());
+}
