@@ -1,0 +1,200 @@
+//! Word-packed vs per-cell-reference fault-path benchmark.
+//!
+//! Runs the identical fault-injected command sequence — setup pokes, a
+//! burst of full-width multi-row OR senses, a burst of full-width writes —
+//! on two memories that differ only in `MemConfig::reference_fault_path`,
+//! with every fault mechanism enabled (stuck-at, drift, Gaussian
+//! variation, endurance, transients, write flips). Because the fault
+//! draws are counter-keyed pure functions of position, the two paths must
+//! produce bit-identical outputs, identical stored rows and identical
+//! reliability ledgers; this binary asserts all three and reports the
+//! wall-clock ratio. Results land machine-readably in `BENCH_fault.json`.
+//!
+//! ```console
+//! $ cargo run --release -p pinatubo-bench --bin bench_fault
+//! $ cargo run --release -p pinatubo-bench --bin bench_fault -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the width and asserts only the equivalence
+//! properties — no wall-clock thresholds, so it is safe for shared CI
+//! runners. The full profile additionally asserts the packed path is at
+//! least 20x faster on the 2^19-bit fan-in-4 OR sense burst.
+
+use pinatubo_mem::{MainMemory, MemConfig, ReliabilityConfig, RowAddr, RowData};
+use pinatubo_nvm::fault::FaultModel;
+use pinatubo_nvm::sense_amp::SenseMode;
+use pinatubo_nvm::yield_analysis::VariationModel;
+use std::time::Instant;
+
+const SEED: u64 = 0x5EED;
+const FAN_IN: usize = 4;
+
+/// Every fault mechanism on at once, rates low enough that the realized
+/// sites stay sparse (the regime the packed path is built for).
+fn model() -> FaultModel {
+    FaultModel::with_seed(SEED)
+        .with_stuck_at(1e-4, 1e-4)
+        .with_drift(0.05)
+        .with_variation(VariationModel::Gaussian)
+        .with_endurance(10_000, 0.2)
+        .with_transients(1e-5, 1e-5, 1e-5)
+        .with_write_flips(1e-5)
+}
+
+fn memory(reference_fault_path: bool) -> MainMemory {
+    let mut config = MemConfig::pcm_default();
+    config.fault_model = model();
+    config.reliability = ReliabilityConfig::off();
+    config.reference_fault_path = reference_fault_path;
+    MainMemory::new(config)
+}
+
+fn pattern(bits: u64, salt: u64) -> RowData {
+    (0..bits)
+        .map(|i| {
+            i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt * 0x5851_F42D_4C95_7F2D)
+                & 8
+                != 0
+        })
+        .collect()
+}
+
+/// One path's run: the full command sequence plus its sense / write burst
+/// wall clocks and everything needed to check equivalence.
+struct Run {
+    sense_ms: f64,
+    write_ms: f64,
+    sense_outputs: Vec<RowData>,
+    stored_rows: Vec<RowData>,
+    reliability: pinatubo_mem::ReliabilityStats,
+}
+
+fn run(reference_fault_path: bool, cols: u64, senses: u64, writes: u64) -> Run {
+    let mut mem = memory(reference_fault_path);
+    let operands: Vec<RowAddr> = (0..FAN_IN)
+        .map(|r| RowAddr::new(0, 0, 0, 0, r as u32))
+        .collect();
+    let write_row = RowAddr::new(0, 0, 0, 0, FAN_IN as u32);
+    for (i, &row) in operands.iter().enumerate() {
+        mem.poke_row(row, &pattern(cols, i as u64 + 1))
+            .expect("poke");
+    }
+
+    let mode = SenseMode::or(FAN_IN).expect("fan-in within margin");
+    let t0 = Instant::now();
+    let sense_outputs: Vec<RowData> = (0..senses)
+        .map(|_| {
+            mem.multi_activate_sense(&operands, mode, cols)
+                .expect("OR sense")
+        })
+        .collect();
+    let sense_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    for w in 0..writes {
+        mem.write_row_local(write_row, &pattern(cols, 100 + w))
+            .expect("write");
+    }
+    let write_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let stored_rows = operands
+        .iter()
+        .chain(std::iter::once(&write_row))
+        .map(|&r| mem.peek_row(r).expect("stored").clone())
+        .collect();
+    Run {
+        sense_ms,
+        write_ms,
+        sense_outputs,
+        stored_rows,
+        reliability: mem.stats().reliability,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (cols, senses, writes) = if smoke {
+        (1u64 << 12, 2, 2)
+    } else {
+        (1u64 << 19, 4, 2)
+    };
+
+    let packed = run(false, cols, senses, writes);
+    let reference = run(true, cols, senses, writes);
+
+    let outputs_identical = packed.sense_outputs == reference.sense_outputs
+        && packed.stored_rows == reference.stored_rows;
+    let ledgers_identical = packed.reliability == reference.reliability;
+    let sense_speedup = reference.sense_ms / packed.sense_ms;
+    let write_speedup = reference.write_ms / packed.write_ms;
+
+    println!(
+        "# Packed vs reference fault paths — 2^{} bits, fan-in {}, {} senses, {} writes",
+        cols.trailing_zeros(),
+        FAN_IN,
+        senses,
+        writes
+    );
+    println!(
+        "sense burst : packed {:.3} ms, reference {:.3} ms ({:.1}x)",
+        packed.sense_ms, reference.sense_ms, sense_speedup
+    );
+    println!(
+        "write burst : packed {:.3} ms, reference {:.3} ms ({:.1}x)",
+        packed.write_ms, reference.write_ms, write_speedup
+    );
+    println!(
+        "equivalence : outputs identical = {outputs_identical}, ledgers identical = {ledgers_identical}"
+    );
+    println!(
+        "injected    : {} sense events, {} write events, {} bit errors, {} write faults",
+        packed.reliability.physical_senses,
+        packed.reliability.physical_writes,
+        packed.reliability.injected_bit_errors,
+        packed.reliability.injected_write_faults
+    );
+
+    assert!(
+        outputs_identical,
+        "packed and reference paths must be bit-identical"
+    );
+    assert!(
+        ledgers_identical,
+        "packed {:?} != reference {:?}",
+        packed.reliability, reference.reliability
+    );
+    assert!(
+        packed.reliability.injected_bit_errors > 0 || packed.reliability.injected_write_faults > 0,
+        "the scenario must actually inject faults to be a meaningful check"
+    );
+    if !smoke {
+        assert!(
+            sense_speedup >= 20.0,
+            "packed sense path must be at least 20x faster (measured {sense_speedup:.1}x)"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bits_per_row\": {},\n  \"fan_in\": {},\n  \"senses\": {},\n  \
+         \"writes\": {},\n  \"packed_sense_ms\": {:.3},\n  \
+         \"reference_sense_ms\": {:.3},\n  \"sense_speedup\": {:.1},\n  \
+         \"packed_write_ms\": {:.3},\n  \"reference_write_ms\": {:.3},\n  \
+         \"write_speedup\": {:.1},\n  \"outputs_identical\": {},\n  \
+         \"ledgers_identical\": {}\n}}\n",
+        cols,
+        FAN_IN,
+        senses,
+        writes,
+        packed.sense_ms,
+        reference.sense_ms,
+        sense_speedup,
+        packed.write_ms,
+        reference.write_ms,
+        write_speedup,
+        outputs_identical,
+        ledgers_identical,
+    );
+    std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
+    println!("\nwrote BENCH_fault.json");
+}

@@ -41,16 +41,22 @@ impl RowData {
         }
     }
 
-    /// A row built from individual bits.
+    /// A row built from individual bits, packed a word at a time.
     #[must_use]
     pub fn from_bits(bits: &[bool]) -> Self {
-        let mut row = RowData::zeros(bits.len() as u64);
-        for (i, &b) in bits.iter().enumerate() {
-            if b {
-                row.set(i as u64, true);
-            }
+        let words = bits
+            .chunks(64)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |w, (i, &b)| w | (u64::from(b) << i))
+            })
+            .collect();
+        RowData {
+            words,
+            len_bits: bits.len() as u64,
         }
-        row
     }
 
     /// A row built from pre-packed words; `len_bits` may be shorter than
@@ -90,6 +96,13 @@ impl RowData {
         &self.words
     }
 
+    /// Mutable access to the packed words, for sparse in-place patching
+    /// (fault sites, flip chains). Callers must not set bits beyond
+    /// `len_bits` — the tail mask is their contract to preserve.
+    pub(crate) fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Reads bit `i`.
     ///
     /// # Panics
@@ -124,20 +137,45 @@ impl RowData {
         }
     }
 
-    /// The first `n` bits as booleans (for tests and small examples).
+    /// The first `n` bits as booleans (for tests and small examples),
+    /// unpacked a word at a time.
     ///
     /// # Panics
     ///
     /// Panics if `n` exceeds the length.
     #[must_use]
     pub fn bits(&self, n: u64) -> Vec<bool> {
-        (0..n).map(|i| self.get(i)).collect()
+        assert!(n <= self.len_bits, "{n} bits out of {}", self.len_bits);
+        let mut out = Vec::with_capacity(n as usize);
+        for &word in &self.words {
+            if out.len() as u64 >= n {
+                break;
+            }
+            let take = (n - out.len() as u64).min(64);
+            out.extend((0..take).map(|i| word >> i & 1 == 1));
+        }
+        out
     }
 
     /// Population count.
     #[must_use]
     pub fn count_ones(&self) -> u64 {
         self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// The number of bit positions where `self` and `other` differ, the
+    /// shorter row treated as zero-extended. Word-wise, so diffing two
+    /// full rows costs no per-bit work.
+    #[must_use]
+    pub fn count_diff(&self, other: &RowData) -> u64 {
+        let longest = self.words.len().max(other.words.len());
+        (0..longest)
+            .map(|i| {
+                let a = self.words.get(i).copied().unwrap_or(0);
+                let b = other.words.get(i).copied().unwrap_or(0);
+                u64::from((a ^ b).count_ones())
+            })
+            .sum()
     }
 
     /// Grows or shrinks to `len_bits`, zero-filling new bits.
@@ -211,8 +249,21 @@ impl fmt::Debug for RowData {
 
 impl FromIterator<bool> for RowData {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let bits: Vec<bool> = iter.into_iter().collect();
-        RowData::from_bits(&bits)
+        let mut words = Vec::new();
+        let mut current = 0u64;
+        let mut len_bits = 0u64;
+        for b in iter {
+            current |= u64::from(b) << (len_bits % 64);
+            len_bits += 1;
+            if len_bits % 64 == 0 {
+                words.push(current);
+                current = 0;
+            }
+        }
+        if len_bits % 64 != 0 {
+            words.push(current);
+        }
+        RowData { words, len_bits }
     }
 }
 
@@ -307,6 +358,34 @@ mod tests {
     fn collects_from_iterator() {
         let r: RowData = [true, false, true].into_iter().collect();
         assert_eq!(r.bits(3), vec![true, false, true]);
+    }
+
+    #[test]
+    fn word_wise_construction_matches_per_bit_semantics() {
+        // Non-multiple-of-64 length crossing two word boundaries.
+        let pattern: Vec<bool> = (0..150u64).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        let from_slice = RowData::from_bits(&pattern);
+        let from_iter: RowData = pattern.iter().copied().collect();
+        assert_eq!(from_slice, from_iter);
+        assert_eq!(from_slice.len_bits(), 150);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(from_slice.get(i as u64), b, "bit {i}");
+        }
+        assert_eq!(from_slice.bits(150), pattern);
+        assert_eq!(from_slice.bits(70), pattern[..70]);
+    }
+
+    #[test]
+    fn count_diff_is_the_xor_popcount() {
+        let a = RowData::from_bits(&[true, false, true, false, true]);
+        let b = RowData::from_bits(&[true, true, true, true, false]);
+        assert_eq!(a.count_diff(&b), 3);
+        assert_eq!(a.count_diff(&a), 0);
+        // Shorter row zero-extends.
+        let long = RowData::from_bits(&[true; 100]);
+        let short = RowData::from_bits(&[true; 64]);
+        assert_eq!(long.count_diff(&short), 36);
+        assert_eq!(short.count_diff(&long), 36);
     }
 
     #[test]

@@ -18,8 +18,9 @@ use crate::geometry::MemGeometry;
 use crate::stats::MemStats;
 use crate::MemError;
 use pinatubo_nvm::energy::EnergyParams;
-use pinatubo_nvm::fault::{CellId, FaultModel, FaultState, SensedCell};
+use pinatubo_nvm::fault::{CellHealth, CellId, EventKey, FaultModel, FaultState};
 use pinatubo_nvm::lwl_driver::LwlDriverBank;
+use pinatubo_nvm::resistance::Ohms;
 use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode};
 use pinatubo_nvm::technology::Technology;
 use pinatubo_nvm::timing::TimingParams;
@@ -146,6 +147,12 @@ pub struct MemConfig {
     pub fault_model: FaultModel,
     /// Detection/recovery policy (only meaningful with faults enabled).
     pub reliability: ReliabilityConfig,
+    /// Route fault-injected senses and writes through the per-cell
+    /// reference path instead of the word-packed fast path. The two are
+    /// bit-identical for the same seed (pinned by cross-crate property
+    /// tests); the reference path exists as the oracle and for debugging,
+    /// at O(cols × fan-in) per event instead of O(words + fault sites).
+    pub reference_fault_path: bool,
 }
 
 impl MemConfig {
@@ -162,6 +169,7 @@ impl MemConfig {
             open_page: false,
             fault_model: FaultModel::none(),
             reliability: ReliabilityConfig::off(),
+            reference_fault_path: false,
         }
     }
 
@@ -178,6 +186,7 @@ impl MemConfig {
             open_page: false,
             fault_model: FaultModel::none(),
             reliability: ReliabilityConfig::off(),
+            reference_fault_path: false,
         }
     }
 }
@@ -210,6 +219,11 @@ pub struct MainMemory {
     /// the model is [`FaultModel::none`] (or the technology has no current
     /// SA), in which case every fault/recovery branch is skipped entirely.
     fault: HashMap<u32, FaultState>,
+    /// Per-row fault-site cache for the packed fault paths. Sites are a
+    /// pure function of `(fault_model, row_key, writes, cols)`, so entries
+    /// need no invalidation beyond a wear or width mismatch, and shards
+    /// may start with an empty cache without changing any result.
+    fault_sites: HashMap<u64, CachedRowSites>,
     /// The fan-in limit enforced by the protected sense path (resolved
     /// once at construction from `config.reliability.reliable_fan_in`).
     reliable_or_fan_in: usize,
@@ -220,6 +234,16 @@ pub struct MainMemory {
     mode: PimConfig,
     stats: MemStats,
     trace: Vec<MemCommand>,
+}
+
+/// One cached [`FaultModel::row_fault_sites`] result: the ascending
+/// `(bit, held value)` fault sites of a row at a given wear level, over
+/// the first `cols` columns.
+#[derive(Debug, Clone)]
+struct CachedRowSites {
+    writes: u64,
+    cols: u64,
+    sites: Vec<(u64, bool)>,
 }
 
 impl MainMemory {
@@ -263,6 +287,7 @@ impl MainMemory {
             open_rows: HashMap::new(),
             act_history: HashMap::new(),
             fault,
+            fault_sites: HashMap::new(),
             reliable_or_fan_in,
             parity: HashMap::new(),
             mode: PimConfig::Off,
@@ -394,6 +419,7 @@ impl MainMemory {
             open_rows: HashMap::new(),
             act_history: HashMap::new(),
             fault: HashMap::new(),
+            fault_sites: HashMap::new(),
             reliable_or_fan_in: self.reliable_or_fan_in,
             parity: HashMap::new(),
             mode: self.mode,
@@ -510,7 +536,7 @@ impl MainMemory {
         self.validate_addr(addr)?;
         self.validate_cols(data.len_bits())?;
         if self.fault.is_empty() {
-            self.store(addr, data);
+            self.store(addr, data.clone());
             self.record_parity(addr, data);
             return Ok(());
         }
@@ -521,14 +547,11 @@ impl MainMemory {
         let verify = self.config.reliability.verify_writes;
         let mut attempt: u32 = 0;
         loop {
-            let actual = self.store_physical(addr, data, WriteSource::Bus);
-            let mut diff = actual.clone();
-            diff.xor_assign(data);
-            let bad = diff.count_ones();
+            let bad = self.store_physical(addr, data, WriteSource::Bus);
             self.stats.reliability.injected_write_faults += bad;
             if bad == 0 || !verify {
                 self.record_parity(addr, data);
-                self.note_unverified_store(&actual, data, bad);
+                self.note_unverified_store(addr, data, bad);
                 if verify && attempt > 0 {
                     self.stats.reliability.corrected_errors += 1;
                 }
@@ -571,6 +594,21 @@ impl MainMemory {
         mode: SenseMode,
         cols: u64,
     ) -> Result<RowData, MemError> {
+        self.multi_activate_sense_full(operands, mode, cols)
+            .map(|(out, _)| out)
+    }
+
+    /// [`MainMemory::multi_activate_sense`], additionally returning the
+    /// word-wise functional truth of the combine when faults are injected
+    /// (`None` otherwise — the output *is* the truth), so the recovery
+    /// ladder can tally silent corruption without recombining the operand
+    /// rows.
+    fn multi_activate_sense_full(
+        &mut self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+    ) -> Result<(RowData, Option<RowData>), MemError> {
         self.validate_cols_nonzero(cols)?;
         self.require_sense_amp()?;
         // Fan-in check against the cached margin-analysis result (the
@@ -608,13 +646,16 @@ impl MainMemory {
 
         // Functional combine, word-wise over the open rows. With fault
         // injection enabled the returned value is instead re-derived by
-        // per-cell physical sensing; the word-wise result serves as the
-        // ground truth for the injected-error tally.
+        // physical sensing; the word-wise result serves as the ground
+        // truth for the injected-error tally and rides back to the caller.
         let truth = self.functional_combine(operands, mode, cols);
-        let out = if self.fault.is_empty() {
-            truth
+        let (out, truth) = if self.fault.is_empty() {
+            (truth, None)
         } else {
-            self.sense_physical(operands, mode, cols, &truth)
+            (
+                self.sense_physical(operands, mode, cols, &truth),
+                Some(truth),
+            )
         };
 
         // Accounting.
@@ -693,7 +734,7 @@ impl MainMemory {
             self.record(MemCommand::SensePass { mode, bits: cols });
             self.record(MemCommand::Precharge(first));
         }
-        Ok(out)
+        Ok((out, truth))
     }
 
     /// Reads the first `cols` bits of one row into the subarray's SA latch
@@ -710,12 +751,12 @@ impl MainMemory {
     /// [`MemError::UncorrectableRead`] when the parity never checks out.
     pub fn activate_read(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
         let operands = [addr];
-        let data = self.multi_activate_sense(&operands, SenseMode::Read, cols)?;
-        if self.fault.is_empty() {
+        let (data, truth) = self.multi_activate_sense_full(&operands, SenseMode::Read, cols)?;
+        let Some(truth) = truth else {
             return Ok(data);
-        }
+        };
         if !self.config.reliability.parity_check || self.parity_matches(addr, &data) {
-            self.note_accepted(&operands, SenseMode::Read, cols, &data);
+            self.note_accepted(&truth, &data);
             return Ok(data);
         }
         self.stats.reliability.detected_errors += 1;
@@ -725,7 +766,7 @@ impl MainMemory {
             let again = self.multi_activate_sense(&operands, SenseMode::Read, cols)?;
             if self.parity_matches(addr, &again) {
                 self.stats.reliability.corrected_errors += 1;
-                self.note_accepted(&operands, SenseMode::Read, cols, &again);
+                self.note_accepted(&truth, &again);
                 return Ok(again);
             }
         }
@@ -1013,14 +1054,16 @@ impl MainMemory {
         }
     }
 
-    fn store(&mut self, addr: RowAddr, data: &RowData) {
+    fn store(&mut self, addr: RowAddr, data: RowData) {
         // Rows are stored at their written length, not padded to the full
         // 2^19-bit row: reads zero-extend (`load`), which keeps the host
-        // memory footprint proportional to the bits actually used.
+        // memory footprint proportional to the bits actually used. Takes
+        // the buffer by value — the physical write path moves the image it
+        // just built instead of cloning it.
         self.rows
             .entry(addr.subarray_id())
             .or_default()
-            .insert(addr.row, data.clone());
+            .insert(addr.row, data);
     }
 
     /// Word-wise combine over the operand rows — the functional ground
@@ -1039,10 +1082,45 @@ impl MainMemory {
         out
     }
 
-    /// Per-cell physical sensing with faults injected: every column runs
-    /// the stored operand bits through [`CurrentSenseAmp::sense_with_faults`]
-    /// (stuck overrides, drift, per-sense variation, transient flips).
-    /// Bits differing from the word-wise `truth` are tallied as injected.
+    /// The ascending fault sites (stuck + endurance-dead cells) of one row
+    /// over its first `cols` columns, cached per row. A cached entry is
+    /// reused when its wear level matches and it covers at least `cols`
+    /// columns; otherwise it is regenerated from the model.
+    fn row_sites(
+        &mut self,
+        model: &FaultModel,
+        row_key: u64,
+        writes: u64,
+        cols: u64,
+    ) -> Vec<(u64, bool)> {
+        match self.fault_sites.get(&row_key) {
+            Some(c) if c.writes == writes && c.cols >= cols => {}
+            _ => {
+                let sites = model.row_fault_sites(row_key, writes, cols);
+                self.fault_sites.insert(
+                    row_key,
+                    CachedRowSites {
+                        writes,
+                        cols,
+                        sites,
+                    },
+                );
+            }
+        }
+        self.fault_sites[&row_key]
+            .sites
+            .iter()
+            .copied()
+            .take_while(|&(bit, _)| bit < cols)
+            .collect()
+    }
+
+    /// Physical sensing with faults injected, as one counter-keyed event:
+    /// claims the channel's next [`EventKey`] and dispatches to the
+    /// word-packed fast path (the default) or the per-cell reference path
+    /// (`MemConfig::reference_fault_path`). The two are bit-identical for
+    /// the same event. Bits differing from the word-wise `truth` are
+    /// tallied as injected.
     fn sense_physical(
         &mut self,
         operands: &[RowAddr],
@@ -1050,68 +1128,268 @@ impl MainMemory {
         cols: u64,
         truth: &RowData,
     ) -> RowData {
+        // All operands share a subarray (validated by the caller), so the
+        // first one names the owning channel's draw stream.
+        let channel = operands[0].channel;
+        let state = self
+            .fault
+            .get_mut(&channel)
+            .expect("fault injection enabled");
+        let model = *state.model();
+        let event = state.next_event();
+        let out = if self.config.reference_fault_path {
+            self.sense_physical_reference(operands, mode, cols, &model, &event)
+        } else {
+            self.sense_physical_packed(operands, mode, cols, &model, &event)
+        };
+        self.stats.reliability.physical_senses += 1;
+        self.stats.reliability.injected_bit_errors += out.count_diff(truth);
+        out
+    }
+
+    /// The O(words + fault sites) sense path. The stored operand words are
+    /// patched at their sparse fault sites so they hold the per-cell
+    /// *effective* bits, then whole ones-count classes are classified as
+    /// certainly-0 / certainly-1 through conservative bit-line resistance
+    /// intervals (every residual / drift draw is bounded); only columns in
+    /// a class straddling the reference are evaluated through the exact
+    /// per-column model — the same evaluator the reference path uses, so
+    /// even their floating-point rounding agrees. The transient-flip chain
+    /// lands word-wise on top.
+    fn sense_physical_packed(
+        &mut self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+        model: &FaultModel,
+        event: &EventKey,
+    ) -> RowData {
+        let mut patched: Vec<(u64, RowData)> = Vec::with_capacity(operands.len());
+        for &a in operands {
+            let key = a.to_linear(&self.config.geometry);
+            let mut row = self.load(a, cols);
+            for (bit, value) in self.row_sites(model, key, self.row_wear(a), cols) {
+                row.set(bit, value);
+            }
+            patched.push((key, row));
+        }
+        let sa = self.sense_amp.as_ref().expect("resistive technology");
+        let tech = &self.config.technology;
+        let margin = sa.margin(mode);
+        let global = model.event_global(tech, event);
+
+        // Conservative per-class intervals: a cell storing `b` contributes
+        // a resistance inside `[r_min(b), r_max(b)]` for *every* possible
+        // residual and drift draw, so the bit line of a column with `k`
+        // effective ones lies inside an interval depending only on `k`.
+        let fan_in = patched.len();
+        let (res_lo, res_hi) = model.residual_bounds(tech);
+        let drift = 1.0 + model.drift_spread.max(0.0);
+        let r_on = tech.cell_resistance(true).get() * global;
+        let r_off = tech.cell_resistance(false).get() * global;
+        let (r1_min, r1_max) = (r_on * res_lo, r_on * res_hi * drift);
+        let (r0_min, r0_max) = (r_off * res_lo / drift, r_off * res_hi);
+        let verdict = |ones: usize| -> Option<bool> {
+            let zeros = (fan_in - ones) as f64;
+            let ones = ones as f64;
+            let g_min = ones / r1_max + zeros / r0_max;
+            let g_max = ones / r1_min + zeros / r0_min;
+            margin.classify_interval(Ohms::new(1.0 / g_max), Ohms::new(1.0 / g_min))
+        };
+        // `k1`: counts >= k1 certainly sense 1; counts < k0_excl certainly
+        // sense 0; counts between are ambiguous. Derived from contiguous
+        // runs at the extremes so no monotonicity assumption is needed.
+        let mut k1 = fan_in + 1;
+        for k in (0..=fan_in).rev() {
+            if verdict(k) == Some(true) {
+                k1 = k;
+            } else {
+                break;
+            }
+        }
+        let mut k0_excl = 0;
+        for k in 0..k1 {
+            if verdict(k) == Some(false) {
+                k0_excl = k + 1;
+            } else {
+                break;
+            }
+        }
+
+        // Bit-sliced ones counting: ge[j] marks the columns whose patched
+        // ones count is at least j, built word-wise over the operand rows.
+        let nw = cols.div_ceil(64) as usize;
+        let mut all = vec![u64::MAX; nw];
+        if cols % 64 != 0 {
+            all[nw - 1] = (1u64 << (cols % 64)) - 1;
+        }
+        let jcap = k1.min(fan_in);
+        let mut ge: Vec<Vec<u64>> = Vec::with_capacity(jcap + 1);
+        ge.push(all);
+        ge.extend(std::iter::repeat_with(|| vec![0u64; nw]).take(jcap));
+        for (i, (_, row)) in patched.iter().enumerate() {
+            let rw = row.as_words();
+            for j in (1..=jcap.min(i + 1)).rev() {
+                let (lo, hi) = ge.split_at_mut(j);
+                for ((cur, &prev), &word) in hi[0].iter_mut().zip(&lo[j - 1]).zip(rw) {
+                    *cur |= prev & word;
+                }
+            }
+        }
+        let mut out = if k1 <= fan_in {
+            ge[k1].clone()
+        } else {
+            vec![0u64; nw]
+        };
+        let ambiguous: Vec<u64> = if k0_excl < k1 && k0_excl <= fan_in {
+            ge[k0_excl]
+                .iter()
+                .zip(&out)
+                .map(|(&a, &b)| a & !b)
+                .collect()
+        } else {
+            vec![0u64; nw]
+        };
+
+        // Exact evaluation of the (rare) ambiguous columns.
+        let mut cells: Vec<(u64, bool)> = patched.iter().map(|&(key, _)| (key, false)).collect();
+        for (w, &mask) in ambiguous.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                let col = w as u64 * 64 + u64::from(m.trailing_zeros());
+                m &= m - 1;
+                for (slot, (_, row)) in cells.iter_mut().zip(&patched) {
+                    slot.1 = row.get(col);
+                }
+                if sa.sense_column_physical(&margin, model, event, global, &cells, col) {
+                    out[w] |= 1 << (col % 64);
+                }
+            }
+        }
+
+        // Transient latch flips, straight from the event's geometric chain.
+        let p = model.transient_flip_probability(mode);
+        for col in event.transient_flips(p, cols) {
+            out[(col / 64) as usize] ^= 1 << (col % 64);
+        }
+        RowData::from_words(out, cols)
+    }
+
+    /// The per-cell reference sense path, the oracle the packed path is
+    /// pinned against: every column resolves each operand cell's health by
+    /// point query, runs the shared column evaluator, and walks the
+    /// transient-flip chain in column lockstep. O(cols × fan-in).
+    fn sense_physical_reference(
+        &self,
+        operands: &[RowAddr],
+        mode: SenseMode,
+        cols: u64,
+        model: &FaultModel,
+        event: &EventKey,
+    ) -> RowData {
         let geometry = &self.config.geometry;
         let rows: Vec<(u64, RowData, u64)> = operands
             .iter()
             .map(|&a| (a.to_linear(geometry), self.load(a, cols), self.row_wear(a)))
             .collect();
-        // All operands share a subarray (validated by the caller), so the
-        // first one names the owning channel's draw stream.
-        let channel = operands[0].channel;
-        let mut state = self
-            .fault
-            .remove(&channel)
-            .expect("fault injection enabled");
         let sa = self.sense_amp.as_ref().expect("resistive technology");
+        let tech = &self.config.technology;
         let margin = sa.margin(mode);
-        let mut out = RowData::zeros(cols);
+        let global = model.event_global(tech, event);
+        let p = model.transient_flip_probability(mode);
+        let mut flips = event.transient_flips(p, cols).peekable();
         let mut cells = Vec::with_capacity(rows.len());
-        for bit in 0..cols {
-            cells.clear();
-            for (key, row, wear) in &rows {
-                cells.push(SensedCell {
-                    cell: CellId::new(*key, bit),
-                    stored: row.get(bit),
-                    writes: *wear,
-                });
-            }
-            let sensed = sa
-                .sense_with_faults(mode, &margin, &cells, &mut state)
-                .expect("operand count matches the sense mode");
-            if sensed {
-                out.set(bit, true);
-            }
-        }
-        self.fault.insert(channel, state);
-        let mut diff = out.clone();
-        diff.xor_assign(truth);
-        self.stats.reliability.injected_bit_errors += diff.count_ones();
-        out
+        (0..cols)
+            .map(|bit| {
+                cells.clear();
+                for (key, row, wear) in &rows {
+                    let effective = match model.cell_health(CellId::new(*key, bit), *wear) {
+                        CellHealth::StuckAt(v) => v,
+                        CellHealth::Healthy => row.get(bit),
+                    };
+                    cells.push((*key, effective));
+                }
+                let sensed = sa.sense_column_physical(&margin, model, event, global, &cells, bit);
+                sensed != flips.next_if(|&f| f == bit).is_some()
+            })
+            .collect()
     }
 
     /// Fires the write drivers against the real (possibly defective)
-    /// cells and stores what they actually hold. Returns the stored image.
-    fn store_physical(&mut self, addr: RowAddr, data: &RowData, source: WriteSource) -> RowData {
-        let mut state = self
+    /// cells as one counter-keyed write event, stores what the cells
+    /// actually hold, and returns how many bits landed wrong. Dispatches
+    /// to the packed or reference commit like [`MainMemory::sense_physical`].
+    fn store_physical(&mut self, addr: RowAddr, data: &RowData, source: WriteSource) -> u64 {
+        let state = self
             .fault
-            .remove(&addr.channel)
+            .get_mut(&addr.channel)
             .expect("fault injection enabled");
-        let driver = WriteDriver::new(&self.config.technology);
+        let model = *state.model();
+        let event = state.next_event();
         let key = addr.to_linear(&self.config.geometry);
         // The pulse in flight stresses the cells on top of the wear
         // charged so far (row-level wear stands in for per-cell counts).
         let writes = self.row_wear(addr) + 1;
+        let stored = if self.config.reference_fault_path {
+            self.store_physical_reference(key, data, source, &model, &event, writes)
+        } else {
+            self.store_physical_packed(key, data, &model, &event, writes)
+        };
+        self.stats.reliability.physical_writes += 1;
+        let bad = stored.count_diff(data);
+        self.store(addr, stored);
+        bad
+    }
+
+    /// Packed write commit: the whole row is `data XOR write-flip chain`,
+    /// then the sparse fault sites override their columns (stuck cells
+    /// ignore the pulse entirely). O(words + flips + fault sites).
+    fn store_physical_packed(
+        &mut self,
+        key: u64,
+        data: &RowData,
+        model: &FaultModel,
+        event: &EventKey,
+        writes: u64,
+    ) -> RowData {
         let bits = data.len_bits();
-        let mut stored = RowData::zeros(bits);
-        for bit in 0..bits {
-            let driven = driver.drive(source, data.get(bit));
-            if state.commit_write(driven, CellId::new(key, bit), writes) {
-                stored.set(bit, true);
-            }
+        let mut stored = data.clone();
+        let words = stored.as_words_mut();
+        for col in event.write_flips(model.write_flip, bits) {
+            words[(col / 64) as usize] ^= 1 << (col % 64);
         }
-        self.fault.insert(addr.channel, state);
-        self.store(addr, &stored);
+        for (bit, value) in self.row_sites(model, key, writes, bits) {
+            stored.set(bit, value);
+        }
         stored
+    }
+
+    /// Per-cell reference write commit: each column drives its bit,
+    /// resolves the cell's health by point query, and commits through
+    /// [`pinatubo_nvm::write_driver::DrivenBit::committed`] with the same
+    /// flip chain walked in column lockstep.
+    fn store_physical_reference(
+        &self,
+        key: u64,
+        data: &RowData,
+        source: WriteSource,
+        model: &FaultModel,
+        event: &EventKey,
+        writes: u64,
+    ) -> RowData {
+        let driver = WriteDriver::new(&self.config.technology);
+        let bits = data.len_bits();
+        let mut flips = event.write_flips(model.write_flip, bits).peekable();
+        (0..bits)
+            .map(|bit| {
+                let flipped = flips.next_if(|&f| f == bit).is_some();
+                let driven = driver.drive(source, data.get(bit));
+                match model.cell_health(CellId::new(key, bit), writes) {
+                    CellHealth::StuckAt(v) => v,
+                    CellHealth::Healthy => driven.committed(flipped),
+                }
+            })
+            .collect()
     }
 
     /// One charged write, with program-and-verify when faults and
@@ -1120,7 +1398,7 @@ impl MainMemory {
     fn program_row(&mut self, addr: RowAddr, data: &RowData, local: bool) -> Result<(), MemError> {
         let bits = data.len_bits();
         if self.fault.is_empty() {
-            self.store(addr, data);
+            self.store(addr, data.clone());
             self.record_parity(addr, data);
             self.charge_write(addr, bits, local);
             return Ok(());
@@ -1133,11 +1411,8 @@ impl MainMemory {
         };
         let mut attempt: u32 = 0;
         loop {
-            let actual = self.store_physical(addr, data, source);
+            let bad = self.store_physical(addr, data, source);
             self.charge_write(addr, bits, local);
-            let mut diff = actual.clone();
-            diff.xor_assign(data);
-            let bad = diff.count_ones();
             self.stats.reliability.injected_write_faults += bad;
             if !verify {
                 // Unverified: parity (of the intended data) still flags the
@@ -1145,7 +1420,7 @@ impl MainMemory {
                 // the corruption aliases the parity — the wrong bits are
                 // silent.
                 self.record_parity(addr, data);
-                self.note_unverified_store(&actual, data, bad);
+                self.note_unverified_store(addr, data, bad);
                 return Ok(());
             }
             self.charge_verify_pass(bits);
@@ -1182,14 +1457,14 @@ impl MainMemory {
         mode: SenseMode,
         cols: u64,
     ) -> Result<RowData, MemError> {
-        let first = self.multi_activate_sense(operands, mode, cols)?;
+        let (first, truth) = self.multi_activate_sense_full(operands, mode, cols)?;
+        let truth = truth.expect("the protected path only reaches here with faults injected");
         if !self.config.reliability.duplicate_sense {
-            self.note_accepted(operands, mode, cols, &first);
+            self.note_accepted(&truth, &first);
             return Ok(first);
         }
-        let truth = self.functional_combine(operands, mode, cols);
         if self.resense(operands, mode, cols, &truth) == first {
-            self.note_accepted(operands, mode, cols, &first);
+            self.note_accepted(&truth, &first);
             return Ok(first);
         }
         self.stats.reliability.detected_errors += 1;
@@ -1200,7 +1475,7 @@ impl MainMemory {
             let again = self.multi_activate_sense(operands, mode, cols)?;
             if self.resense(operands, mode, cols, &truth) == again {
                 self.stats.reliability.corrected_errors += 1;
-                self.note_accepted(operands, mode, cols, &again);
+                self.note_accepted(&truth, &again);
                 return Ok(again);
             }
         }
@@ -1246,12 +1521,10 @@ impl MainMemory {
     }
 
     /// Tallies wrong bits in a result the recovery machinery accepted as
-    /// correct — the silent-corruption metric.
-    fn note_accepted(&mut self, operands: &[RowAddr], mode: SenseMode, cols: u64, out: &RowData) {
-        let truth = self.functional_combine(operands, mode, cols);
-        let mut diff = out.clone();
-        diff.xor_assign(&truth);
-        self.stats.reliability.silent_wrong_bits += diff.count_ones();
+    /// correct — the silent-corruption metric. `truth` is the word-wise
+    /// functional combine the sense already computed; nothing is re-read.
+    fn note_accepted(&mut self, truth: &RowData, out: &RowData) {
+        self.stats.reliability.silent_wrong_bits += out.count_diff(truth);
     }
 
     /// One packed parity bit per 64-bit data word.
@@ -1273,13 +1546,15 @@ impl MainMemory {
     /// by a later read, so exactly those bits are charged to the silent
     /// ledger — non-aliasing corruption deterministically fails the read's
     /// parity check and surfaces as an explicit error instead.
-    fn note_unverified_store(&mut self, actual: &RowData, intended: &RowData, bad: u64) {
+    fn note_unverified_store(&mut self, addr: RowAddr, intended: &RowData, bad: u64) {
         if bad == 0 {
             return;
         }
-        if !self.config.reliability.parity_check
-            || Self::parity_words(actual) == Self::parity_words(intended)
-        {
+        let aliases = !self.config.reliability.parity_check
+            || self
+                .peek_row(addr)
+                .is_some_and(|actual| Self::parity_words(actual) == Self::parity_words(intended));
+        if aliases {
             self.stats.reliability.silent_wrong_bits += bad;
         }
     }
@@ -1894,7 +2169,9 @@ mod tests {
     fn verified_write_retries_through_transient_flips() {
         let mut cfg = ReliabilityConfig::protected();
         cfg.max_write_retries = 40;
-        let mut m = faulty_mem(FaultModel::with_seed(0xBAD).with_write_flips(0.02), cfg);
+        // Seed chosen so the first write event flips bits and a later
+        // attempt within the retry budget draws a clean event.
+        let mut m = faulty_mem(FaultModel::with_seed(0x1D).with_write_flips(0.02), cfg);
         let data = RowData::from_bits(&[true; 32]);
         m.write_row_local(addr(0, 0), &data).expect("write lands");
         assert_eq!(m.peek_row(addr(0, 0)).expect("stored"), &data);

@@ -187,6 +187,13 @@ pub struct ReliabilityStats {
     /// Detection events the ladder could not resolve (surfaced to the
     /// caller as explicit errors).
     pub uncorrectable_errors: u64,
+    /// Physical (fault-injected) sense events evaluated, including
+    /// duplicate senses and retries. Counts *events*, not per-column
+    /// work, so the packed and reference fault paths tally identically.
+    pub physical_senses: u64,
+    /// Physical (fault-injected) write events evaluated, including
+    /// program-and-verify retries.
+    pub physical_writes: u64,
 }
 
 impl ReliabilityStats {
@@ -219,6 +226,8 @@ impl Add for ReliabilityStats {
             fan_in_splits: self.fan_in_splits + rhs.fan_in_splits,
             rmw_fallbacks: self.rmw_fallbacks + rhs.rmw_fallbacks,
             uncorrectable_errors: self.uncorrectable_errors + rhs.uncorrectable_errors,
+            physical_senses: self.physical_senses + rhs.physical_senses,
+            physical_writes: self.physical_writes + rhs.physical_writes,
         }
     }
 }
@@ -243,6 +252,8 @@ impl Sub for ReliabilityStats {
             fan_in_splits: self.fan_in_splits - rhs.fan_in_splits,
             rmw_fallbacks: self.rmw_fallbacks - rhs.rmw_fallbacks,
             uncorrectable_errors: self.uncorrectable_errors - rhs.uncorrectable_errors,
+            physical_senses: self.physical_senses - rhs.physical_senses,
+            physical_writes: self.physical_writes - rhs.physical_writes,
         }
     }
 }

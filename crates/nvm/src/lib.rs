@@ -66,7 +66,7 @@ pub mod yield_analysis;
 pub use area::{AreaBreakdown, AreaModel};
 pub use cell::Cell;
 pub use energy::EnergyParams;
-pub use fault::{CellHealth, CellId, FaultModel, FaultState, SensedCell};
+pub use fault::{CellHealth, CellId, EventKey, FaultModel, FaultState};
 pub use resistance::{parallel, Ohms};
 pub use rng::SimRng;
 pub use sense_amp::{CurrentSenseAmp, SenseMargin, SenseMode};

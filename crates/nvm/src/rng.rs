@@ -22,6 +22,32 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Hashes a sequence of words into 64 uniform bits, keyed by `seed`.
+///
+/// Built from [`splitmix64`] steps with the running output folded back
+/// into the state, so every word position acts as an independent key
+/// component: changing any single input word reshuffles the output. This
+/// is the primitive behind counter-keyed fault draws — a draw is a pure
+/// function of `(seed, position)` rather than of how many draws happened
+/// before it.
+#[must_use]
+pub fn hash_u64s(seed: u64, parts: &[u64]) -> u64 {
+    let mut s = seed;
+    let mut out = splitmix64(&mut s);
+    for &p in parts {
+        s ^= p.wrapping_add(out);
+        out = splitmix64(&mut s);
+    }
+    out
+}
+
+/// Maps 64 uniform bits onto a uniform `f64` in `[0, 1)` (53 mantissa
+/// bits), the same mapping [`SimRng::next_f64`] uses.
+#[must_use]
+pub fn unit_from_u64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// A seedable xoshiro256** pseudo-random generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
@@ -139,6 +165,30 @@ mod tests {
         assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
         assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
         assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn hash_u64s_separates_every_key_component() {
+        let base = hash_u64s(1, &[2, 3, 4]);
+        assert_eq!(base, hash_u64s(1, &[2, 3, 4]), "pure function");
+        assert_ne!(base, hash_u64s(9, &[2, 3, 4]), "seed matters");
+        assert_ne!(base, hash_u64s(1, &[9, 3, 4]), "first word matters");
+        assert_ne!(base, hash_u64s(1, &[2, 9, 4]), "middle word matters");
+        assert_ne!(base, hash_u64s(1, &[2, 3, 9]), "last word matters");
+        assert_ne!(base, hash_u64s(1, &[2, 3]), "length matters");
+    }
+
+    #[test]
+    fn unit_from_u64_spans_the_half_open_interval() {
+        assert_eq!(unit_from_u64(0), 0.0);
+        let top = unit_from_u64(u64::MAX);
+        assert!((0.0..1.0).contains(&top), "got {top}");
+        // Matches the SimRng float mapping bit-for-bit.
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut probe = SimRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(unit_from_u64(rng.next_u64()), probe.next_f64());
+        }
     }
 
     #[test]

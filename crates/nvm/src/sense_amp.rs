@@ -143,6 +143,30 @@ impl SenseMargin {
     pub fn gap_ratio(&self) -> f64 {
         self.zero_region.lo().get() / self.one_region.hi().get()
     }
+
+    /// Conservatively classifies a column whose bit-line resistance is
+    /// only known to lie in `[lo, hi]`: `Some(true)` when even the upper
+    /// bound senses "1", `Some(false)` when even the lower bound senses
+    /// "0", `None` when the interval straddles the reference and the
+    /// column needs an exact per-cell evaluation.
+    ///
+    /// The padding absorbs floating-point slop between interval bounds
+    /// computed from per-class conductance sums and the exact per-cell
+    /// `parallel` combination (relative error ≤ fan-in · ε ≈ 3 × 10⁻¹⁴,
+    /// far below the pad), so a certain verdict here can never disagree
+    /// with the exact comparison against [`SenseMargin::reference`].
+    #[must_use]
+    pub fn classify_interval(&self, lo: Ohms, hi: Ohms) -> Option<bool> {
+        const PAD: f64 = 1e-9;
+        let r = self.reference.get();
+        if hi.get() * (1.0 + PAD) < r {
+            Some(true)
+        } else if lo.get() > r * (1.0 + PAD) {
+            Some(false)
+        } else {
+            None
+        }
+    }
 }
 
 /// The current sense amplifier of one mat column, with Pinatubo's extra
@@ -570,6 +594,28 @@ mod tests {
             );
             assert!(m.gap_ratio() > 1.0);
         }
+    }
+
+    #[test]
+    fn classify_interval_is_conservative_around_the_reference() {
+        let sa = pcm_sa();
+        let m = sa.margin(SenseMode::Or { fan_in: 4 });
+        let r = m.reference().get();
+        // Clearly below / above the reference: certain verdicts.
+        assert_eq!(
+            m.classify_interval(Ohms::new(r * 0.5), Ohms::new(r * 0.9)),
+            Some(true)
+        );
+        assert_eq!(
+            m.classify_interval(Ohms::new(r * 1.1), Ohms::new(r * 2.0)),
+            Some(false)
+        );
+        // Straddling, or within the conservative pad of it: ambiguous.
+        assert_eq!(
+            m.classify_interval(Ohms::new(r * 0.9), Ohms::new(r * 1.1)),
+            None
+        );
+        assert_eq!(m.classify_interval(Ohms::new(r), Ohms::new(r)), None);
     }
 
     #[test]

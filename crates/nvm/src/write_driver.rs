@@ -106,6 +106,16 @@ impl DrivenBit {
     pub fn polarity(self) -> WritePolarity {
         self.polarity
     }
+
+    /// The value a *healthy* cell holds after this pulse, given whether
+    /// the stochastic programming failure fired (`flipped`). Stuck cells
+    /// ignore the pulse entirely and are resolved by the caller. Expressed
+    /// as an XOR so the word-packed write path (whole-row `data ^ flips`)
+    /// and the per-cell reference path commit through the same definition.
+    #[must_use]
+    pub fn committed(self, flipped: bool) -> bool {
+        self.bit ^ flipped
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +149,15 @@ mod tests {
         let d = wd.drive(WriteSource::Bus, false);
         assert_eq!(d.source(), WriteSource::Bus);
         assert_eq!(d.polarity(), WritePolarity::Reverse);
+    }
+
+    #[test]
+    fn committed_is_the_pulse_xor_the_failure() {
+        let wd = WriteDriver::new(&Technology::pcm());
+        for bit in [false, true] {
+            let d = wd.drive(WriteSource::Bus, bit);
+            assert_eq!(d.committed(false), bit);
+            assert_eq!(d.committed(true), !bit);
+        }
     }
 }

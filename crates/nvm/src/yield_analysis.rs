@@ -65,6 +65,20 @@ impl YieldReport {
 /// against.
 const SYSTEMATIC_SHARE: f64 = 0.875;
 
+/// Splits a technology's total variation budget into the systematic
+/// (die-level) and residual (per-cell) relative half-widths, such that
+/// `(1 + v_sys)(1 + v_res) = 1 + v` exactly — bounded sampling therefore
+/// never leaves the worst-case interval. Shared by the Monte-Carlo sweep
+/// and the counter-keyed fault draws in [`crate::fault`], which must use
+/// identical numerics.
+#[must_use]
+pub(crate) fn variation_split(tech: &Technology) -> (f64, f64) {
+    let v = tech.variation();
+    let v_res = v * (1.0 - SYSTEMATIC_SHARE);
+    let v_sys = (1.0 + v) / (1.0 + v_res) - 1.0;
+    (v_sys, v_res)
+}
+
 /// Per-cell residual resistance-factor sampler, drawn once per sensed
 /// column on top of the trial-wide systematic factor.
 pub(crate) type ResidualSampler = Box<dyn FnMut(&mut SimRng) -> f64>;
@@ -75,11 +89,7 @@ pub(crate) fn sample_factors(
     model: VariationModel,
     rng: &mut SimRng,
 ) -> (f64, ResidualSampler) {
-    let v = tech.variation();
-    let v_res = v * (1.0 - SYSTEMATIC_SHARE);
-    // Multiplicative split: (1 + v_sys)(1 + v_res) = 1 + v exactly, so
-    // bounded sampling never leaves the worst-case interval.
-    let v_sys = (1.0 + v) / (1.0 + v_res) - 1.0;
+    let (v_sys, v_res) = variation_split(tech);
     match model {
         VariationModel::BoundedUniform => {
             let global = rng.gen_range_f64(1.0 - v_sys, 1.0 + v_sys);

@@ -6,9 +6,10 @@
 use pinatubo_apps::bfs::{bfs_levels_reference, bitmap_bfs};
 use pinatubo_apps::{BitmapIndex, Graph, Query};
 use pinatubo_core::{BitwiseOp, PinatuboConfig};
-use pinatubo_mem::{MemConfig, ReliabilityConfig, ReliabilityStats};
+use pinatubo_mem::{MainMemory, MemConfig, ReliabilityConfig, ReliabilityStats, RowAddr, RowData};
 use pinatubo_nvm::fault::FaultModel;
 use pinatubo_nvm::rng::{splitmix64, SimRng};
+use pinatubo_nvm::sense_amp::SenseMode;
 use pinatubo_nvm::yield_analysis::VariationModel;
 use pinatubo_runtime::{MappingPolicy, PimSystem};
 
@@ -238,4 +239,198 @@ fn runtime_summaries_aggregate_reliability() {
     assert!(total.sense_retries >= from_ops.sense_retries);
     assert!(from_ops.is_consistent(), "{from_ops:?}");
     assert!(total.is_consistent(), "{total:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Word-packed vs per-cell-reference fault paths.
+//
+// The controller ships two implementations of the physical sense/write
+// path: the O(words + fault sites) packed default and the O(cols × fan_in)
+// per-cell reference it was derived from. Because every stochastic draw is
+// a counter-keyed pure function of (seed, channel, event, column), the two
+// must agree bit for bit and ledger entry for ledger entry on any command
+// sequence. These tests pin that equivalence across seeds, row widths
+// (including non-multiple-of-64 tails), fan-ins, both variation models,
+// both reliability configurations, and every fault class at once.
+// ---------------------------------------------------------------------------
+
+/// Every fault mechanism enabled together, at rates high enough to fire on
+/// ~1000-bit rows. The endurance budget is low so a moderately rewritten
+/// row crosses it mid-scenario, exercising the wear-driven invalidation of
+/// the cached per-row fault sites.
+fn all_classes(seed: u64, variation: VariationModel) -> FaultModel {
+    FaultModel::with_seed(seed)
+        .with_stuck_at(1e-3, 1e-3)
+        .with_drift(0.05)
+        .with_variation(variation)
+        .with_endurance(16, 0.5)
+        .with_transients(1e-3, 1e-3, 1e-3)
+        .with_write_flips(1e-3)
+}
+
+fn physical_mem(model: FaultModel, reliability: ReliabilityConfig, reference: bool) -> MainMemory {
+    let mut config = MemConfig::pcm_default();
+    config.fault_model = model;
+    config.reliability = reliability;
+    config.reference_fault_path = reference;
+    MainMemory::new(config)
+}
+
+/// Drives one memory through a mixed command transcript — pokes, repeated
+/// verified writes that wear a row past its endurance budget, then reads
+/// and multi-row senses at several fan-ins — and returns everything
+/// observable: each command's outcome (the stored/sensed row, or `None`
+/// for an explicit error) and the final reliability ledger.
+fn drive_physical(
+    mem: &mut MainMemory,
+    seed: u64,
+    cols: u64,
+) -> (Vec<Option<RowData>>, ReliabilityStats) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let random_row = |rng: &mut SimRng| -> RowData { (0..cols).map(|_| rng.gen_bit()).collect() };
+    let rows: Vec<RowAddr> = (0..8).map(|r| RowAddr::new(0, 0, 0, 0, r)).collect();
+    let hot = RowAddr::new(0, 0, 0, 0, 8);
+    let mut transcript = Vec::new();
+
+    for &row in &rows {
+        let data = random_row(&mut rng);
+        let ok = mem.poke_row(row, &data).is_ok();
+        transcript.push(ok.then(|| mem.peek_row(row).expect("poked").clone()));
+    }
+    // 24 writes against a mean-16 endurance budget: the hot row crosses
+    // into wear-out partway through, growing its fault-site set write by
+    // write.
+    for _ in 0..24 {
+        let data = random_row(&mut rng);
+        let ok = mem.write_row_local(hot, &data).is_ok();
+        transcript.push(ok.then(|| mem.peek_row(hot).expect("written").clone()));
+    }
+    transcript.push(mem.activate_read(rows[0], cols).ok());
+    transcript.push(mem.activate_read(hot, cols).ok());
+    for (ops, mode) in [
+        (&rows[..2], SenseMode::and(2).expect("AND-2")),
+        (&rows[..4], SenseMode::or(4).expect("OR-4")),
+        (&rows[..8], SenseMode::or(8).expect("OR-8")),
+    ] {
+        transcript.push(mem.multi_activate_sense(ops, mode, cols).ok());
+        // An unstable protected sense hands recovery to the caller; close
+        // the ladder the way the engine's read-modify-write fallback does
+        // so the `detected == corrected + uncorrectable` invariant holds.
+        match mem.multi_activate_sense_protected(ops, mode, cols) {
+            Ok(out) => transcript.push(Some(out)),
+            Err(_) => {
+                mem.note_rmw_fallback();
+                mem.note_recovery_resolved();
+                transcript.push(None);
+            }
+        }
+    }
+    (transcript, mem.stats().reliability)
+}
+
+/// The packed path is bit- and ledger-identical to the per-cell reference
+/// over the full matrix: seeds × widths (with non-×64 tails) × variation
+/// models × protection on/off, with all fault classes active at once.
+#[test]
+fn packed_fault_path_matches_reference_exactly() {
+    let mut injected = 0u64;
+    for seed in [1u64, 2] {
+        for cols in [37u64, 130, 1000] {
+            for variation in [VariationModel::BoundedUniform, VariationModel::Gaussian] {
+                for protected in [false, true] {
+                    let reliability = if protected {
+                        ReliabilityConfig::protected()
+                    } else {
+                        ReliabilityConfig::off()
+                    };
+                    let model = all_classes(seed, variation);
+                    let mut packed = physical_mem(model, reliability, false);
+                    let mut reference = physical_mem(model, reliability, true);
+                    let (packed_out, packed_rel) = drive_physical(&mut packed, seed, cols);
+                    let (ref_out, ref_rel) = drive_physical(&mut reference, seed, cols);
+                    let ctx =
+                        format!("seed {seed}, cols {cols}, {variation:?}, protected {protected}");
+                    assert_eq!(packed_out, ref_out, "{ctx}: transcripts diverge");
+                    assert_eq!(packed_rel, ref_rel, "{ctx}: ledgers diverge");
+                    assert_eq!(
+                        packed.stats().events,
+                        reference.stats().events,
+                        "{ctx}: command streams diverge"
+                    );
+                    assert_eq!(
+                        packed.stats().time_ns,
+                        reference.stats().time_ns,
+                        "{ctx}: timing diverges"
+                    );
+                    assert!(packed_rel.is_consistent(), "{ctx}: {packed_rel:?}");
+                    injected += packed_rel.injected_bit_errors + packed_rel.injected_write_faults;
+                }
+            }
+        }
+    }
+    assert!(injected > 0, "the matrix must actually inject faults");
+}
+
+/// At the fan-in-128 margin cap with Gaussian variation, senses actually
+/// misread (the regime the fault sweep measures). The packed path resolves
+/// these through its ambiguous-column band, which must agree with the
+/// reference evaluator bit for bit — including which columns flip.
+#[test]
+fn packed_path_matches_reference_at_the_margin_cap() {
+    let fan_in = 128usize;
+    let cols = 256u64;
+    let mut outputs = Vec::new();
+    let mut ledgers = Vec::new();
+    for reference in [false, true] {
+        let model = FaultModel::with_seed(0x5EED).with_variation(VariationModel::Gaussian);
+        let mut mem = physical_mem(model, ReliabilityConfig::off(), reference);
+        let mut rng = SimRng::seed_from_u64(0x5EED);
+        let rows: Vec<RowAddr> = (0..fan_in)
+            .map(|r| RowAddr::new(0, 0, 0, 0, r as u32))
+            .collect();
+        for &row in &rows {
+            // Mostly-zero columns keep the OR near the 0/1 boundary where
+            // the Gaussian tails matter.
+            let data: RowData = (0..cols).map(|_| rng.gen_bool(0.01)).collect();
+            mem.poke_row(row, &data).expect("poke");
+        }
+        let mode = SenseMode::or(fan_in).expect("margin cap");
+        let sensed: Vec<RowData> = (0..20)
+            .map(|_| mem.multi_activate_sense(&rows, mode, cols).expect("sense"))
+            .collect();
+        outputs.push(sensed);
+        ledgers.push(mem.stats().reliability);
+    }
+    assert_eq!(outputs[0], outputs[1], "fan-in-128 senses diverge");
+    assert_eq!(ledgers[0], ledgers[1], "fan-in-128 ledgers diverge");
+}
+
+/// The event counters themselves are part of the pinned ledger: every
+/// physical sense and every physical write consumes exactly one event on
+/// both paths, so retries and verify re-reads advance the fault stream
+/// identically.
+#[test]
+fn both_paths_consume_one_event_per_physical_operation() {
+    for reference in [false, true] {
+        let model = all_classes(9, VariationModel::Gaussian);
+        let mut mem = physical_mem(model, ReliabilityConfig::off(), reference);
+        let rows: Vec<RowAddr> = (0..4).map(|r| RowAddr::new(0, 0, 0, 0, r)).collect();
+        for &row in &rows {
+            let data: RowData = (0..256).map(|i| i % 3 == 0).collect();
+            mem.poke_row(row, &data).expect("poke");
+        }
+        let before = mem.stats().reliability;
+        mem.multi_activate_sense(&rows, SenseMode::or(4).expect("OR-4"), 256)
+            .expect("sense");
+        let after = mem.stats().reliability;
+        assert_eq!(
+            after.physical_senses - before.physical_senses,
+            1,
+            "reference={reference}: one sense, one event"
+        );
+        assert_eq!(
+            after.physical_writes, 4,
+            "reference={reference}: four pokes, four events"
+        );
+    }
 }

@@ -8,11 +8,14 @@ use pinatubo_core::{BitwiseOp, PinatuboConfig};
 use pinatubo_mem::{MemConfig, MemStats, ReliabilityConfig};
 use pinatubo_nvm::fault::FaultModel;
 use pinatubo_nvm::rng::SimRng;
+use pinatubo_nvm::yield_analysis::VariationModel;
 use pinatubo_runtime::{BatchRequest, MappingPolicy, PimBitVec, PimSystem};
 
 fn faulty_mem() -> MemConfig {
     let mut mem = MemConfig::pcm_default();
     mem.fault_model = FaultModel::with_seed(0xD15C)
+        .with_drift(0.04)
+        .with_variation(VariationModel::Gaussian)
         .with_transients(1e-5, 1e-5, 1e-5)
         .with_write_flips(1e-5);
     mem.reliability = ReliabilityConfig::protected();
