@@ -93,7 +93,7 @@ fn run(reference_fault_path: bool, cols: u64, senses: u64, writes: u64) -> Run {
 
     let t0 = Instant::now();
     for w in 0..writes {
-        mem.write_row_local(write_row, &pattern(cols, 100 + w))
+        mem.write_row_local(write_row, pattern(cols, 100 + w))
             .expect("write");
     }
     let write_ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -1,20 +1,36 @@
-//! Serial vs sharded-parallel batch execution benchmark.
+//! Serial vs per-batch-sharded vs persistent-session execution benchmark.
 //!
-//! Builds the same independent 4-channel batch twice, executes it once on
-//! the serial path (`execute_batch_serial`) and once on the per-channel
-//! worker path (`execute_batch`), and reports both the measured wall-clock
-//! times and the modeled command-stream / makespan times. Results are
-//! written machine-readably to `BENCH_parallel.json`.
+//! Three executors run the same multi-round request stream:
+//!
+//! * **serial** — `execute_batch_serial`, one request at a time on the
+//!   unified memory (the correctness reference);
+//! * **barrier** — `execute_batch_with_workers`, which re-splits the
+//!   memory into channel shards, spawns workers, and re-absorbs the
+//!   shards *every batch*;
+//! * **pooled** — one persistent `ExecSession`: workers spawned once,
+//!   shards owned for the whole stream, batches submitted back-to-back
+//!   with no inter-batch barrier, one dirty-delta sync at close.
+//!
+//! The headline `wall_speedup` is **barrier / pooled** — what the
+//! persistent pool buys over the per-batch split/absorb engine on the
+//! same worker count. `speedup_vs_serial` (pooled vs serial) is also
+//! reported; on a single-core host it cannot exceed 1 for compute-bound
+//! batches, since thread parallelism has no cores to run on (see
+//! `host_cores` in the output).
+//!
+//! The sweep covers three batch sizes x worker counts 1/2/4 and writes
+//! machine-readable rows to `BENCH_parallel.json`.
 //!
 //! ```console
 //! $ cargo run --release -p pinatubo-bench --bin bench_parallel
 //! $ cargo run --release -p pinatubo-bench --bin bench_parallel -- --smoke
 //! ```
 //!
-//! `--smoke` runs a smaller batch and asserts only sanity properties
-//! (identical result bits, consistent merged ledgers, makespan no worse
-//! than the serial stream) — no wall-clock thresholds, so it is safe for
-//! shared CI runners.
+//! `--smoke` runs a small configuration through all three paths and
+//! asserts only the correctness properties (identical result bits,
+//! consistent merged ledgers, modeled makespan no worse than serial) —
+//! no wall-clock thresholds and **no JSON output**, so CI runners can
+//! never overwrite the committed measurement with noise.
 
 use pinatubo_core::{BitwiseOp, PinatuboConfig};
 use pinatubo_mem::MemConfig;
@@ -60,22 +76,38 @@ fn build_batch(
     (requests, dsts)
 }
 
-struct Measurement {
-    requests: usize,
-    operands: usize,
+#[derive(Clone, Copy)]
+struct Scenario {
+    name: &'static str,
+    count: usize,
+    k: usize,
     bits: u64,
-    channels: u32,
+    /// How many times the batch is resubmitted: the persistent pool's
+    /// whole point is amortizing setup over a stream of batches.
+    rounds: usize,
+}
+
+struct Measurement {
+    scenario: Scenario,
     workers: usize,
+    channels: u32,
     serial_wall_ms: f64,
-    parallel_wall_ms: f64,
+    barrier_wall_ms: f64,
+    pooled_wall_ms: f64,
     report: ScheduleReport,
     bits_identical: bool,
     ledger_consistent: bool,
 }
 
 impl Measurement {
+    /// Persistent pool vs the per-batch split/absorb engine.
     fn wall_speedup(&self) -> f64 {
-        self.serial_wall_ms / self.parallel_wall_ms
+        self.barrier_wall_ms / self.pooled_wall_ms
+    }
+
+    /// Persistent pool vs one-request-at-a-time serial execution.
+    fn speedup_vs_serial(&self) -> f64 {
+        self.serial_wall_ms / self.pooled_wall_ms
     }
 
     fn modeled_speedup(&self) -> f64 {
@@ -84,141 +116,232 @@ impl Measurement {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"requests\": {},\n  \"operands_per_request\": {},\n  \
-             \"bits_per_vector\": {},\n  \"channels\": {},\n  \
-             \"workers\": {},\n  \
-             \"serial_wall_ms\": {:.3},\n  \"parallel_wall_ms\": {:.3},\n  \
-             \"wall_speedup\": {:.3},\n  \"modeled_serial_us\": {:.3},\n  \
-             \"modeled_makespan_us\": {:.3},\n  \"modeled_speedup\": {:.3},\n  \
-             \"mode_switches_naive\": {},\n  \"mode_switches_scheduled\": {},\n  \
-             \"bits_identical\": {},\n  \"ledger_consistent\": {}\n}}\n",
-            self.requests,
-            self.operands,
-            self.bits,
+            "    {{\n      \"scenario\": \"{}\",\n      \"requests\": {},\n      \
+             \"operands_per_request\": {},\n      \"bits_per_vector\": {},\n      \
+             \"rounds\": {},\n      \"channels\": {},\n      \"workers\": {},\n      \
+             \"serial_wall_ms\": {:.3},\n      \"barrier_wall_ms\": {:.3},\n      \
+             \"pooled_wall_ms\": {:.3},\n      \"wall_speedup\": {:.3},\n      \
+             \"speedup_vs_serial\": {:.3},\n      \"modeled_serial_us\": {:.3},\n      \
+             \"modeled_makespan_us\": {:.3},\n      \"modeled_speedup\": {:.3},\n      \
+             \"bits_identical\": {},\n      \"ledger_consistent\": {}\n    }}",
+            self.scenario.name,
+            self.scenario.count,
+            self.scenario.k,
+            self.scenario.bits,
+            self.scenario.rounds,
             self.channels,
             self.workers,
             self.serial_wall_ms,
-            self.parallel_wall_ms,
+            self.barrier_wall_ms,
+            self.pooled_wall_ms,
             self.wall_speedup(),
+            self.speedup_vs_serial(),
             self.report.serial_time_ns / 1000.0,
             self.report.makespan_ns / 1000.0,
             self.modeled_speedup(),
-            self.report.mode_switches_naive,
-            self.report.mode_switches_scheduled,
             self.bits_identical,
             self.ledger_consistent,
         )
     }
 }
 
-fn measure(count: usize, k: usize, bits: u64, workers: usize) -> Measurement {
+fn measure(scenario: Scenario, workers: usize) -> Measurement {
+    let Scenario {
+        count,
+        k,
+        bits,
+        rounds,
+        ..
+    } = scenario;
+
     let mut serial = sys();
     let (batch, outs) = build_batch(&mut serial, count, k, bits);
     let t0 = Instant::now();
-    serial.execute_batch_serial(&batch).expect("serial batch");
+    for _ in 0..rounds {
+        serial.execute_batch_serial(&batch).expect("serial batch");
+    }
     let serial_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let serial_bits: Vec<Vec<bool>> = outs.iter().map(|v| serial.load(v)).collect();
 
-    let mut parallel = sys();
-    let (batch, outs) = build_batch(&mut parallel, count, k, bits);
+    let mut barrier = sys();
+    let (batch, outs) = build_batch(&mut barrier, count, k, bits);
     let t0 = Instant::now();
-    let report = parallel
-        .execute_batch_with_workers(&batch, workers)
-        .expect("parallel batch");
-    let parallel_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let parallel_bits: Vec<Vec<bool>> = outs.iter().map(|v| parallel.load(v)).collect();
+    let mut report = None;
+    for _ in 0..rounds {
+        report = Some(
+            barrier
+                .execute_batch_with_workers(&batch, workers)
+                .expect("barriered batch"),
+        );
+    }
+    let barrier_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let barrier_bits: Vec<Vec<bool>> = outs.iter().map(|v| barrier.load(v)).collect();
+
+    let mut pooled = sys();
+    let (batch, outs) = build_batch(&mut pooled, count, k, bits);
+    let t0 = Instant::now();
+    let mut session = pooled.open_session_with_workers(workers);
+    for _ in 0..rounds {
+        session.submit_batch(&batch).expect("pooled batch");
+    }
+    session.close().expect("session close");
+    let pooled_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let pooled_bits: Vec<Vec<bool>> = outs.iter().map(|v| pooled.load(v)).collect();
 
     Measurement {
-        requests: count,
-        operands: k,
-        bits,
-        channels: parallel.engine().memory().geometry().channels,
+        scenario,
         workers,
+        channels: pooled.engine().memory().geometry().channels,
         serial_wall_ms,
-        parallel_wall_ms,
-        bits_identical: serial_bits == parallel_bits,
-        ledger_consistent: parallel.stats().reliability.is_consistent(),
-        report,
+        barrier_wall_ms,
+        pooled_wall_ms,
+        bits_identical: serial_bits == barrier_bits && serial_bits == pooled_bits,
+        ledger_consistent: pooled.stats().reliability.is_consistent()
+            && barrier.stats().reliability.is_consistent(),
+        report: report.expect("at least one round"),
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let workers: usize = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
-    // The smoke profile keeps CI fast; the full profile makes per-request
-    // compute large enough that per-phase shard split/merge is negligible.
-    let (count, k, bits) = if smoke {
-        (24, 4, 1 << 14)
-    } else {
-        (96, 8, 1 << 19)
-    };
-
-    // Warm the allocator/page-cache paths so the serial measurement does
-    // not absorb one-time costs the parallel one skips.
-    let _ = measure(8, 2, 1 << 12, workers);
-
-    // Best-of-3 on the full profile: shared runners preempt whole
-    // quanta, which shows up as multi-x outliers on either side.
-    let iterations = if smoke { 1 } else { 3 };
-    let m = (0..iterations)
-        .map(|_| measure(count, k, bits, workers))
-        .min_by(|a, b| {
-            let ta = a.serial_wall_ms + a.parallel_wall_ms;
-            let tb = b.serial_wall_ms + b.parallel_wall_ms;
-            ta.total_cmp(&tb)
-        })
-        .expect("at least one iteration");
-    println!(
-        "# Sharded batch execution — {} requests x {}-operand, 2^{} bits, {} channels, {} workers",
-        m.requests,
-        m.operands,
-        m.bits.trailing_zeros(),
-        m.channels,
-        workers
-    );
-    println!(
-        "measured wall-clock : serial {:.2} ms, parallel {:.2} ms ({:.2}x)",
-        m.serial_wall_ms,
-        m.parallel_wall_ms,
-        m.wall_speedup()
-    );
-    println!(
-        "modeled device time : serial stream {:.2} us, makespan {:.2} us ({:.2}x)",
-        m.report.serial_time_ns / 1000.0,
-        m.report.makespan_ns / 1000.0,
-        m.modeled_speedup()
-    );
-    println!(
-        "result check        : bits identical = {}, merged ledger consistent = {}",
-        m.bits_identical, m.ledger_consistent
-    );
-
+fn check(m: &Measurement) {
     // Sanity assertions — correctness properties only, never wall-clock
     // thresholds (CI runners share cores and vary wildly).
     assert!(
         m.bits_identical,
-        "parallel result bits diverged from serial"
+        "parallel result bits diverged from serial ({} x{} workers)",
+        m.scenario.name, m.workers
     );
     assert!(
         m.ledger_consistent,
-        "merged reliability ledger inconsistent"
+        "merged reliability ledger inconsistent ({} x{} workers)",
+        m.scenario.name, m.workers
     );
     assert!(
         m.report.makespan_ns <= m.report.serial_time_ns * (1.0 + 1e-9),
         "modeled makespan exceeds the serial command stream"
     );
     assert!(
-        m.serial_wall_ms > 0.0 && m.parallel_wall_ms > 0.0,
+        m.serial_wall_ms > 0.0 && m.barrier_wall_ms > 0.0 && m.pooled_wall_ms > 0.0,
         "wall-clock timers must advance"
     );
+}
 
-    let json = m.to_json();
+fn print_row(m: &Measurement) {
+    println!(
+        "{:<7} {:>3} req x{:<2} 2^{:<2} bits r{} w{} | serial {:>8.2} ms | barrier {:>8.2} ms | pooled {:>8.2} ms | {:>5.2}x vs barrier, {:>5.2}x vs serial",
+        m.scenario.name,
+        m.scenario.count,
+        m.scenario.k,
+        m.scenario.bits.trailing_zeros(),
+        m.scenario.rounds,
+        m.workers,
+        m.serial_wall_ms,
+        m.barrier_wall_ms,
+        m.pooled_wall_ms,
+        m.wall_speedup(),
+        m.speedup_vs_serial(),
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    if smoke {
+        // Correctness only, through all three paths including the
+        // persistent pool, on two pool sizes. No JSON: the committed
+        // BENCH_parallel.json holds the full-profile measurement and CI
+        // must never clobber it with shared-runner noise.
+        let scenario = Scenario {
+            name: "smoke",
+            count: 24,
+            k: 4,
+            bits: 1 << 14,
+            rounds: 2,
+        };
+        for workers in [1usize, 2] {
+            let m = measure(scenario, workers);
+            check(&m);
+            print_row(&m);
+        }
+        println!("smoke OK (correctness only; no BENCH_parallel.json written)");
+        return;
+    }
+
+    let scenarios = [
+        Scenario {
+            name: "small",
+            count: 24,
+            k: 4,
+            bits: 1 << 14,
+            rounds: 8,
+        },
+        Scenario {
+            name: "medium",
+            count: 48,
+            k: 6,
+            bits: 1 << 16,
+            rounds: 4,
+        },
+        Scenario {
+            name: "large",
+            count: 96,
+            k: 8,
+            bits: 1 << 18,
+            rounds: 2,
+        },
+    ];
+
+    // Warm the allocator/page-cache paths so the first measurement does
+    // not absorb one-time costs the later ones skip.
+    let _ = measure(
+        Scenario {
+            name: "warmup",
+            count: 8,
+            k: 2,
+            bits: 1 << 12,
+            rounds: 1,
+        },
+        2,
+    );
+
+    println!("# Persistent pool vs per-batch shards vs serial ({host_cores} host cores)");
+    let mut rows = Vec::new();
+    for scenario in scenarios {
+        for workers in [1usize, 2, 4] {
+            // Best-of-3: shared runners preempt whole quanta, which
+            // shows up as multi-x outliers on either side.
+            let m = (0..3)
+                .map(|_| measure(scenario, workers))
+                .min_by(|a, b| {
+                    let ta = a.serial_wall_ms + a.barrier_wall_ms + a.pooled_wall_ms;
+                    let tb = b.serial_wall_ms + b.barrier_wall_ms + b.pooled_wall_ms;
+                    ta.total_cmp(&tb)
+                })
+                .expect("three iterations");
+            check(&m);
+            print_row(&m);
+            rows.push(m);
+        }
+    }
+
+    let best = rows
+        .iter()
+        .map(Measurement::wall_speedup)
+        .fold(f64::MIN, f64::max);
+    println!("\nbest pooled-vs-barrier wall speedup: {best:.2}x");
+
+    let json = format!(
+        "{{\n  \"host_cores\": {},\n  \"wall_speedup_definition\": \
+         \"barrier_wall_ms / pooled_wall_ms: the persistent session vs the \
+         per-batch split/absorb executor at the same worker count. \
+         speedup_vs_serial is pooled vs execute_batch_serial and is bounded \
+         by the host's core count.\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        host_cores,
+        rows.iter()
+            .map(Measurement::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    println!("\nwrote BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
 }

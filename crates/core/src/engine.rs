@@ -183,6 +183,35 @@ impl PinatuboEngine {
         self.stats += shard.stats;
     }
 
+    /// Clones a per-channel engine shard for a *persistent* worker (see
+    /// [`MainMemory::clone_channel`]): this engine keeps a stale mirror of
+    /// the channel and is brought up to date with
+    /// [`pinatubo_mem::ChannelDelta`]s rather than a whole-state absorb.
+    /// The shard's counters start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the memory geometry.
+    #[must_use]
+    pub fn clone_channel(&mut self, channel: u32) -> PinatuboEngine {
+        PinatuboEngine {
+            mem: self.mem.clone_channel(channel),
+            config: self.config.clone(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Resets the engine-level counters, returning the old tally — the
+    /// counterpart of [`MainMemory::take_stats`] for the delta-sync path.
+    pub fn take_engine_stats(&mut self) -> EngineStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Adds a shard's taken engine counters into this engine's tally.
+    pub fn merge_engine_stats(&mut self, stats: EngineStats) {
+        self.stats += stats;
+    }
+
     /// Rows one analog OR sense may combine: the configured cap clipped by
     /// the technology's sense margin.
     #[must_use]
@@ -334,19 +363,19 @@ impl PinatuboEngine {
         match class {
             OpClass::IntraSubarray => {
                 let data = self.mem.activate_read(src, cols)?;
-                self.write_back_local(dst, &data)?;
+                self.write_back_local(dst, data)?;
             }
             OpClass::InterSubarray => {
                 let data = self.mem.read_row_to_buffer(src, cols)?;
-                self.mem.write_row_from_buffer(dst, &data)?;
+                self.mem.write_row_from_buffer(dst, data)?;
             }
             OpClass::InterBank => {
                 let data = self.mem.read_row_to_io_buffer(src, cols)?;
-                self.mem.write_row_from_io_buffer(dst, &data)?;
+                self.mem.write_row_from_io_buffer(dst, data)?;
             }
             OpClass::HostFallback => {
                 let data = self.mem.read_row_over_bus(src, cols)?;
-                self.mem.write_row_over_bus(dst, &data)?;
+                self.mem.write_row_over_bus(dst, data)?;
             }
         }
         self.stats.bulk_ops += 1;
@@ -363,7 +392,7 @@ impl PinatuboEngine {
     /// write drivers when the configuration has the Fig. 8a path, or
     /// exported over GDL + bus and written conventionally when it does
     /// not.
-    fn write_back_local(&mut self, dst: RowAddr, data: &RowData) -> Result<(), PimError> {
+    fn write_back_local(&mut self, dst: RowAddr, data: RowData) -> Result<(), PimError> {
         if self.config.in_place_write_back {
             self.mem.write_row_local(dst, data)?;
         } else {
@@ -414,7 +443,7 @@ impl PinatuboEngine {
             }
         }
         let acc = acc.expect("rows is non-empty by construction");
-        self.write_back_local(dst, &acc)
+        self.write_back_local(dst, acc)
     }
 
     // ---- primitives ----
@@ -435,7 +464,7 @@ impl PinatuboEngine {
                 self.mem.set_pim_config(PimConfig::Or);
                 let mode = SenseMode::or(rows.len()).map_err(MemError::from)?;
                 match self.mem.multi_activate_sense_protected(rows, mode, cols) {
-                    Ok(result) => self.write_back_local(dst, &result)?,
+                    Ok(result) => self.write_back_local(dst, result)?,
                     Err(MemError::SenseUnstable { .. }) => {
                         self.rmw_fallback(PimConfig::Or, rows, dst, cols)?;
                     }
@@ -463,7 +492,7 @@ impl PinatuboEngine {
                 self.mem.set_pim_config(PimConfig::And);
                 let mode = SenseMode::and(2).map_err(MemError::from)?;
                 match self.mem.multi_activate_sense_protected(&[a, b], mode, cols) {
-                    Ok(result) => self.write_back_local(dst, &result)?,
+                    Ok(result) => self.write_back_local(dst, result)?,
                     Err(MemError::SenseUnstable { .. }) => {
                         self.rmw_fallback(PimConfig::And, &[a, b], dst, cols)?;
                     }
@@ -477,7 +506,7 @@ impl PinatuboEngine {
                 let mut sampled = self.mem.activate_read(a, cols)?;
                 let latched = self.mem.activate_read(b, cols)?;
                 sampled.xor_assign(&latched);
-                self.write_back_local(dst, &sampled)?;
+                self.write_back_local(dst, sampled)?;
             }
             (_, class) => {
                 let cfg = match op {
@@ -505,23 +534,23 @@ impl PinatuboEngine {
         match class {
             OpClass::IntraSubarray => {
                 let data = self.mem.activate_read(src, cols)?;
-                let inverted = self.mem.invert_in_sense_amp(&data);
-                self.write_back_local(dst, &inverted)?;
+                let inverted = self.mem.invert_in_sense_amp(data);
+                self.write_back_local(dst, inverted)?;
             }
             OpClass::InterSubarray => {
                 let data = self.mem.read_row_to_buffer(src, cols)?;
-                let inverted = self.mem.invert_in_sense_amp(&data);
-                self.mem.write_row_from_buffer(dst, &inverted)?;
+                let inverted = self.mem.invert_in_sense_amp(data);
+                self.mem.write_row_from_buffer(dst, inverted)?;
             }
             OpClass::InterBank => {
                 let data = self.mem.read_row_to_io_buffer(src, cols)?;
-                let inverted = self.mem.invert_in_sense_amp(&data);
-                self.mem.write_row_from_io_buffer(dst, &inverted)?;
+                let inverted = self.mem.invert_in_sense_amp(data);
+                self.mem.write_row_from_io_buffer(dst, inverted)?;
             }
             OpClass::HostFallback => {
                 let data = self.mem.read_row_over_bus(src, cols)?;
-                let inverted = self.mem.invert_in_sense_amp(&data);
-                self.mem.write_row_over_bus(dst, &inverted)?;
+                let inverted = self.mem.invert_in_sense_amp(data);
+                self.mem.write_row_over_bus(dst, inverted)?;
             }
         }
         Ok(class)
@@ -553,9 +582,9 @@ impl PinatuboEngine {
         }
         let acc = acc.expect("rows is non-empty by construction");
         match class {
-            OpClass::HostFallback => self.mem.write_row_over_bus(dst, &acc)?,
-            OpClass::InterBank => self.mem.write_row_from_io_buffer(dst, &acc)?,
-            _ => self.mem.write_row_from_buffer(dst, &acc)?,
+            OpClass::HostFallback => self.mem.write_row_over_bus(dst, acc)?,
+            OpClass::InterBank => self.mem.write_row_from_io_buffer(dst, acc)?,
+            _ => self.mem.write_row_from_buffer(dst, acc)?,
         }
         Ok(())
     }

@@ -163,6 +163,26 @@ impl RowData {
         self.words.iter().map(|w| u64::from(w.count_ones())).sum()
     }
 
+    /// Population count of the first `n` bits (the row zero-extended if
+    /// shorter than `n`). Word-wise, so counting a prefix of a stored row
+    /// needs neither a clone nor a resize.
+    #[must_use]
+    pub fn count_ones_prefix(&self, n: u64) -> u64 {
+        if n >= self.len_bits {
+            return self.count_ones();
+        }
+        let full = (n / 64) as usize;
+        let mut out: u64 = self.words[..full]
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+        if n % 64 != 0 {
+            let mask = (1u64 << (n % 64)) - 1;
+            out += u64::from((self.words[full] & mask).count_ones());
+        }
+        out
+    }
+
     /// The number of bit positions where `self` and `other` differ, the
     /// shorter row treated as zero-extended. Word-wise, so diffing two
     /// full rows costs no per-bit work.

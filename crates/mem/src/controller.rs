@@ -25,7 +25,7 @@ use pinatubo_nvm::sense_amp::{CurrentSenseAmp, SenseMode};
 use pinatubo_nvm::technology::Technology;
 use pinatubo_nvm::timing::TimingParams;
 use pinatubo_nvm::write_driver::{WriteDriver, WriteSource};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Which analysis bounds the widest OR the protected sense path will issue
 /// in a single multi-row activation. Wider requests are split into chunks
@@ -234,6 +234,10 @@ pub struct MainMemory {
     mode: PimConfig,
     stats: MemStats,
     trace: Vec<MemCommand>,
+    /// Addresses touched since the last [`MainMemory::take_dirty_state`]
+    /// (or shard-lifecycle reset), so a session sync can move only what
+    /// changed instead of every row a channel owns.
+    dirty: DirtyLog,
 }
 
 /// One cached [`FaultModel::row_fault_sites`] result: the ascending
@@ -244,6 +248,101 @@ struct CachedRowSites {
     writes: u64,
     cols: u64,
     sites: Vec<(u64, bool)>,
+}
+
+/// Keys of the functional state mutated since the last drain. Maintained
+/// by the store/wear/parity/open-page/fault mutation paths themselves, so
+/// the log is exact regardless of which command touched the state.
+#[derive(Debug, Default)]
+struct DirtyLog {
+    rows: HashSet<RowAddr>,
+    wear: HashSet<RowAddr>,
+    parity: HashSet<RowAddr>,
+    open: HashSet<crate::address::SubarrayId>,
+    fault: HashSet<u32>,
+}
+
+impl DirtyLog {
+    /// Forgets everything logged for `channel` — the shard-lifecycle
+    /// operations (`split_channel` / `clone_channel`) re-scope ownership,
+    /// after which stale entries would only re-ship state both sides
+    /// already agree on.
+    fn discard_channel(&mut self, channel: u32) {
+        self.rows.retain(|a| a.channel != channel);
+        self.wear.retain(|a| a.channel != channel);
+        self.parity.retain(|a| a.channel != channel);
+        self.open.retain(|id| id.channel != channel);
+        self.fault.remove(&channel);
+    }
+}
+
+/// The state one channel's owner must ship to bring a stale mirror up to
+/// date: exactly the rows, wear counters, parity words, open-page entries
+/// and fault-stream position touched since the last drain. Produced by
+/// [`MainMemory::take_dirty_state`], consumed by
+/// [`MainMemory::apply_delta`]. Carries no statistics or trace — those
+/// are moved separately so a delta can also flow *away* from the ledger
+/// owner (e.g. a unified barrier op pushing its writes back to shards).
+#[derive(Debug)]
+pub struct ChannelDelta {
+    channel: u32,
+    rows: Vec<(RowAddr, RowData)>,
+    wear: Vec<(RowAddr, u64)>,
+    parity: Vec<(RowAddr, (u64, Vec<u64>))>,
+    open: Vec<(crate::address::SubarrayId, Option<u32>)>,
+    fault: Option<FaultState>,
+}
+
+impl ChannelDelta {
+    fn empty(channel: u32) -> Self {
+        ChannelDelta {
+            channel,
+            rows: Vec::new(),
+            wear: Vec::new(),
+            parity: Vec::new(),
+            open: Vec::new(),
+            fault: None,
+        }
+    }
+
+    /// The channel whose state this delta carries.
+    #[must_use]
+    pub fn channel(&self) -> u32 {
+        self.channel
+    }
+
+    /// Whether the delta carries no state at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+            && self.wear.is_empty()
+            && self.parity.is_empty()
+            && self.open.is_empty()
+            && self.fault.is_none()
+    }
+}
+
+/// Moves the entries of `map` whose key matches `pred` into a new map.
+fn drain_matching<K, V>(map: &mut HashMap<K, V>, pred: impl Fn(&K) -> bool) -> HashMap<K, V>
+where
+    K: Eq + std::hash::Hash + Copy,
+{
+    let keys: Vec<K> = map.keys().filter(|k| pred(k)).copied().collect();
+    keys.into_iter()
+        .filter_map(|k| map.remove(&k).map(|v| (k, v)))
+        .collect()
+}
+
+/// Copies the entries of `map` whose key matches `pred` into a new map.
+fn clone_matching<K, V>(map: &HashMap<K, V>, pred: impl Fn(&K) -> bool) -> HashMap<K, V>
+where
+    K: Eq + std::hash::Hash + Copy,
+    V: Clone,
+{
+    map.iter()
+        .filter(|(k, _)| pred(k))
+        .map(|(&k, v)| (k, v.clone()))
+        .collect()
 }
 
 impl MainMemory {
@@ -293,6 +392,7 @@ impl MainMemory {
             mode: PimConfig::Off,
             stats: MemStats::new(),
             trace: Vec::new(),
+            dirty: DirtyLog::default(),
         }
     }
 
@@ -405,12 +505,67 @@ impl MainMemory {
     /// Panics if `channel` is outside the geometry.
     #[must_use]
     pub fn split_channel(&mut self, channel: u32) -> MainMemory {
+        self.assert_channel_in_geometry(channel);
+        let mut shard = self.shard_skeleton();
+        shard.rows = drain_matching(&mut self.rows, |id| id.channel == channel);
+        shard.wear = drain_matching(&mut self.wear, |a| a.channel == channel);
+        shard.parity = drain_matching(&mut self.parity, |a| a.channel == channel);
+        shard.open_rows = drain_matching(&mut self.open_rows, |id| id.channel == channel);
+        self.act_history.retain(|&(ch, _), _| ch != channel);
+        if let Some(state) = self.fault.remove(&channel) {
+            shard.fault.insert(channel, state);
+        }
+        self.dirty.discard_channel(channel);
+        shard
+    }
+
+    /// Clones everything `channel` owns into an independent worker shard,
+    /// *keeping* this memory's copy in place as a stale mirror — the
+    /// persistent-pool counterpart of [`MainMemory::split_channel`]. The
+    /// shard owner brings the mirror back up to date by shipping
+    /// [`ChannelDelta`]s (see [`MainMemory::take_dirty_state`]) instead of
+    /// moving the whole channel per batch, which makes a sync cost
+    /// O(touched state).
+    ///
+    /// Clock scoping is identical to `split_channel`: the channel's
+    /// tRRD/tFAW activation history is dropped on this side and the shard
+    /// starts a fresh clock, zeroed statistics and the parent's current
+    /// PIM mode. The parent's fault stream for the channel is *retained*
+    /// (unlike `split_channel`) so barrier operations on the unified
+    /// memory can keep drawing; the sync protocol replaces it with the
+    /// shard's advanced stream before any such draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the geometry.
+    #[must_use]
+    pub fn clone_channel(&mut self, channel: u32) -> MainMemory {
+        self.assert_channel_in_geometry(channel);
+        let mut shard = self.shard_skeleton();
+        shard.rows = clone_matching(&self.rows, |id| id.channel == channel);
+        shard.wear = clone_matching(&self.wear, |a| a.channel == channel);
+        shard.parity = clone_matching(&self.parity, |a| a.channel == channel);
+        shard.open_rows = clone_matching(&self.open_rows, |id| id.channel == channel);
+        self.act_history.retain(|&(ch, _), _| ch != channel);
+        if let Some(state) = self.fault.get(&channel) {
+            shard.fault.insert(channel, state.clone());
+        }
+        self.dirty.discard_channel(channel);
+        shard
+    }
+
+    fn assert_channel_in_geometry(&self, channel: u32) {
         assert!(
             channel < self.config.geometry.channels,
             "channel {channel} outside the {}-channel geometry",
             self.config.geometry.channels
         );
-        let mut shard = MainMemory {
+    }
+
+    /// An empty shard sharing this memory's configuration, cached fan-in
+    /// analyses and current PIM mode, with zeroed statistics.
+    fn shard_skeleton(&self) -> MainMemory {
+        MainMemory {
             config: self.config.clone(),
             sense_amp: self.sense_amp.clone(),
             max_or_fan_in: self.max_or_fan_in,
@@ -425,56 +580,189 @@ impl MainMemory {
             mode: self.mode,
             stats: MemStats::new(),
             trace: Vec::new(),
-        };
-        let row_keys: Vec<_> = self
+            dirty: DirtyLog::default(),
+        }
+    }
+
+    /// Drains the dirty log into per-channel deltas carrying only the
+    /// state touched since the last drain (ascending channel order, every
+    /// touched channel present even if its delta is functionally empty).
+    /// Statistics and the trace are *not* included — move them with
+    /// [`MainMemory::take_stats`] / [`MainMemory::take_trace`] when the
+    /// delta flows toward the ledger owner.
+    pub fn take_dirty_state(&mut self) -> Vec<ChannelDelta> {
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut by_channel: std::collections::BTreeMap<u32, ChannelDelta> =
+            std::collections::BTreeMap::new();
+        let mut rows: Vec<RowAddr> = dirty.rows.into_iter().collect();
+        rows.sort_unstable();
+        for addr in rows {
+            if let Some(data) = self.peek_row(addr) {
+                by_channel
+                    .entry(addr.channel)
+                    .or_insert_with(|| ChannelDelta::empty(addr.channel))
+                    .rows
+                    .push((addr, data.clone()));
+            }
+        }
+        let mut wear: Vec<RowAddr> = dirty.wear.into_iter().collect();
+        wear.sort_unstable();
+        for addr in wear {
+            if let Some(&writes) = self.wear.get(&addr) {
+                by_channel
+                    .entry(addr.channel)
+                    .or_insert_with(|| ChannelDelta::empty(addr.channel))
+                    .wear
+                    .push((addr, writes));
+            }
+        }
+        let mut parity: Vec<RowAddr> = dirty.parity.into_iter().collect();
+        parity.sort_unstable();
+        for addr in parity {
+            if let Some(p) = self.parity.get(&addr) {
+                by_channel
+                    .entry(addr.channel)
+                    .or_insert_with(|| ChannelDelta::empty(addr.channel))
+                    .parity
+                    .push((addr, p.clone()));
+            }
+        }
+        let mut open: Vec<crate::address::SubarrayId> = dirty.open.into_iter().collect();
+        open.sort_unstable();
+        for id in open {
+            by_channel
+                .entry(id.channel)
+                .or_insert_with(|| ChannelDelta::empty(id.channel))
+                .open
+                .push((id, self.open_rows.get(&id).copied()));
+        }
+        for channel in dirty.fault {
+            by_channel
+                .entry(channel)
+                .or_insert_with(|| ChannelDelta::empty(channel))
+                .fault = self.fault.get(&channel).cloned();
+        }
+        by_channel.into_values().collect()
+    }
+
+    /// Applies a delta produced by the owner of a channel's state: rows,
+    /// wear and parity entries overwrite, open-page entries set or clear,
+    /// and the fault stream (when carried) replaces this side's position.
+    /// Application is not logged as dirty — both sides agree on the
+    /// shipped state afterwards, so re-shipping it would be pure waste.
+    pub fn apply_delta(&mut self, delta: ChannelDelta) {
+        for (addr, data) in delta.rows {
+            self.rows
+                .entry(addr.subarray_id())
+                .or_default()
+                .insert(addr.row, data);
+        }
+        for (addr, writes) in delta.wear {
+            self.wear.insert(addr, writes);
+        }
+        for (addr, parity) in delta.parity {
+            self.parity.insert(addr, parity);
+        }
+        for (id, open) in delta.open {
+            match open {
+                Some(row) => {
+                    self.open_rows.insert(id, row);
+                }
+                None => {
+                    self.open_rows.remove(&id);
+                }
+            }
+        }
+        if let Some(state) = delta.fault {
+            self.fault.insert(state.channel(), state);
+        }
+    }
+
+    /// Asserts the `detected == corrected + uncorrectable` reliability
+    /// ledger invariant. Merge paths ([`MainMemory::absorb`] callers, the
+    /// session sync) check once per synchronization point instead of per
+    /// absorbed shard — a merge must never manufacture or lose recovery
+    /// events, but the invariant only needs to hold once all parts are in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger is inconsistent.
+    pub fn assert_ledger_consistent(&self) {
+        assert!(
+            self.stats.reliability.is_consistent(),
+            "reliability ledger inconsistent: {:?}",
+            self.stats.reliability
+        );
+    }
+
+    /// Adds a shard's taken statistics into this memory's ledgers — the
+    /// delta-sync counterpart of the implicit merge in
+    /// [`MainMemory::absorb`].
+    pub fn merge_stats(&mut self, delta: MemStats) {
+        self.stats += delta;
+    }
+
+    /// Takes the recorded command trace, leaving it empty (always empty
+    /// unless `record_trace` is set).
+    pub fn take_trace(&mut self) -> Vec<MemCommand> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Appends commands a shard recorded to this memory's trace.
+    pub fn append_trace(&mut self, mut commands: Vec<MemCommand>) {
+        self.trace.append(&mut commands);
+    }
+
+    /// Order-independent digest of every piece of functional state
+    /// `channel` owns (rows, wear, parity, open pages, fault-stream
+    /// position; activation history is clock-scoped and deliberately
+    /// excluded). Two memories that digest equal respond identically to
+    /// any command on the channel. Used by the session sync's debug
+    /// assertion that a dirty-state delta reproduces a full split/absorb.
+    #[must_use]
+    pub fn channel_digest(&self, channel: u32) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        let mut row_keys: Vec<(crate::address::SubarrayId, u32)> = self
             .rows
-            .keys()
-            .filter(|id| id.channel == channel)
-            .copied()
+            .iter()
+            .filter(|(id, _)| id.channel == channel)
+            .flat_map(|(&id, rows)| rows.keys().map(move |&row| (id, row)))
             .collect();
-        for key in row_keys {
-            if let Some(v) = self.rows.remove(&key) {
-                shard.rows.insert(key, v);
-            }
+        row_keys.sort_unstable();
+        for (id, row) in row_keys {
+            (id, row).hash(&mut hasher);
+            self.rows[&id][&row].hash(&mut hasher);
         }
-        let wear_keys: Vec<_> = self
+        let mut wear: Vec<(RowAddr, u64)> = self
             .wear
-            .keys()
-            .filter(|a| a.channel == channel)
-            .copied()
+            .iter()
+            .filter(|(a, _)| a.channel == channel)
+            .map(|(&a, &w)| (a, w))
             .collect();
-        for key in wear_keys {
-            if let Some(v) = self.wear.remove(&key) {
-                shard.wear.insert(key, v);
-            }
-        }
-        let parity_keys: Vec<_> = self
+        wear.sort_unstable();
+        wear.hash(&mut hasher);
+        let mut parity: Vec<(RowAddr, &(u64, Vec<u64>))> = self
             .parity
-            .keys()
-            .filter(|a| a.channel == channel)
-            .copied()
+            .iter()
+            .filter(|(a, _)| a.channel == channel)
+            .map(|(&a, p)| (a, p))
             .collect();
-        for key in parity_keys {
-            if let Some(v) = self.parity.remove(&key) {
-                shard.parity.insert(key, v);
-            }
-        }
-        let open_keys: Vec<_> = self
+        parity.sort_unstable_by_key(|&(a, _)| a);
+        parity.hash(&mut hasher);
+        let mut open: Vec<(crate::address::SubarrayId, u32)> = self
             .open_rows
-            .keys()
-            .filter(|id| id.channel == channel)
-            .copied()
+            .iter()
+            .filter(|(id, _)| id.channel == channel)
+            .map(|(&id, &row)| (id, row))
             .collect();
-        for key in open_keys {
-            if let Some(v) = self.open_rows.remove(&key) {
-                shard.open_rows.insert(key, v);
-            }
-        }
-        self.act_history.retain(|&(ch, _), _| ch != channel);
-        if let Some(state) = self.fault.remove(&channel) {
-            shard.fault.insert(channel, state);
-        }
-        shard
+        open.sort_unstable();
+        open.hash(&mut hasher);
+        self.fault
+            .get(&channel)
+            .map(FaultState::events_drawn)
+            .hash(&mut hasher);
+        hasher.finish()
     }
 
     /// Merges a shard produced by [`MainMemory::split_channel`] back:
@@ -488,12 +776,14 @@ impl MainMemory {
     /// The PIM mode register is left untouched: the batch executor primes
     /// it explicitly to keep MRS accounting identical to serial.
     ///
+    /// Callers merging a whole sync point (the batch executor's absorb
+    /// loop, the session sync) follow up with
+    /// [`MainMemory::assert_ledger_consistent`] once per sync — per-shard
+    /// checking would reject transiently-split ledgers for no gain.
+    ///
     /// # Panics
     ///
-    /// Panics if the shard's geometry disagrees, or if the merged
-    /// [`crate::stats::ReliabilityStats`] ledger violates its
-    /// `detected == corrected + uncorrectable` invariant — a merge must
-    /// never manufacture or lose recovery events.
+    /// Panics if the shard's geometry disagrees.
     pub fn absorb(&mut self, shard: MainMemory) {
         assert!(
             shard.config.geometry == self.config.geometry,
@@ -506,11 +796,6 @@ impl MainMemory {
         self.fault.extend(shard.fault);
         self.trace.extend(shard.trace);
         self.stats += shard.stats;
-        assert!(
-            self.stats.reliability.is_consistent(),
-            "reliability ledger inconsistent after shard merge: {:?}",
-            self.stats.reliability
-        );
     }
 
     /// Direct (zero-cost) view of a row's contents — for assertions and
@@ -678,6 +963,7 @@ impl MainMemory {
             self.stats.events.sense_passes += passes;
         } else {
             if self.config.open_page && self.open_rows.remove(&subarray).is_some() {
+                self.dirty.open.insert(subarray);
                 // Close the previously open row first.
                 self.stats.time_ns += t.t_rp_ns;
                 self.stats.time.precharge_ns += t.t_rp_ns;
@@ -718,6 +1004,7 @@ impl MainMemory {
             self.stats.events.sense_passes += passes;
             if self.config.open_page && single {
                 // Leave the page open for a possible hit.
+                self.dirty.open.insert(subarray);
                 self.open_rows.insert(subarray, first.row);
             } else {
                 // Closed-page policy, and multi-row PIM activations always
@@ -862,7 +1149,7 @@ impl MainMemory {
     pub fn write_row_from_io_buffer(
         &mut self,
         addr: RowAddr,
-        data: &RowData,
+        data: RowData,
     ) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols_nonzero(data.len_bits())?;
@@ -898,7 +1185,7 @@ impl MainMemory {
     /// # Errors
     ///
     /// Returns address/width errors as in [`MainMemory::poke_row`].
-    pub fn write_row_local(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
+    pub fn write_row_local(&mut self, addr: RowAddr, data: RowData) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols_nonzero(data.len_bits())?;
         self.program_row(addr, data, true)
@@ -910,7 +1197,7 @@ impl MainMemory {
     /// # Errors
     ///
     /// Returns address/width errors as in [`MainMemory::poke_row`].
-    pub fn write_row_from_buffer(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
+    pub fn write_row_from_buffer(&mut self, addr: RowAddr, data: RowData) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols_nonzero(data.len_bits())?;
         self.charge_gdl(data.len_bits());
@@ -922,7 +1209,7 @@ impl MainMemory {
     /// # Errors
     ///
     /// Returns address/width errors as in [`MainMemory::poke_row`].
-    pub fn write_row_over_bus(&mut self, addr: RowAddr, data: &RowData) -> Result<(), MemError> {
+    pub fn write_row_over_bus(&mut self, addr: RowAddr, data: RowData) -> Result<(), MemError> {
         self.validate_addr(addr)?;
         self.validate_cols_nonzero(data.len_bits())?;
         self.charge_bus(data.len_bits());
@@ -998,12 +1285,13 @@ impl MainMemory {
     /// Inverts `data` through the SA's differential output while writing it
     /// back (INV support, §4.2). Charges one logic-free sense-side pass —
     /// the inversion is literally the other latch output, so only the
-    /// write is extra and the caller performs it separately.
+    /// write is extra and the caller performs it separately. Consumes the
+    /// sensed buffer (the latch flips in place; no copy exists in silicon
+    /// and none is made here).
     #[must_use]
-    pub fn invert_in_sense_amp(&self, data: &RowData) -> RowData {
-        let mut out = data.clone();
-        out.invert();
-        out
+    pub fn invert_in_sense_amp(&self, mut data: RowData) -> RowData {
+        data.invert();
+        data
     }
 
     // ---- internal helpers ----
@@ -1060,6 +1348,7 @@ impl MainMemory {
         // memory footprint proportional to the bits actually used. Takes
         // the buffer by value — the physical write path moves the image it
         // just built instead of cloning it.
+        self.dirty.rows.insert(addr);
         self.rows
             .entry(addr.subarray_id())
             .or_default()
@@ -1067,16 +1356,22 @@ impl MainMemory {
     }
 
     /// Word-wise combine over the operand rows — the functional ground
-    /// truth of a multi-row sense.
+    /// truth of a multi-row sense. Only the accumulator is materialized;
+    /// the remaining operands combine straight from their stored rows
+    /// (whose tails are always masked, so rows wider than `cols` cannot
+    /// leak bits past the accumulator's own tail mask and rows narrower
+    /// than `cols` behave exactly like their zero-extension).
     fn functional_combine(&self, operands: &[RowAddr], mode: SenseMode, cols: u64) -> RowData {
         let (&first, rest) = operands.split_first().expect("operands are non-empty");
         let mut out = self.load(first, cols);
         for &other in rest {
-            let row = self.load(other, cols);
-            match mode {
-                SenseMode::Read => {}
-                SenseMode::Or { .. } => out.or_assign(&row),
-                SenseMode::And => out.and_assign(&row),
+            match (self.peek_row(other), mode) {
+                (_, SenseMode::Read) => {}
+                (Some(row), SenseMode::Or { .. }) => out.or_assign(row),
+                (Some(row), SenseMode::And) => out.and_assign(row),
+                (None, SenseMode::Or { .. }) => {}
+                // An absent row reads as zeros, which annihilates an AND.
+                (None, SenseMode::And) => out = RowData::zeros(cols),
             }
         }
         out
@@ -1131,6 +1426,7 @@ impl MainMemory {
         // All operands share a subarray (validated by the caller), so the
         // first one names the owning channel's draw stream.
         let channel = operands[0].channel;
+        self.dirty.fault.insert(channel);
         let state = self
             .fault
             .get_mut(&channel)
@@ -1320,6 +1616,7 @@ impl MainMemory {
     /// actually hold, and returns how many bits landed wrong. Dispatches
     /// to the packed or reference commit like [`MainMemory::sense_physical`].
     fn store_physical(&mut self, addr: RowAddr, data: &RowData, source: WriteSource) -> u64 {
+        self.dirty.fault.insert(addr.channel);
         let state = self
             .fault
             .get_mut(&addr.channel)
@@ -1395,12 +1692,14 @@ impl MainMemory {
     /// One charged write, with program-and-verify when faults and
     /// `verify_writes` are enabled: every attempt pays the full write
     /// (time, energy, wear) plus one read-back sense pass for the verify.
-    fn program_row(&mut self, addr: RowAddr, data: &RowData, local: bool) -> Result<(), MemError> {
+    /// Takes the buffer by value: the fault-free path stores the caller's
+    /// image directly instead of cloning it.
+    fn program_row(&mut self, addr: RowAddr, data: RowData, local: bool) -> Result<(), MemError> {
         let bits = data.len_bits();
         if self.fault.is_empty() {
-            self.store(addr, data.clone());
-            self.record_parity(addr, data);
+            self.record_parity(addr, &data);
             self.charge_write(addr, bits, local);
+            self.store(addr, data);
             return Ok(());
         }
         let verify = self.config.reliability.verify_writes;
@@ -1411,7 +1710,7 @@ impl MainMemory {
         };
         let mut attempt: u32 = 0;
         loop {
-            let bad = self.store_physical(addr, data, source);
+            let bad = self.store_physical(addr, &data, source);
             self.charge_write(addr, bits, local);
             self.stats.reliability.injected_write_faults += bad;
             if !verify {
@@ -1419,13 +1718,13 @@ impl MainMemory {
                 // corruption at read time; with parity off too — or when
                 // the corruption aliases the parity — the wrong bits are
                 // silent.
-                self.record_parity(addr, data);
-                self.note_unverified_store(addr, data, bad);
+                self.record_parity(addr, &data);
+                self.note_unverified_store(addr, &data, bad);
                 return Ok(());
             }
             self.charge_verify_pass(bits);
             if bad == 0 {
-                self.record_parity(addr, data);
+                self.record_parity(addr, &data);
                 if attempt > 0 {
                     self.stats.reliability.corrected_errors += 1;
                 }
@@ -1435,7 +1734,7 @@ impl MainMemory {
                 self.stats.reliability.detected_errors += 1;
             }
             if attempt >= self.config.reliability.max_write_retries {
-                self.record_parity(addr, data);
+                self.record_parity(addr, &data);
                 self.stats.reliability.uncorrectable_errors += 1;
                 return Err(MemError::UncorrectableWrite {
                     addr,
@@ -1567,6 +1866,7 @@ impl MainMemory {
         if !self.config.reliability.parity_check {
             return;
         }
+        self.dirty.parity.insert(addr);
         self.parity
             .insert(addr, (data.len_bits(), Self::parity_words(data)));
     }
@@ -1616,6 +1916,7 @@ impl MainMemory {
         self.stats.time.write_ns += self.config.timing.t_wr_ns;
         self.stats.energy.write_pj += self.config.energy.write_pj(bits);
         self.stats.events.row_writes += 1;
+        self.dirty.wear.insert(addr);
         *self.wear.entry(addr).or_insert(0) += 1;
         if self.config.record_trace {
             self.record(MemCommand::WriteRow { addr, bits, local });
@@ -1789,7 +2090,8 @@ mod tests {
     fn local_write_back_skips_gdl_and_bus() {
         let mut m = mem();
         let data = RowData::from_bits(&[true; 64]);
-        m.write_row_local(addr(0, 9), &data).expect("local write");
+        m.write_row_local(addr(0, 9), data.clone())
+            .expect("local write");
         assert_eq!(m.stats().energy.gdl_pj, 0.0);
         assert_eq!(m.stats().energy.bus_pj, 0.0);
         assert!(m.stats().energy.write_pj > 0.0);
@@ -1803,7 +2105,8 @@ mod tests {
     fn bus_write_charges_every_stage() {
         let mut m = mem();
         let data = RowData::from_bits(&[true; 64]);
-        m.write_row_over_bus(addr(0, 9), &data).expect("bus write");
+        m.write_row_over_bus(addr(0, 9), data.clone())
+            .expect("bus write");
         assert!(m.stats().energy.bus_pj > 0.0);
         assert!(m.stats().energy.gdl_pj > 0.0);
         assert!(m.stats().energy.write_pj > 0.0);
@@ -1875,7 +2178,7 @@ mod tests {
     fn invert_in_sense_amp_is_differential() {
         let m = mem();
         let data = RowData::from_bits(&[true, false, true]);
-        let inv = m.invert_in_sense_amp(&data);
+        let inv = m.invert_in_sense_amp(data.clone());
         assert_eq!(inv.bits(3), vec![false, true, false]);
     }
 
@@ -1930,9 +2233,12 @@ mod tests {
         m.poke_row(addr(0, 1), &data).expect("poke");
         assert_eq!(m.wear_report().total_row_writes, 0);
 
-        m.write_row_local(addr(0, 1), &data).expect("write 1");
-        m.write_row_local(addr(0, 1), &data).expect("write 2");
-        m.write_row_local(addr(0, 2), &data).expect("write 3");
+        m.write_row_local(addr(0, 1), data.clone())
+            .expect("write 1");
+        m.write_row_local(addr(0, 1), data.clone())
+            .expect("write 2");
+        m.write_row_local(addr(0, 2), data.clone())
+            .expect("write 3");
         let report = m.wear_report();
         assert_eq!(report.total_row_writes, 3);
         assert_eq!(report.rows_written, 2);
@@ -1950,8 +2256,10 @@ mod tests {
         m.multi_activate_sense(&rows, SenseMode::or(4).expect("or4"), 64)
             .expect("or");
         let data = RowData::from_bits(&[true; 64]);
-        m.write_row_over_bus(addr(0, 9), &data).expect("bus write");
-        m.write_row_local(addr(0, 10), &data).expect("local write");
+        m.write_row_over_bus(addr(0, 9), data.clone())
+            .expect("bus write");
+        m.write_row_local(addr(0, 10), data.clone())
+            .expect("local write");
         m.read_row_to_buffer(addr(0, 9), 64).expect("buffer read");
 
         let s = m.stats();
@@ -2050,12 +2358,12 @@ mod tests {
         let warm = RowAddr::new(0, 1, 0, 0, 1);
         let cold = RowAddr::new(0, 0, 0, 0, 0);
         for _ in 0..5 {
-            m.write_row_local(hot, &data).expect("hot");
+            m.write_row_local(hot, data.clone()).expect("hot");
         }
         for _ in 0..3 {
-            m.write_row_local(warm, &data).expect("warm");
+            m.write_row_local(warm, data.clone()).expect("warm");
         }
-        m.write_row_local(cold, &data).expect("cold");
+        m.write_row_local(cold, data.clone()).expect("cold");
 
         assert_eq!(m.row_wear(hot), 5);
         assert_eq!(m.row_wear(warm), 3);
@@ -2065,8 +2373,8 @@ mod tests {
         assert_eq!(m.worn_rows(5), vec![hot]);
         assert_eq!(m.worn_rows(6), Vec::<RowAddr>::new());
         // Every charged write path wears the row; pokes never do.
-        m.write_row_over_bus(cold, &data).expect("bus");
-        m.write_row_from_buffer(cold, &data).expect("buffer");
+        m.write_row_over_bus(cold, data.clone()).expect("bus");
+        m.write_row_from_buffer(cold, data.clone()).expect("buffer");
         assert_eq!(m.row_wear(cold), 3);
         m.poke_row(cold, &data).expect("poke");
         assert_eq!(m.row_wear(cold), 3);
@@ -2082,7 +2390,7 @@ mod tests {
             Err(MemError::AddressOutOfRange { .. })
         ));
         assert!(matches!(
-            m.write_row_local(bad, &data),
+            m.write_row_local(bad, data.clone()),
             Err(MemError::AddressOutOfRange { .. })
         ));
         assert!(matches!(
@@ -2173,7 +2481,8 @@ mod tests {
         // attempt within the retry budget draws a clean event.
         let mut m = faulty_mem(FaultModel::with_seed(0x1D).with_write_flips(0.02), cfg);
         let data = RowData::from_bits(&[true; 32]);
-        m.write_row_local(addr(0, 0), &data).expect("write lands");
+        m.write_row_local(addr(0, 0), data.clone())
+            .expect("write lands");
         assert_eq!(m.peek_row(addr(0, 0)).expect("stored"), &data);
         let r = m.stats().reliability;
         assert!(r.injected_write_faults > 0, "flips must have fired");
@@ -2189,7 +2498,7 @@ mod tests {
             ReliabilityConfig::protected(),
         );
         let err = m
-            .write_row_local(addr(0, 0), &RowData::from_bits(&[true; 128]))
+            .write_row_local(addr(0, 0), RowData::from_bits(&[true; 128]))
             .expect_err("stuck-at-0 cells cannot hold ones");
         assert!(matches!(err, MemError::UncorrectableWrite { .. }));
         let r = m.stats().reliability;

@@ -26,8 +26,8 @@
 //! let mut mem = MainMemory::new(MemConfig::pcm_default());
 //! let a = RowAddr::new(0, 0, 0, 0, 10);
 //! let b = RowAddr::new(0, 0, 0, 0, 11);
-//! mem.write_row_over_bus(a, &pinatubo_mem::RowData::from_bits(&[true, false, true]))?;
-//! mem.write_row_over_bus(b, &pinatubo_mem::RowData::from_bits(&[false, false, true]))?;
+//! mem.write_row_over_bus(a, pinatubo_mem::RowData::from_bits(&[true, false, true]))?;
+//! mem.write_row_over_bus(b, pinatubo_mem::RowData::from_bits(&[false, false, true]))?;
 //! let or = mem.multi_activate_sense(&[a, b], SenseMode::or(2)?, 3)?;
 //! assert_eq!(or.bits(3), vec![true, false, true]);
 //! # Ok(())
@@ -46,7 +46,7 @@ pub mod stats;
 pub use address::RowAddr;
 pub use array::RowData;
 pub use commands::{MemCommand, PimConfig};
-pub use controller::{MainMemory, MemConfig, ReliabilityConfig, ReliableFanIn};
+pub use controller::{ChannelDelta, MainMemory, MemConfig, ReliabilityConfig, ReliableFanIn};
 pub use geometry::MemGeometry;
 pub use stats::{EnergyBreakdown, MemStats, ReliabilityStats, TimeBreakdown};
 

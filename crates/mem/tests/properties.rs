@@ -61,7 +61,7 @@ fn write_read_round_trip() {
         let row = rng.gen_range_u64(0, 1024) as u32;
         let mut mem = MainMemory::new(MemConfig::pcm_default());
         let data = RowData::from_bits(&bits);
-        mem.write_row_local(addr(row), &data).expect("write");
+        mem.write_row_local(addr(row), data).expect("write");
         let back = mem.activate_read(addr(row), len as u64).expect("read");
         assert_eq!(back.bits(len as u64), bits);
     }

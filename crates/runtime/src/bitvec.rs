@@ -23,6 +23,17 @@ impl PimBitVec {
         PimBitVec { id, len_bits, rows }
     }
 
+    /// Assembles a handle from raw parts, bypassing the allocator's
+    /// placement invariants. Exists so integration tests can build
+    /// deliberately malformed handles (e.g. a length that claims more
+    /// segments than the handle has rows) and exercise failure paths the
+    /// allocator never produces. Not part of the supported API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn from_raw_parts(id: u64, len_bits: u64, rows: Vec<RowAddr>) -> Self {
+        PimBitVec { id, len_bits, rows }
+    }
+
     /// Allocation id (unique within one allocator).
     #[must_use]
     pub fn id(&self) -> u64 {

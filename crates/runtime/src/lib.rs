@@ -40,6 +40,7 @@ pub mod alloc;
 pub mod bitvec;
 pub mod isa;
 pub mod mapping;
+pub mod pool;
 pub mod scheduler;
 pub mod system;
 
@@ -47,6 +48,7 @@ pub use alloc::PimAllocator;
 pub use bitvec::PimBitVec;
 pub use isa::PimInstruction;
 pub use mapping::MappingPolicy;
+pub use pool::ExecSession;
 pub use scheduler::{BatchRequest, ScheduleReport};
 pub use system::{OpSummary, PimSystem};
 
@@ -82,6 +84,16 @@ pub enum RuntimeError {
     },
     /// A zero-length allocation was requested.
     EmptyAllocation,
+    /// A shard worker in a persistent [`pool::ExecSession`] panicked while
+    /// executing a request. The panicking channel's un-synced work is lost
+    /// (the parent keeps its last synced state); other channels' committed
+    /// state survives.
+    WorkerPanicked {
+        /// The channel whose shard worker panicked.
+        channel: u32,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
     /// The engine rejected the operation.
     Pim(PimError),
     /// The memory rejected an access.
@@ -113,6 +125,9 @@ impl fmt::Display for RuntimeError {
                 "cannot store {got_bits} bits into a {capacity_bits}-bit vector"
             ),
             RuntimeError::EmptyAllocation => write!(f, "cannot allocate a zero-length bit-vector"),
+            RuntimeError::WorkerPanicked { channel, message } => {
+                write!(f, "shard worker for channel {channel} panicked: {message}")
+            }
             RuntimeError::Pim(e) => write!(f, "engine error: {e}"),
             RuntimeError::Mem(e) => write!(f, "memory error: {e}"),
         }

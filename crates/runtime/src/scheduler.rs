@@ -222,7 +222,7 @@ fn mode_switches(ops: impl Iterator<Item = BitwiseOp>) -> u64 {
 /// any request is a pure function of that request's op. The parallel
 /// executor uses this to prime each shard with exactly the mode the
 /// serial stream would have had, keeping MRS accounting identical.
-fn mode_for(op: BitwiseOp) -> PimConfig {
+pub(crate) fn mode_for(op: BitwiseOp) -> PimConfig {
     match op {
         BitwiseOp::Or => PimConfig::Or,
         BitwiseOp::And => PimConfig::And,
@@ -235,7 +235,7 @@ fn mode_for(op: BitwiseOp) -> PimConfig {
 /// operand and destination rows all live on one channel can run on that
 /// channel's shard; anything else (a vector straddling channels) needs
 /// the unified memory.
-fn home_channel(request: &BatchRequest) -> Option<u32> {
+pub(crate) fn home_channel(request: &BatchRequest) -> Option<u32> {
     let c = request.dst.rows()[0].channel;
     request
         .dst
@@ -563,6 +563,9 @@ impl PimSystem {
                     }
                 }
             }
+            // One ledger check per sync point (not per absorbed shard):
+            // the invariant only needs to hold once every part is in.
+            self.engine().memory().assert_ledger_consistent();
             p = q;
         }
 

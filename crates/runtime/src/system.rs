@@ -144,11 +144,7 @@ impl PimSystem {
         vec.segments(row_bits)
             .map(
                 |(_, row, seg_bits)| match self.engine.memory().peek_row(row) {
-                    Some(data) => {
-                        let mut clipped = data.clone();
-                        clipped.resize(seg_bits);
-                        clipped.count_ones()
-                    }
+                    Some(data) => data.count_ones_prefix(seg_bits),
                     None => 0,
                 },
             )
@@ -293,8 +289,12 @@ pub(crate) fn bitwise_on_engine(
     }
 
     let mut summary = OpSummary::default();
-    for (i, dst_row, seg_bits) in dst.segments(row_bits).collect::<Vec<_>>() {
-        let rows: Vec<_> = operands.iter().map(|v| v.rows()[i]).collect();
+    // One operand-row buffer reused across the segments: the per-segment
+    // `collect()` here used to be the hottest allocation in batch runs.
+    let mut rows = Vec::with_capacity(operands.len());
+    for (i, dst_row, seg_bits) in dst.segments(row_bits) {
+        rows.clear();
+        rows.extend(operands.iter().map(|v| v.rows()[i]));
         let outcome: OpOutcome = engine.bulk_op(op, &rows, dst_row, seg_bits)?;
         summary.time_ns += outcome.time_ns();
         summary.shared_ns += outcome.stats.time.shared_ns();

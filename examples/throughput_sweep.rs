@@ -1,10 +1,67 @@
 //! A compact version of the Fig. 9 experiment: equivalent OR bandwidth
-//! versus vector length and fan-in, straight from the public executor API.
+//! versus vector length and fan-in, straight from the public executor API —
+//! followed by a sustained multi-batch throughput comparison of the
+//! persistent-session engine against the per-batch barriered executor.
 //!
 //! Run with `cargo run --release --example throughput_sweep`.
 
 use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor, SimdCpu};
-use pinatubo_core::{BitwiseOp, BulkOp};
+use pinatubo_core::{BitwiseOp, BulkOp, PinatuboConfig};
+use pinatubo_mem::MemConfig;
+use pinatubo_runtime::{BatchRequest, MappingPolicy, PimSystem};
+use std::time::Instant;
+
+/// One round's worth of independent single-channel requests, rotated over
+/// the channels (the same shape `bench_parallel` uses).
+fn build_batch(s: &mut PimSystem, count: usize, bits: u64) -> Vec<BatchRequest> {
+    let ops = [BitwiseOp::Or, BitwiseOp::And, BitwiseOp::Xor];
+    (0..count)
+        .map(|g| {
+            let group = s.alloc_group(3, bits).expect("allocation fits");
+            let pattern: Vec<bool> = (0..bits).map(|i| (i * 7 + g as u64) % 3 == 0).collect();
+            s.store(&group[0], &pattern).expect("store");
+            BatchRequest {
+                op: ops[g % ops.len()],
+                operands: group[..2].to_vec(),
+                dst: group[2].clone(),
+            }
+        })
+        .collect()
+}
+
+fn streaming_system() -> PimSystem {
+    PimSystem::new(
+        MemConfig::pcm_default(),
+        PinatuboConfig::default(),
+        MappingPolicy::ChannelRotate,
+    )
+}
+
+/// Sustained multi-batch throughput: the same `rounds x count` request
+/// stream through the per-batch barriered executor (split/absorb + thread
+/// spawn every batch) and through one persistent session (workers spawned
+/// once, one dirty-delta sync at close). Reports batches per second.
+fn sustained_throughput(count: usize, bits: u64, rounds: usize) -> (f64, f64) {
+    let mut barriered = streaming_system();
+    let batch = build_batch(&mut barriered, count, bits);
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        barriered.execute_batch(&batch).expect("barriered batch");
+    }
+    let barriered_bps = rounds as f64 / t0.elapsed().as_secs_f64();
+
+    let mut pooled = streaming_system();
+    let batch = build_batch(&mut pooled, count, bits);
+    let t0 = Instant::now();
+    let mut session = pooled.open_session();
+    for _ in 0..rounds {
+        session.submit_batch(&batch).expect("pooled batch");
+    }
+    session.close().expect("session close");
+    let pooled_bps = rounds as f64 / t0.elapsed().as_secs_f64();
+
+    (barriered_bps, pooled_bps)
+}
 
 fn main() {
     let mut pim = PinatuboExecutor::multi_row();
@@ -29,6 +86,23 @@ fn main() {
             r128.throughput_gbps(wide.operand_bits()),
             rcpu.throughput_gbps(wide.operand_bits()),
             rcpu.time_ns / r128.time_ns
+        );
+    }
+
+    println!();
+    println!("Sustained batch streams: persistent session vs per-batch barriers");
+    println!(
+        "{:<22}{:>20}{:>20}{:>10}",
+        "stream", "barriered (batch/s)", "session (batch/s)", "ratio"
+    );
+    for (count, bits_log2, rounds) in [(16usize, 12u32, 16usize), (24, 14, 8), (48, 16, 4)] {
+        let (barriered_bps, pooled_bps) = sustained_throughput(count, 1 << bits_log2, rounds);
+        println!(
+            "{:<22}{:>20.0}{:>20.0}{:>9.2}x",
+            format!("{count} req x 2^{bits_log2} bits"),
+            barriered_bps,
+            pooled_bps,
+            pooled_bps / barriered_bps
         );
     }
 }

@@ -302,7 +302,7 @@ fn drive_physical(
     // write.
     for _ in 0..24 {
         let data = random_row(&mut rng);
-        let ok = mem.write_row_local(hot, &data).is_ok();
+        let ok = mem.write_row_local(hot, data).is_ok();
         transcript.push(ok.then(|| mem.peek_row(hot).expect("written").clone()));
     }
     transcript.push(mem.activate_read(rows[0], cols).ok());

@@ -9,7 +9,7 @@ use pinatubo_mem::{MemConfig, MemStats, ReliabilityConfig};
 use pinatubo_nvm::fault::FaultModel;
 use pinatubo_nvm::rng::SimRng;
 use pinatubo_nvm::yield_analysis::VariationModel;
-use pinatubo_runtime::{BatchRequest, MappingPolicy, PimBitVec, PimSystem};
+use pinatubo_runtime::{BatchRequest, MappingPolicy, PimBitVec, PimSystem, RuntimeError};
 
 fn faulty_mem() -> MemConfig {
     let mut mem = MemConfig::pcm_default();
@@ -235,6 +235,249 @@ fn empty_batch_is_a_no_op_on_the_parallel_path() {
         assert_eq!(report.per_op.len(), 0);
     }
     assert_eq!(s.stats().time_ns, 0.0);
+}
+
+/// The persistent-pool session, fed the same planned batch, is pinned to
+/// `execute_batch_serial`: bits, merged statistics (including the fault
+/// ledger), the abstract op trace and the per-request summaries must all
+/// match — for every pool size.
+#[test]
+fn session_matches_serial_across_pool_sizes() {
+    for with_cross in [false, true] {
+        let mut serial = sys(faulty_mem());
+        let (batch, outs) = build_batch(&mut serial, with_cross);
+        let serial_report = serial.execute_batch_serial(&batch).expect("serial batch");
+        let serial_bits: Vec<Vec<bool>> = outs.iter().map(|v| serial.load(v)).collect();
+
+        for workers in [1usize, 2, 4] {
+            let mut s = sys(faulty_mem());
+            let (batch, outs) = build_batch(&mut s, with_cross);
+            let mut session = s.open_session_with_workers(workers);
+            session.submit_batch(&batch).expect("submit batch");
+            let summaries = session.close().expect("close");
+            let bits: Vec<Vec<bool>> = outs.iter().map(|v| s.load(v)).collect();
+            assert_eq!(
+                serial_bits, bits,
+                "session must be bit-identical (workers={workers}, with_cross={with_cross})"
+            );
+            assert_stats_match(serial.stats(), s.stats());
+            assert_eq!(
+                serial.trace(),
+                s.trace(),
+                "the abstract op trace must replay identically"
+            );
+            assert_eq!(summaries.len(), serial_report.per_op.len());
+            for (k, ((_, ss), ps)) in serial_report.per_op.iter().zip(&summaries).enumerate() {
+                assert_eq!(ss.activations, ps.activations, "op {k} activations");
+                assert_eq!(ss.segments, ps.segments, "op {k} segments");
+                assert_eq!(ss.class, ps.class, "op {k} class");
+                assert_eq!(ss.reliability, ps.reliability, "op {k} fault ledger");
+                assert_close("per-op time", ss.time_ns, ps.time_ns);
+            }
+        }
+    }
+}
+
+/// An interleaved stream — submits, explicit syncs, a mid-stream load, a
+/// mid-stream store, dependent requests whose operands straddle channels
+/// — matches one-at-a-time serial execution of the same stream, for
+/// every pool size.
+#[test]
+fn interleaved_submit_sync_matches_serial_reference() {
+    for workers in [1usize, 2, 4] {
+        let mut serial = sys(faulty_mem());
+        let mut pooled = sys(faulty_mem());
+
+        // Identical allocations and setup on both systems.
+        let setup = |s: &mut PimSystem| {
+            let mut rng = SimRng::seed_from_u64(0x17EA);
+            let len = 5000u64;
+            let mut groups = Vec::new();
+            for _ in 0..4 {
+                let g = s.alloc_group(3, len).expect("group");
+                for v in &g[..2] {
+                    let bits: Vec<bool> = (0..len).map(|_| rng.gen_bit()).collect();
+                    s.store(v, &bits).expect("store");
+                }
+                groups.push(g);
+            }
+            let cross_ops = s.alloc_group(2, len).expect("cross operands");
+            let cross_dst = s.alloc_group(1, len).expect("cross dst").remove(0);
+            assert_ne!(
+                cross_ops[0].rows()[0].channel,
+                cross_dst.rows()[0].channel,
+                "rotation must split the straddling request across channels"
+            );
+            let bits: Vec<bool> = (0..len).map(|_| rng.gen_bit()).collect();
+            s.store(&cross_ops[0], &bits).expect("store cross");
+            (groups, cross_ops, cross_dst)
+        };
+        let (sg, s_cross_ops, s_cross_dst) = setup(&mut serial);
+        let (pg, p_cross_ops, p_cross_dst) = setup(&mut pooled);
+        let fresh: Vec<bool> = (0..5000).map(|i| i % 7 == 0).collect();
+
+        // Serial reference: the stream, one request at a time.
+        let mut serial_sums = Vec::new();
+        serial_sums.push(
+            serial
+                .bitwise(BitwiseOp::Or, &[&sg[0][0], &sg[0][1]], &sg[0][2])
+                .expect("or"),
+        );
+        serial_sums.push(
+            serial
+                .bitwise(BitwiseOp::And, &[&sg[1][0], &sg[1][1]], &sg[1][2])
+                .expect("and"),
+        );
+        let serial_mid = serial.load(&sg[0][2]);
+        serial_sums.push(
+            serial
+                .bitwise(BitwiseOp::Xor, &[&sg[0][2], &sg[1][2]], &sg[2][2])
+                .expect("xor"),
+        );
+        serial.store(&sg[3][0], &fresh).expect("mid store");
+        serial_sums.push(
+            serial
+                .bitwise(BitwiseOp::Not, &[&sg[3][0]], &sg[3][2])
+                .expect("not"),
+        );
+        serial_sums.push(
+            serial
+                .bitwise(
+                    BitwiseOp::Or,
+                    &[&s_cross_ops[0], &s_cross_ops[1]],
+                    &s_cross_dst,
+                )
+                .expect("cross or"),
+        );
+
+        // The same stream through a persistent session, with sync
+        // points sprinkled through it.
+        let mut session = pooled.open_session_with_workers(workers);
+        session
+            .submit(BitwiseOp::Or, &[&pg[0][0], &pg[0][1]], &pg[0][2])
+            .expect("or");
+        session
+            .submit(BitwiseOp::And, &[&pg[1][0], &pg[1][1]], &pg[1][2])
+            .expect("and");
+        session.sync().expect("mid sync");
+        let pooled_mid = session.load(&pg[0][2]).expect("mid load");
+        session
+            .submit(BitwiseOp::Xor, &[&pg[0][2], &pg[1][2]], &pg[2][2])
+            .expect("xor");
+        session.store(&pg[3][0], &fresh).expect("mid store");
+        session
+            .submit(BitwiseOp::Not, &[&pg[3][0]], &pg[3][2])
+            .expect("not");
+        session
+            .submit(
+                BitwiseOp::Or,
+                &[&p_cross_ops[0], &p_cross_ops[1]],
+                &p_cross_dst,
+            )
+            .expect("cross or");
+        let pooled_sums = session.close().expect("close");
+
+        assert_eq!(
+            serial_mid, pooled_mid,
+            "mid-stream load (workers={workers})"
+        );
+        let serial_final: Vec<Vec<bool>> = sg
+            .iter()
+            .map(|g| serial.load(&g[2]))
+            .chain(std::iter::once(serial.load(&s_cross_dst)))
+            .collect();
+        let pooled_final: Vec<Vec<bool>> = pg
+            .iter()
+            .map(|g| pooled.load(&g[2]))
+            .chain(std::iter::once(pooled.load(&p_cross_dst)))
+            .collect();
+        assert_eq!(serial_final, pooled_final, "workers={workers}");
+        assert_stats_match(serial.stats(), pooled.stats());
+        assert_eq!(serial.trace(), pooled.trace());
+        assert_eq!(serial_sums.len(), pooled_sums.len());
+        for (ss, ps) in serial_sums.iter().zip(&pooled_sums) {
+            assert_eq!(ss.activations, ps.activations);
+            assert_eq!(ss.segments, ps.segments);
+            assert_eq!(ss.reliability, ps.reliability);
+            assert_close("summary time", ss.time_ns, ps.time_ns);
+        }
+    }
+}
+
+/// A panicking shard worker must not lose other channels' committed
+/// state: the session reports `WorkerPanicked` for the poisoned channel
+/// and everything synced from healthy channels survives in the parent.
+#[test]
+fn worker_panic_is_contained_and_reported() {
+    for workers in [1usize, 4] {
+        let mut s = sys(MemConfig::pcm_default());
+        let row_bits = s.engine().memory().geometry().logical_row_bits();
+        let len = row_bits + 8; // two row segments
+        let good = s.alloc_group(3, 4000).expect("good group");
+        let bad_dst = s.alloc(len).expect("bad dst");
+        assert!(bad_dst.rows().len() >= 2, "dst must span two rows");
+        assert_eq!(
+            bad_dst.rows()[0].channel,
+            bad_dst.rows()[1].channel,
+            "dst must stay on one channel"
+        );
+        assert_ne!(
+            good[0].rows()[0].channel,
+            bad_dst.rows()[0].channel,
+            "the panic must hit a different channel than the good work"
+        );
+        // A deliberately malformed handle: claims the destination's
+        // length but owns a single row, so the worker indexes past its
+        // row list on the second segment and panics mid-request.
+        let bad_operand = PimBitVec::from_raw_parts(u64::MAX, len, vec![bad_dst.rows()[0]]);
+
+        let bits: Vec<bool> = (0..4000).map(|i| i % 3 == 0).collect();
+        s.store(&good[0], &bits).expect("store");
+        let mut session = s.open_session_with_workers(workers);
+        session
+            .submit(BitwiseOp::Or, &[&good[0], &good[1]], &good[2])
+            .expect("good submit");
+        session
+            .submit(BitwiseOp::Not, &[&bad_operand], &bad_dst)
+            .expect("the malformed submit still dispatches");
+        let err = session.sync().expect_err("the panic must surface at sync");
+        match &err {
+            RuntimeError::WorkerPanicked { channel, .. } => {
+                assert_eq!(*channel, bad_dst.rows()[0].channel);
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(
+            matches!(session.close(), Err(RuntimeError::WorkerPanicked { .. })),
+            "close must report the same failure"
+        );
+        // The healthy channel's committed work survives in the parent:
+        // good[1] was never stored, so OR(good[0], zeros) == good[0].
+        assert_eq!(s.load(&good[2]), bits, "workers={workers}");
+        assert!(s.stats().reliability.is_consistent());
+    }
+}
+
+/// Sessions are safe in the degenerate cases: an empty session closes
+/// cleanly, and dropping a session without closing it still reconciles
+/// committed work into the parent.
+#[test]
+fn empty_session_and_implicit_drop_are_safe() {
+    let mut s = sys(MemConfig::pcm_default());
+    let session = s.open_session();
+    let sums = session.close().expect("empty close");
+    assert!(sums.is_empty());
+
+    let g = s.alloc_group(3, 2000).expect("group");
+    s.store(&g[0], &vec![true; 2000]).expect("store");
+    {
+        let mut session = s.open_session_with_workers(2);
+        session
+            .submit(BitwiseOp::Or, &[&g[0], &g[1]], &g[2])
+            .expect("submit");
+    } // dropped without close
+    assert_eq!(s.count_ones(&g[2]), 2000);
+    assert!(s.stats().reliability.is_consistent());
 }
 
 #[test]
