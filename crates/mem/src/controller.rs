@@ -15,6 +15,7 @@ use crate::address::RowAddr;
 use crate::array::RowData;
 use crate::commands::{MemCommand, PimConfig};
 use crate::geometry::MemGeometry;
+use crate::page::{PageId, PageTable, RowPage};
 use crate::stats::MemStats;
 use crate::MemError;
 use pinatubo_nvm::energy::EnergyParams;
@@ -26,6 +27,7 @@ use pinatubo_nvm::technology::Technology;
 use pinatubo_nvm::timing::TimingParams;
 use pinatubo_nvm::write_driver::{WriteDriver, WriteSource};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Which analysis bounds the widest OR the protected sense path will issue
 /// in a single multi-row activation. Wider requests are split into chunks
@@ -203,8 +205,12 @@ pub struct MainMemory {
     sense_amp: Option<CurrentSenseAmp>,
     /// Cached result of the (static) sense-margin fan-in analysis.
     max_or_fan_in: usize,
-    /// Sparse row storage: subarray → (row index → contents).
-    rows: HashMap<crate::address::SubarrayId, HashMap<u32, RowData>>,
+    /// Sparse row storage as `Arc`-shared copy-on-write pages (see
+    /// [`crate::page`]): channel shards, the session parent's mirror and
+    /// snapshots share untouched pages for free; a shared page is
+    /// deep-copied only on its first write, counted in
+    /// [`MemStats::row_pages_copied`].
+    rows: PageTable,
     /// Charged writes per row, for endurance analysis.
     wear: HashMap<RowAddr, u64>,
     /// Open-page state: the row currently latched in each subarray's row
@@ -252,10 +258,12 @@ struct CachedRowSites {
 
 /// Keys of the functional state mutated since the last drain. Maintained
 /// by the store/wear/parity/open-page/fault mutation paths themselves, so
-/// the log is exact regardless of which command touched the state.
+/// the log is exact regardless of which command touched the state. Row
+/// writes are logged at page granularity: a delta ships the whole (Arc'd)
+/// page, so finer tracking would buy nothing.
 #[derive(Debug, Default)]
 struct DirtyLog {
-    rows: HashSet<RowAddr>,
+    pages: HashSet<PageId>,
     wear: HashSet<RowAddr>,
     parity: HashSet<RowAddr>,
     open: HashSet<crate::address::SubarrayId>,
@@ -263,12 +271,11 @@ struct DirtyLog {
 }
 
 impl DirtyLog {
-    /// Forgets everything logged for `channel` — the shard-lifecycle
-    /// operations (`split_channel` / `clone_channel`) re-scope ownership,
-    /// after which stale entries would only re-ship state both sides
-    /// already agree on.
+    /// Forgets everything logged for `channel` — `split_channel` moves
+    /// the state itself out wholesale, after which stale entries would
+    /// only re-ship state the parent no longer owns.
     fn discard_channel(&mut self, channel: u32) {
-        self.rows.retain(|a| a.channel != channel);
+        self.pages.retain(|id| id.channel() != channel);
         self.wear.retain(|a| a.channel != channel);
         self.parity.retain(|a| a.channel != channel);
         self.open.retain(|id| id.channel != channel);
@@ -277,16 +284,19 @@ impl DirtyLog {
 }
 
 /// The state one channel's owner must ship to bring a stale mirror up to
-/// date: exactly the rows, wear counters, parity words, open-page entries
-/// and fault-stream position touched since the last drain. Produced by
-/// [`MainMemory::take_dirty_state`], consumed by
-/// [`MainMemory::apply_delta`]. Carries no statistics or trace — those
-/// are moved separately so a delta can also flow *away* from the ledger
-/// owner (e.g. a unified barrier op pushing its writes back to shards).
+/// date: exactly the row pages, wear counters, parity words, open-page
+/// entries and fault-stream position touched since the last drain.
+/// Produced by [`MainMemory::take_dirty_state`], consumed by
+/// [`MainMemory::apply_delta`]. Dirty pages travel as `Arc` references —
+/// O(1) each, no row data cloned — and the receiver installs them
+/// wholesale, re-sharing the page between both sides. Carries no
+/// statistics or trace — those are moved separately so a delta can also
+/// flow *away* from the ledger owner (e.g. a unified barrier op pushing
+/// its writes back to shards).
 #[derive(Debug)]
 pub struct ChannelDelta {
     channel: u32,
-    rows: Vec<(RowAddr, RowData)>,
+    pages: Vec<(PageId, Arc<RowPage>)>,
     wear: Vec<(RowAddr, u64)>,
     parity: Vec<(RowAddr, (u64, Vec<u64>))>,
     open: Vec<(crate::address::SubarrayId, Option<u32>)>,
@@ -297,7 +307,7 @@ impl ChannelDelta {
     fn empty(channel: u32) -> Self {
         ChannelDelta {
             channel,
-            rows: Vec::new(),
+            pages: Vec::new(),
             wear: Vec::new(),
             parity: Vec::new(),
             open: Vec::new(),
@@ -314,7 +324,7 @@ impl ChannelDelta {
     /// Whether the delta carries no state at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.pages.is_empty()
             && self.wear.is_empty()
             && self.parity.is_empty()
             && self.open.is_empty()
@@ -381,7 +391,7 @@ impl MainMemory {
             config,
             sense_amp,
             max_or_fan_in,
-            rows: HashMap::new(),
+            rows: PageTable::default(),
             wear: HashMap::new(),
             open_rows: HashMap::new(),
             act_history: HashMap::new(),
@@ -507,7 +517,7 @@ impl MainMemory {
     pub fn split_channel(&mut self, channel: u32) -> MainMemory {
         self.assert_channel_in_geometry(channel);
         let mut shard = self.shard_skeleton();
-        shard.rows = drain_matching(&mut self.rows, |id| id.channel == channel);
+        shard.rows = self.rows.drain_channel(channel);
         shard.wear = drain_matching(&mut self.wear, |a| a.channel == channel);
         shard.parity = drain_matching(&mut self.parity, |a| a.channel == channel);
         shard.open_rows = drain_matching(&mut self.open_rows, |id| id.channel == channel);
@@ -519,13 +529,24 @@ impl MainMemory {
         shard
     }
 
-    /// Clones everything `channel` owns into an independent worker shard,
+    /// Shares everything `channel` owns into an independent worker shard,
     /// *keeping* this memory's copy in place as a stale mirror — the
-    /// persistent-pool counterpart of [`MainMemory::split_channel`]. The
-    /// shard owner brings the mirror back up to date by shipping
-    /// [`ChannelDelta`]s (see [`MainMemory::take_dirty_state`]) instead of
-    /// moving the whole channel per batch, which makes a sync cost
+    /// persistent-pool counterpart of [`MainMemory::split_channel`]. Row
+    /// pages are shared by reference (one `Arc` bump per page, zero row
+    /// copies — see [`crate::page`]); either side deep-copies a page only
+    /// on its first write to it. The shard owner brings the mirror back
+    /// up to date by shipping [`ChannelDelta`]s (see
+    /// [`MainMemory::take_dirty_state`]) instead of moving the whole
+    /// channel per batch, which makes both the clone and a sync cost
     /// O(touched state).
+    ///
+    /// Undrained dirty state the parent still holds for the channel is
+    /// *retained in the parent's log*, not discarded: it describes state
+    /// the parent holds current (the clone shares it by reference), so
+    /// the parent's next [`MainMemory::take_dirty_state`] still ships it
+    /// to whoever consumes the parent's deltas. The shard starts with an
+    /// empty log — at the instant of cloning it is in sync with the
+    /// parent, so its deltas need to carry only its own writes.
     ///
     /// Clock scoping is identical to `split_channel`: the channel's
     /// tRRD/tFAW activation history is dropped on this side and the shard
@@ -542,7 +563,7 @@ impl MainMemory {
     pub fn clone_channel(&mut self, channel: u32) -> MainMemory {
         self.assert_channel_in_geometry(channel);
         let mut shard = self.shard_skeleton();
-        shard.rows = clone_matching(&self.rows, |id| id.channel == channel);
+        shard.rows = self.rows.share_channel(channel);
         shard.wear = clone_matching(&self.wear, |a| a.channel == channel);
         shard.parity = clone_matching(&self.parity, |a| a.channel == channel);
         shard.open_rows = clone_matching(&self.open_rows, |id| id.channel == channel);
@@ -550,7 +571,6 @@ impl MainMemory {
         if let Some(state) = self.fault.get(&channel) {
             shard.fault.insert(channel, state.clone());
         }
-        self.dirty.discard_channel(channel);
         shard
     }
 
@@ -569,7 +589,7 @@ impl MainMemory {
             config: self.config.clone(),
             sense_amp: self.sense_amp.clone(),
             max_or_fan_in: self.max_or_fan_in,
-            rows: HashMap::new(),
+            rows: PageTable::default(),
             wear: HashMap::new(),
             open_rows: HashMap::new(),
             act_history: HashMap::new(),
@@ -594,15 +614,17 @@ impl MainMemory {
         let dirty = std::mem::take(&mut self.dirty);
         let mut by_channel: std::collections::BTreeMap<u32, ChannelDelta> =
             std::collections::BTreeMap::new();
-        let mut rows: Vec<RowAddr> = dirty.rows.into_iter().collect();
-        rows.sort_unstable();
-        for addr in rows {
-            if let Some(data) = self.peek_row(addr) {
+        let mut pages: Vec<PageId> = dirty.pages.into_iter().collect();
+        pages.sort_unstable();
+        for id in pages {
+            // One Arc bump per dirty page, never a row copy: the receiver
+            // installs the page wholesale and both sides share it again.
+            if let Some(page) = self.rows.page(id) {
                 by_channel
-                    .entry(addr.channel)
-                    .or_insert_with(|| ChannelDelta::empty(addr.channel))
-                    .rows
-                    .push((addr, data.clone()));
+                    .entry(id.channel())
+                    .or_insert_with(|| ChannelDelta::empty(id.channel()))
+                    .pages
+                    .push((id, page));
             }
         }
         let mut wear: Vec<RowAddr> = dirty.wear.into_iter().collect();
@@ -645,17 +667,22 @@ impl MainMemory {
         by_channel.into_values().collect()
     }
 
-    /// Applies a delta produced by the owner of a channel's state: rows,
-    /// wear and parity entries overwrite, open-page entries set or clear,
-    /// and the fault stream (when carried) replaces this side's position.
+    /// Applies a delta produced by the owner of a channel's state: row
+    /// pages install wholesale (re-sharing them between both sides), wear
+    /// and parity entries overwrite, open-page entries set or clear, and
+    /// the fault stream (when carried) replaces this side's position.
     /// Application is not logged as dirty — both sides agree on the
     /// shipped state afterwards, so re-shipping it would be pure waste.
+    ///
+    /// Installing whole pages is lossless because the delta protocol
+    /// gives each channel a single writer between sync points: the shard
+    /// owns it during execution, and the parent only writes at sync
+    /// points — after folding the shard's deltas in — then immediately
+    /// pushes its own writes back, so neither side can hold a newer row
+    /// inside a page the other ships.
     pub fn apply_delta(&mut self, delta: ChannelDelta) {
-        for (addr, data) in delta.rows {
-            self.rows
-                .entry(addr.subarray_id())
-                .or_default()
-                .insert(addr.row, data);
+        for (id, page) in delta.pages {
+            self.rows.insert_page(id, page);
         }
         for (addr, writes) in delta.wear {
             self.wear.insert(addr, writes);
@@ -723,16 +750,14 @@ impl MainMemory {
     pub fn channel_digest(&self, channel: u32) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        let mut row_keys: Vec<(crate::address::SubarrayId, u32)> = self
-            .rows
-            .iter()
-            .filter(|(id, _)| id.channel == channel)
-            .flat_map(|(&id, rows)| rows.keys().map(move |&row| (id, row)))
-            .collect();
-        row_keys.sort_unstable();
-        for (id, row) in row_keys {
+        // Hash logical rows, not pages: two memories whose page tables
+        // share differently (or page identical data differently after a
+        // split vs a delta sync) must still digest equal.
+        let mut rows = self.rows.channel_rows(channel);
+        rows.sort_unstable_by_key(|&(key, _)| key);
+        for ((id, row), data) in rows {
             (id, row).hash(&mut hasher);
-            self.rows[&id][&row].hash(&mut hasher);
+            data.hash(&mut hasher);
         }
         let mut wear: Vec<(RowAddr, u64)> = self
             .wear
@@ -802,7 +827,7 @@ impl MainMemory {
     /// result extraction, not for modelling traffic.
     #[must_use]
     pub fn peek_row(&self, addr: RowAddr) -> Option<&RowData> {
-        self.rows.get(&addr.subarray_id())?.get(&addr.row)
+        self.rows.get(addr)
     }
 
     /// Direct (zero-cost) store into a row — for test setup / workload
@@ -1347,12 +1372,15 @@ impl MainMemory {
         // 2^19-bit row: reads zero-extend (`load`), which keeps the host
         // memory footprint proportional to the bits actually used. Takes
         // the buffer by value — the physical write path moves the image it
-        // just built instead of cloning it.
-        self.dirty.rows.insert(addr);
-        self.rows
-            .entry(addr.subarray_id())
-            .or_default()
-            .insert(addr.row, data);
+        // just built instead of cloning it. Writing into a page currently
+        // shared with a mirror or snapshot deep-copies the page first
+        // (copy-on-write); `row_pages_copied` counts those so tooling can
+        // pin that session setup and sync stay O(touched state).
+        let (page, _) = PageId::of(addr);
+        self.dirty.pages.insert(page);
+        if self.rows.insert(addr, data) {
+            self.stats.row_pages_copied += 1;
+        }
     }
 
     /// Word-wise combine over the operand rows — the functional ground
@@ -2730,5 +2758,87 @@ mod tests {
     fn split_of_an_invalid_channel_panics() {
         let mut m = mem();
         let _ = m.split_channel(99);
+    }
+
+    #[test]
+    fn clone_channel_copies_zero_row_pages_until_first_write() {
+        let mut m = mem();
+        let n = crate::page::ROWS_PER_PAGE * 4;
+        let original = RowData::from_bits(&[true, true, false, true]);
+        for row in 0..n {
+            m.poke_row(ch_addr(0, 0, row), &original).expect("poke");
+        }
+        let _ = m.take_dirty_state();
+        assert_eq!(m.stats().row_pages_copied, 0, "populating copies nothing");
+
+        let mut shard = m.clone_channel(0);
+        assert_eq!(
+            m.stats().row_pages_copied + shard.stats().row_pages_copied,
+            0,
+            "cloning a channel of {n} populated rows must copy zero row pages"
+        );
+
+        // First shard write to a shared page copies exactly that page.
+        let update = RowData::from_bits(&[false, false, true, false]);
+        shard.poke_row(ch_addr(0, 0, 0), &update).expect("poke");
+        assert_eq!(shard.stats().row_pages_copied, 1);
+        // A second write inside the now-exclusive page copies nothing.
+        shard.poke_row(ch_addr(0, 0, 1), &update).expect("poke");
+        assert_eq!(shard.stats().row_pages_copied, 1);
+        // A write landing in a different shared page copies that one too.
+        shard
+            .poke_row(ch_addr(0, 0, crate::page::ROWS_PER_PAGE), &update)
+            .expect("poke");
+        assert_eq!(shard.stats().row_pages_copied, 2);
+        // The stale mirror never observed any of it.
+        assert_eq!(m.peek_row(ch_addr(0, 0, 0)), Some(&original));
+        assert_eq!(m.stats().row_pages_copied, 0);
+    }
+
+    #[test]
+    fn clone_channel_retains_undrained_dirty_state_in_the_parent() {
+        let mut m = mem();
+        let data = RowData::from_bits(&[true, false]);
+        m.poke_row(ch_addr(0, 0, 3), &data).expect("poke ch0");
+        m.poke_row(ch_addr(1, 0, 7), &data).expect("poke ch1");
+
+        // Clone while the parent still holds undrained dirty state for
+        // both channels: nothing is discarded — the entries stay in the
+        // parent's log (it holds that state current; the clone shares
+        // it), so the parent's next drain still ships them …
+        let mut shard = m.clone_channel(1);
+        let parent_deltas = m.take_dirty_state();
+        assert_eq!(parent_deltas.len(), 2, "parent still ships both channels");
+        assert_eq!(parent_deltas[0].channel, 0);
+        assert_eq!(parent_deltas[1].channel, 1);
+        assert!(
+            parent_deltas[1]
+                .pages
+                .iter()
+                .any(|(id, _)| id.channel() == 1),
+            "retained dirty state covers the poked page"
+        );
+
+        // … while the shard starts in sync with the parent, so its own
+        // deltas carry only writes made after the clone.
+        assert!(
+            shard.take_dirty_state().is_empty(),
+            "a fresh clone has nothing of its own to ship"
+        );
+        let addr = ch_addr(1, 0, 9);
+        shard.poke_row(addr, &data).expect("poke shard");
+        let shard_deltas = shard.take_dirty_state();
+        assert_eq!(shard_deltas.len(), 1);
+        assert_eq!(shard_deltas[0].channel, 1);
+        let (expected_page, _) = PageId::of(addr);
+        assert_eq!(
+            shard_deltas[0]
+                .pages
+                .iter()
+                .map(|&(id, _)| id)
+                .collect::<Vec<_>>(),
+            vec![expected_page],
+            "only the shard's own write is shipped"
+        );
     }
 }

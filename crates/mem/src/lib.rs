@@ -41,6 +41,7 @@ pub mod array;
 pub mod commands;
 pub mod controller;
 pub mod geometry;
+mod page;
 pub mod stats;
 
 pub use address::RowAddr;
@@ -48,6 +49,7 @@ pub use array::RowData;
 pub use commands::{MemCommand, PimConfig};
 pub use controller::{ChannelDelta, MainMemory, MemConfig, ReliabilityConfig, ReliableFanIn};
 pub use geometry::MemGeometry;
+pub use page::ROWS_PER_PAGE;
 pub use stats::{EnergyBreakdown, MemStats, ReliabilityStats, TimeBreakdown};
 
 use pinatubo_nvm::NvmError;

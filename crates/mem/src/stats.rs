@@ -390,6 +390,13 @@ pub struct MemStats {
     pub events: EventCounters,
     /// Fault-injection and recovery bookkeeping (all zero without faults).
     pub reliability: ReliabilityStats,
+    /// Copy-on-write row pages deep-copied on first write while shared
+    /// (see `pinatubo-mem`'s page module). A *host-side* cost metric, not
+    /// a simulated-memory event: it tracks what session setup and
+    /// dirty-delta syncs actually copy, so tooling can assert they stay
+    /// O(channels + touched pages) instead of O(capacity). Serial
+    /// execution never shares pages and always reads zero here.
+    pub row_pages_copied: u64,
 }
 
 impl MemStats {
@@ -420,6 +427,7 @@ impl Add for MemStats {
             energy: self.energy + rhs.energy,
             events: self.events + rhs.events,
             reliability: self.reliability + rhs.reliability,
+            row_pages_copied: self.row_pages_copied + rhs.row_pages_copied,
         }
     }
 }
@@ -439,6 +447,7 @@ impl Sub for MemStats {
             energy: self.energy - rhs.energy,
             events: self.events - rhs.events,
             reliability: self.reliability - rhs.reliability,
+            row_pages_copied: self.row_pages_copied - rhs.row_pages_copied,
         }
     }
 }

@@ -28,6 +28,14 @@ pub struct PimAllocator {
     channel_cursors: Vec<u64>,
     /// Which channel the next `ChannelRotate` allocation group lands on.
     rotate_channel: usize,
+    /// Start each allocation group on a copy-on-write page boundary
+    /// (see [`pinatubo_mem::ROWS_PER_PAGE`]). Off by default: skipping
+    /// rows changes placements, and the fault model keys its draws on
+    /// row addresses, so alignment is opt-in for workloads (like the
+    /// session pool) that trade a few spare rows for not dragging cold
+    /// neighbour rows through page copies when a group's destination
+    /// is written.
+    page_aligned_groups: bool,
     rng: SimRng,
     next_id: u64,
 }
@@ -57,6 +65,7 @@ impl PimAllocator {
             cursor: 0,
             channel_cursors,
             rotate_channel: 0,
+            page_aligned_groups: false,
             rng: SimRng::seed_from_u64(seed),
             next_id: 0,
         }
@@ -66,6 +75,50 @@ impl PimAllocator {
     #[must_use]
     pub fn policy(&self) -> MappingPolicy {
         self.policy
+    }
+
+    /// Starts every subsequent [`PimAllocator::alloc_group`] on a
+    /// copy-on-write page boundary ([`pinatubo_mem::ROWS_PER_PAGE`]
+    /// rows). A group's destination row then never shares a page with a
+    /// neighbouring group's operands, so a session-pool shard writing
+    /// the destination copies at most the group's own page instead of
+    /// dragging cold foreign rows through the copy. Costs at most
+    /// `ROWS_PER_PAGE - 1` spare rows per group; changes row placement,
+    /// hence opt-in (default off keeps placements — and the
+    /// fault-model draws keyed on them — byte-identical).
+    ///
+    /// Only the contiguous-cursor policies (`SubarrayFirst`,
+    /// `ChannelRotate`) honour it; scatter policies have no contiguous
+    /// groups to align.
+    pub fn set_page_aligned_groups(&mut self, on: bool) {
+        self.page_aligned_groups = on;
+    }
+
+    /// Whether allocation groups start on copy-on-write page boundaries.
+    #[must_use]
+    pub fn page_aligned_groups(&self) -> bool {
+        self.page_aligned_groups
+    }
+
+    /// Rounds the active policy cursor up to the next page boundary.
+    /// Channel bases are whole numbers of subarrays, and subarrays are
+    /// whole numbers of pages, so aligning the linear index aligns the
+    /// channel-relative index too.
+    fn align_cursor_to_page(&mut self) {
+        let page = u64::from(pinatubo_mem::ROWS_PER_PAGE);
+        match self.policy {
+            MappingPolicy::SubarrayFirst => {
+                self.cursor = (self.cursor.div_ceil(page) * page) % self.geometry.total_rows();
+            }
+            MappingPolicy::ChannelRotate => {
+                let per_channel = self.geometry.total_rows() / u64::from(self.geometry.channels);
+                let base = self.rotate_channel as u64 * per_channel;
+                let cursor = self.channel_cursors[self.rotate_channel];
+                let aligned = cursor.div_ceil(page) * page;
+                self.channel_cursors[self.rotate_channel] = base + ((aligned - base) % per_channel);
+            }
+            _ => {}
+        }
     }
 
     /// Rows not yet allocated.
@@ -145,6 +198,11 @@ impl PimAllocator {
         let group_rows = rows_per_vector * count as u64;
         let sub_rows = u64::from(self.geometry.rows_per_subarray);
         let fits_subarray = group_rows <= sub_rows;
+        if self.page_aligned_groups {
+            // Align before the straddle check: a subarray is a whole
+            // number of pages, so a straddle skip keeps the alignment.
+            self.align_cursor_to_page();
+        }
         match self.policy {
             MappingPolicy::SubarrayFirst if fits_subarray => {
                 // Skip to the next subarray boundary if the group would
@@ -414,6 +472,45 @@ mod tests {
             a.alloc(64),
             Err(RuntimeError::OutOfMemory { free_rows: 0, .. })
         ));
+    }
+
+    #[test]
+    fn page_aligned_groups_start_on_page_boundaries() {
+        let page = u64::from(pinatubo_mem::ROWS_PER_PAGE);
+        for policy in [MappingPolicy::SubarrayFirst, MappingPolicy::ChannelRotate] {
+            let mut a = alloc(policy);
+            a.set_page_aligned_groups(true);
+            let g = MemGeometry::pcm_default();
+            for i in 0..20 {
+                // Odd group sizes so unaligned allocation would drift.
+                let group = a.alloc_group(3, 64).expect("group");
+                let first = group[0].rows()[0].to_linear(&g);
+                assert_eq!(
+                    first % page,
+                    0,
+                    "group {i} under {policy:?} must start page-aligned"
+                );
+                // Rows stay consecutive, so the whole group shares the
+                // minimal number of pages.
+                let rows: Vec<u64> = group.iter().map(|v| v.rows()[0].to_linear(&g)).collect();
+                assert_eq!(rows, vec![first, first + 1, first + 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn page_alignment_is_off_by_default_and_changes_nothing_when_off() {
+        let mut plain = alloc(MappingPolicy::SubarrayFirst);
+        let mut flagged = alloc(MappingPolicy::SubarrayFirst);
+        assert!(!flagged.page_aligned_groups());
+        flagged.set_page_aligned_groups(true);
+        flagged.set_page_aligned_groups(false);
+        for _ in 0..10 {
+            let a = plain.alloc_group(3, 64).expect("plain");
+            let b = flagged.alloc_group(3, 64).expect("flagged");
+            let rows = |g2: &[PimBitVec]| g2.iter().map(|v| v.rows().to_vec()).collect::<Vec<_>>();
+            assert_eq!(rows(&a), rows(&b), "default placement must not move");
+        }
     }
 
     #[test]

@@ -94,6 +94,24 @@ pub enum RuntimeError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// A `Run` job reached a pool worker that owns no shard for the
+    /// job's channel. The session's channel→worker routing and the
+    /// worker's shard set are built from the same geometry, so this is
+    /// a routing bug, not a user mistake — but it must surface as a
+    /// result at the job's position rather than silently desync the
+    /// submission-ordered collection.
+    NoShardForChannel {
+        /// The channel no shard claimed.
+        channel: u32,
+    },
+    /// A request was queued behind a failing request on the same
+    /// channel: the shard halted before reaching it, so it was never
+    /// executed. Earlier positions carry the root-cause error; retry
+    /// after the session re-syncs.
+    ChannelHalted {
+        /// The halted channel.
+        channel: u32,
+    },
     /// The engine rejected the operation.
     Pim(PimError),
     /// The memory rejected an access.
@@ -128,6 +146,16 @@ impl fmt::Display for RuntimeError {
             RuntimeError::WorkerPanicked { channel, message } => {
                 write!(f, "shard worker for channel {channel} panicked: {message}")
             }
+            RuntimeError::NoShardForChannel { channel } => {
+                write!(
+                    f,
+                    "no worker shard owns channel {channel}; the job was not executed"
+                )
+            }
+            RuntimeError::ChannelHalted { channel } => write!(
+                f,
+                "request skipped: channel {channel} halted on an earlier request's error"
+            ),
             RuntimeError::Pim(e) => write!(f, "engine error: {e}"),
             RuntimeError::Mem(e) => write!(f, "memory error: {e}"),
         }

@@ -43,18 +43,36 @@ use pinatubo_mem::{ChannelDelta, MemCommand, MemStats, PimConfig, RowAddr};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// The request payload a [`Job`] carries across the thread boundary.
+enum JobWork {
+    /// A request submitted on its own: owns clones of its handles
+    /// (`PimBitVec` handles are plain row lists — cloning one does not
+    /// clone the simulated storage).
+    Owned {
+        op: BitwiseOp,
+        operands: Vec<PimBitVec>,
+        dst: PimBitVec,
+    },
+    /// One request of a batch submitted through
+    /// [`ExecSession::submit_batch`]: the whole batch crosses as a
+    /// single shared slab, so dispatch clones no handles at all — each
+    /// job is an index plus an `Arc` bump.
+    Batch {
+        slab: Arc<Vec<BatchRequest>>,
+        index: usize,
+    },
+}
+
 /// One dispatched request, self-contained so it can cross the thread
-/// boundary (`PimBitVec` handles are plain row lists — cloning one does
-/// not clone the simulated storage).
+/// boundary.
 struct Job {
     pos: usize,
     channel: u32,
     prime: PimConfig,
-    op: BitwiseOp,
-    operands: Vec<PimBitVec>,
-    dst: PimBitVec,
+    work: JobWork,
     row_bits: u64,
 }
 
@@ -62,7 +80,12 @@ struct Job {
 type JobResult = (usize, Result<(OpSummary, BulkOp), RuntimeError>);
 
 enum WorkerMsg {
-    Run(Box<Job>),
+    /// A slab of jobs in submission order. Batched so a stream of small
+    /// requests costs one channel send (and one receiver wake-up) per
+    /// slab instead of per request — per-channel FIFO order is
+    /// preserved because slabs are built and flushed in submission
+    /// order (see [`ExecSession::flush_thread`]).
+    Run(Vec<Job>),
     /// State written by the parent (straddling requests, stores) pushed
     /// back into the owning shard. Carries no statistics: the parent
     /// already accounted them.
@@ -89,6 +112,10 @@ struct ChannelSync {
 
 struct SyncReply {
     channels: Vec<ChannelSync>,
+    /// Results for `Run` jobs no shard on this worker could own
+    /// ([`RuntimeError::NoShardForChannel`]): shipped separately so the
+    /// position still resolves even though no channel claims it.
+    orphans: Vec<JobResult>,
 }
 
 /// One channel's engine shard, owned by a worker thread for the whole
@@ -114,30 +141,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn worker_main(mut shards: Vec<Shard>, rx: &mpsc::Receiver<WorkerMsg>) {
+    let mut orphans: Vec<JobResult> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Run(job) => {
-                let Some(shard) = shards.iter_mut().find(|s| s.channel == job.channel) else {
-                    continue;
-                };
-                if shard.halted || shard.poisoned.is_some() {
-                    continue;
-                }
-                let engine = &mut shard.engine;
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    engine.memory_mut().preload_pim_config(job.prime);
-                    let operands: Vec<&PimBitVec> = job.operands.iter().collect();
-                    bitwise_on_engine(engine, job.row_bits, job.op, &operands, &job.dst)
-                }));
-                match outcome {
-                    Ok(Ok(v)) => shard.results.push((job.pos, Ok(v))),
-                    Ok(Err(e)) => {
-                        shard.results.push((job.pos, Err(e)));
-                        shard.halted = true;
-                    }
-                    Err(payload) => {
-                        shard.poisoned = Some((job.pos, panic_message(payload)));
-                    }
+            WorkerMsg::Run(jobs) => {
+                for job in jobs {
+                    run_one(&mut shards, &mut orphans, job);
                 }
             }
             WorkerMsg::Apply(delta) => {
@@ -152,9 +161,72 @@ fn worker_main(mut shards: Vec<Shard>, rx: &mpsc::Receiver<WorkerMsg>) {
                 let channels = shards.iter_mut().map(sync_one_shard).collect();
                 // A dropped receiver just means the session went away
                 // mid-sync; nothing useful to do with the state then.
-                let _ = reply_tx.send(SyncReply { channels });
+                let _ = reply_tx.send(SyncReply {
+                    channels,
+                    orphans: std::mem::take(&mut orphans),
+                });
             }
             WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+fn run_one(shards: &mut [Shard], orphans: &mut Vec<JobResult>, job: Job) {
+    let Some(shard) = shards.iter_mut().find(|s| s.channel == job.channel) else {
+        // Routing bug: the session queued a job on a worker that owns
+        // no shard for its channel. Dropping it would leave the job's
+        // position unresolved forever, so it must come back as a hard
+        // error.
+        debug_assert!(
+            false,
+            "Run job for channel {} reached a worker owning no shard for it",
+            job.channel
+        );
+        orphans.push((
+            job.pos,
+            Err(RuntimeError::NoShardForChannel {
+                channel: job.channel,
+            }),
+        ));
+        return;
+    };
+    if shard.poisoned.is_some() {
+        // The panic is reported at sync; queued work behind it is part
+        // of the poisoned channel's lost state.
+        return;
+    }
+    if shard.halted {
+        // A request queued behind a failed one: never executed, but its
+        // position must still resolve — as an error, not a silent gap
+        // in the results.
+        shard.results.push((
+            job.pos,
+            Err(RuntimeError::ChannelHalted {
+                channel: shard.channel,
+            }),
+        ));
+        return;
+    }
+    let engine = &mut shard.engine;
+    let (op, operands, dst): (BitwiseOp, Vec<&PimBitVec>, &PimBitVec) = match &job.work {
+        JobWork::Owned { op, operands, dst } => (*op, operands.iter().collect(), dst),
+        JobWork::Batch { slab, index } => {
+            let request = &slab[*index];
+            (request.op, request.operands.iter().collect(), &request.dst)
+        }
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        engine.memory_mut().preload_pim_config(job.prime);
+        bitwise_on_engine(engine, job.row_bits, op, &operands, dst)
+    }));
+    match outcome {
+        Ok(Ok(v)) => shard.results.push((job.pos, Ok(v))),
+        Ok(Err(e)) => {
+            shard.results.push((job.pos, Err(e)));
+            shard.halted = true;
+        }
+        Err(payload) => {
+            shard.poisoned = Some((job.pos, panic_message(payload)));
         }
     }
 }
@@ -199,6 +271,26 @@ struct WorkerHandle {
     join: Option<JoinHandle<()>>,
 }
 
+/// Jobs buffered per worker before a flush forces a channel send. Big
+/// enough to amortize the send/wake-up cost over a stream of small
+/// requests, small enough that workers start executing long before a
+/// large batch finishes submitting.
+const FLUSH_JOBS: usize = 32;
+
+/// The per-worker flush threshold for this host. With more than one
+/// core, workers overlap execution with submission, so slabs are cut at
+/// [`FLUSH_JOBS`]. On a single core that overlap buys nothing — the
+/// submitter and workers just trade context switches — so jobs buffer
+/// until a sync point and each worker then runs its whole queue in one
+/// uninterrupted stretch, like the barrier executor but without the
+/// per-batch thread spawns.
+fn flush_threshold() -> usize {
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => FLUSH_JOBS,
+        _ => usize::MAX,
+    }
+}
+
 /// A streaming execution session over a persistent worker pool. Create
 /// one with [`PimSystem::open_session`]; see the module docs for the
 /// execution model.
@@ -206,9 +298,21 @@ pub struct ExecSession<'a> {
     system: &'a mut PimSystem,
     threads: Vec<WorkerHandle>,
     thread_of: HashMap<u32, usize>,
+    /// Per-worker submission-ordered job buffers, flushed as one
+    /// [`WorkerMsg::Run`] slab at [`flush_threshold`] jobs and at every
+    /// sync point (results are only observable at sync points, so
+    /// buffering never changes what a caller can see).
+    pending: Vec<Vec<Job>>,
+    /// Cached [`flush_threshold`] for this session.
+    flush_jobs: usize,
     /// Per-submission result slots, submission order.
     slots: Vec<Option<(OpSummary, BulkOp)>>,
     first_err: Option<(usize, RuntimeError)>,
+    /// Every error observed so far, keyed by submission position — the
+    /// root-cause failure *and* the [`RuntimeError::ChannelHalted`]
+    /// markers of requests queued behind it, so no position silently
+    /// disappears from the result picture.
+    errors: std::collections::BTreeMap<usize, RuntimeError>,
     last_op: Option<BitwiseOp>,
     entry_mode: PimConfig,
     row_bits: u64,
@@ -256,12 +360,16 @@ impl PimSystem {
                 join: Some(join),
             });
         }
+        let pending = (0..threads.len()).map(|_| Vec::new()).collect();
         ExecSession {
             system: self,
             threads,
             thread_of,
+            pending,
+            flush_jobs: flush_threshold(),
             slots: Vec::new(),
             first_err: None,
+            errors: std::collections::BTreeMap::new(),
             last_op: None,
             entry_mode,
             row_bits,
@@ -287,6 +395,23 @@ impl ExecSession<'_> {
         operands: &[&PimBitVec],
         dst: &PimBitVec,
     ) -> Result<usize, RuntimeError> {
+        self.submit_work(op, operands, dst, |op, operands, dst| JobWork::Owned {
+            op,
+            operands: operands.iter().map(|v| (*v).clone()).collect(),
+            dst: dst.clone(),
+        })
+    }
+
+    /// Routes one request: queue it on its home channel (payload built
+    /// by `make_work`, so the batch path can avoid cloning handles), or
+    /// sync and run it on the unified memory if it straddles channels.
+    fn submit_work(
+        &mut self,
+        op: BitwiseOp,
+        operands: &[&PimBitVec],
+        dst: &PimBitVec,
+        make_work: impl FnOnce(BitwiseOp, &[&PimBitVec], &PimBitVec) -> JobWork,
+    ) -> Result<usize, RuntimeError> {
         if let Some((_, e)) = &self.first_err {
             return Err(e.clone());
         }
@@ -303,15 +428,14 @@ impl ExecSession<'_> {
                     pos,
                     channel,
                     prime,
-                    op,
-                    operands: operands.iter().map(|v| (*v).clone()).collect(),
-                    dst: dst.clone(),
+                    work: make_work(op, operands, dst),
                     row_bits: self.row_bits,
                 };
                 let thread = self.thread_of[&channel];
-                // A send can only fail if the worker died; the panic is
-                // then reported at the next sync.
-                let _ = self.threads[thread].tx.send(WorkerMsg::Run(Box::new(job)));
+                self.pending[thread].push(job);
+                if self.pending[thread].len() >= self.flush_jobs {
+                    self.flush_thread(thread);
+                }
                 self.slots.push(None);
             }
             None => {
@@ -352,12 +476,33 @@ impl ExecSession<'_> {
     ///
     /// See [`ExecSession::submit`].
     pub fn submit_batch(&mut self, requests: &[BatchRequest]) -> Result<Vec<usize>, RuntimeError> {
+        self.submit_batch_shared(&Arc::new(requests.to_vec()))
+    }
+
+    /// [`ExecSession::submit_batch`] for a batch the caller already
+    /// holds behind an `Arc`: the slab is shared with the workers as-is,
+    /// so dispatch clones no row handles — each queued job is an index
+    /// into the slab plus an `Arc` bump. This is the cheapest way to
+    /// replay the same batch across rounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecSession::submit`].
+    pub fn submit_batch_shared(
+        &mut self,
+        requests: &Arc<Vec<BatchRequest>>,
+    ) -> Result<Vec<usize>, RuntimeError> {
         let order = self.system.plan_batch(requests);
         let mut positions = vec![0usize; requests.len()];
         for &i in &order {
             let request = &requests[i];
             let operands: Vec<&PimBitVec> = request.operands.iter().collect();
-            positions[i] = self.submit(request.op, &operands, &request.dst)?;
+            positions[i] = self.submit_work(request.op, &operands, &request.dst, |_, _, _| {
+                JobWork::Batch {
+                    slab: Arc::clone(requests),
+                    index: i,
+                }
+            })?;
         }
         Ok(positions)
     }
@@ -473,15 +618,39 @@ impl ExecSession<'_> {
         }
     }
 
+    /// Every error recorded so far, keyed by submission position. A
+    /// failed request's position carries its root cause; positions
+    /// queued behind it on the same channel carry
+    /// [`RuntimeError::ChannelHalted`]. Complete only after a sync
+    /// point ([`ExecSession::sync`] or any read-side helper).
+    #[must_use]
+    pub fn position_errors(&self) -> &std::collections::BTreeMap<usize, RuntimeError> {
+        &self.errors
+    }
+
     fn note_err(&mut self, pos: usize, e: RuntimeError) {
+        self.errors.entry(pos).or_insert_with(|| e.clone());
         match &self.first_err {
             Some((first, _)) if *first <= pos => {}
             _ => self.first_err = Some((pos, e)),
         }
     }
 
+    /// Sends a worker's buffered jobs as one slab. A send can only fail
+    /// if the worker died; the panic is then reported at the next sync.
+    fn flush_thread(&mut self, thread: usize) {
+        if self.pending[thread].is_empty() {
+            return;
+        }
+        let jobs = std::mem::take(&mut self.pending[thread]);
+        let _ = self.threads[thread].tx.send(WorkerMsg::Run(jobs));
+    }
+
     /// Drains all queues and reconciles the parent with every shard.
     fn sync_internal(&mut self) {
+        for thread in 0..self.threads.len() {
+            self.flush_thread(thread);
+        }
         let (tx, rx) = mpsc::channel();
         let mut expected = 0usize;
         for handle in &self.threads {
@@ -491,9 +660,16 @@ impl ExecSession<'_> {
         }
         drop(tx);
         let mut channels: Vec<ChannelSync> = Vec::new();
+        let mut orphans: Vec<JobResult> = Vec::new();
         for _ in 0..expected {
             let Ok(reply) = rx.recv() else { break };
             channels.extend(reply.channels);
+            orphans.extend(reply.orphans);
+        }
+        for (pos, result) in orphans {
+            if let Err(e) = result {
+                self.note_err(pos, e);
+            }
         }
         // Fixed merge order — ascending channel — so the folded
         // statistics are identical for every worker count.

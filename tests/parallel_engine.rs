@@ -458,6 +458,85 @@ fn worker_panic_is_contained_and_reported() {
     }
 }
 
+/// Requests queued behind a failed request on a halted channel must
+/// surface as per-position `ChannelHalted` errors at sync — not vanish
+/// from the results picture — while the root cause stays the session's
+/// reported error and other channels keep executing.
+#[test]
+fn requests_behind_a_failure_surface_as_per_position_errors() {
+    for workers in [1usize, 4] {
+        let mut s = sys(MemConfig::pcm_default());
+        let len = 2000u64;
+        let a = s.alloc_group(5, len).expect("group a");
+        let b = s.alloc_group(3, len).expect("group b");
+        let ch = a[0].rows()[0].channel;
+        assert_ne!(
+            ch,
+            b[0].rows()[0].channel,
+            "rotation must put the healthy work on another channel"
+        );
+        // A syntactically well-formed handle pointing one row past the
+        // subarray: the shard rejects it with `AddressOutOfRange` — an
+        // error, not a panic — and halts its channel.
+        let bad_row = s.engine().memory().geometry().rows_per_subarray;
+        let bad = PimBitVec::from_raw_parts(
+            u64::MAX,
+            len,
+            vec![pinatubo_mem::RowAddr::new(ch, 0, 0, 0, bad_row)],
+        );
+
+        let bits: Vec<bool> = (0..len).map(|i| i % 2 == 0).collect();
+        s.store(&a[0], &bits).expect("store a0");
+        s.store(&b[0], &bits).expect("store b0");
+
+        let mut session = s.open_session_with_workers(workers);
+        let p0 = session
+            .submit(BitwiseOp::Or, &[&a[0], &a[1]], &a[2])
+            .expect("p0 dispatches");
+        let p1 = session
+            .submit(BitwiseOp::Not, &[&bad], &a[3])
+            .expect("p1 dispatches (errors surface at sync)");
+        let p2 = session
+            .submit(BitwiseOp::Or, &[&a[0], &a[1]], &a[4])
+            .expect("p2 dispatches");
+        let p3 = session
+            .submit(BitwiseOp::Or, &[&b[0], &b[1]], &b[2])
+            .expect("p3 dispatches");
+        assert_eq!((p0, p1, p2, p3), (0, 1, 2, 3));
+
+        let err = session.sync().expect_err("the failure surfaces at sync");
+        assert!(
+            matches!(err, RuntimeError::Pim(_)),
+            "the session-level error is the earliest root cause, got {err:?}"
+        );
+        let errors = session.position_errors();
+        assert!(
+            matches!(errors.get(&1), Some(RuntimeError::Pim(_))),
+            "the failing position carries its root cause: {:?}",
+            errors.get(&1)
+        );
+        assert!(
+            matches!(
+                errors.get(&2),
+                Some(RuntimeError::ChannelHalted { channel }) if *channel == ch
+            ),
+            "the request queued behind the failure must surface as a \
+             per-position error, not a silent gap: {:?}",
+            errors.get(&2)
+        );
+        assert!(
+            !errors.contains_key(&0) && !errors.contains_key(&3),
+            "completed positions carry no error: {errors:?}"
+        );
+        drop(session);
+        // Committed work on both channels survives in the parent
+        // (the second operands were never stored, so OR(x, 0) == x).
+        assert_eq!(s.load(&a[2]), bits, "workers={workers}");
+        assert_eq!(s.load(&b[2]), bits, "workers={workers}");
+        assert!(s.stats().reliability.is_consistent());
+    }
+}
+
 /// Sessions are safe in the degenerate cases: an empty session closes
 /// cleanly, and dropping a session without closing it still reconciles
 /// committed work into the parent.
