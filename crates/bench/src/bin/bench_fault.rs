@@ -19,7 +19,16 @@
 //! properties — no wall-clock thresholds, so it is safe for shared CI
 //! runners. The full profile additionally asserts the packed path is at
 //! least 20x faster on the 2^19-bit fan-in-4 OR sense burst.
+//!
+//! Both profiles also run the ladder-vs-ECC protection comparison
+//! ([`pinatubo_bench::protection`]): the same stuck-at corruption read
+//! back under no protection, per-word parity, and (72,64) SEC-DED. The
+//! smoke asserts the tentpole contrast — SEC-DED ends the run with zero
+//! silent wrong bits on a seed where parity's even-flip aliasing lets
+//! corruption through — and the JSON records each mode's measured
+//! latency/energy overhead.
 
+use pinatubo_bench::protection::{print_comparison, protection_comparison, ProtectionRun};
 use pinatubo_mem::{MainMemory, MemConfig, ReliabilityConfig, RowAddr, RowData};
 use pinatubo_nvm::fault::FaultModel;
 use pinatubo_nvm::sense_amp::SenseMode;
@@ -175,13 +184,88 @@ fn main() {
         );
     }
 
+    // Ladder-vs-ECC: identical stuck-at corruption under all three
+    // protection modes. Scale and stuck rate are chosen so the pinned
+    // seed exhibits both fault classes SEC-DED is specified over —
+    // single-flip words it corrects in place and even-flip words parity
+    // silently aliases on — while staying below the 3-flips-per-word
+    // regime that exceeds any distance-4 code.
+    let (prot_rows, prot_bits, p_stuck) = if smoke {
+        (512, 512, 1e-3)
+    } else {
+        (1024, 2048, 5e-4)
+    };
+    let protection = protection_comparison(prot_rows, prot_bits, SEED, p_stuck);
+    println!();
+    print_comparison(&protection);
+    let [p_none, p_parity, p_secded] = &protection;
+    assert_eq!(
+        p_secded.reliability.silent_wrong_bits, 0,
+        "SEC-DED must close the parity-aliasing blind spot: {:?}",
+        p_secded.reliability
+    );
+    assert_eq!(
+        p_secded.wrong_accepted_rows, 0,
+        "every accepted SEC-DED read must match the intended data"
+    );
+    assert!(
+        p_parity.reliability.silent_wrong_bits > 0,
+        "the seed must exhibit parity aliasing for the contrast to mean anything: {:?}",
+        p_parity.reliability
+    );
+    assert!(
+        p_none.reliability.silent_wrong_bits >= p_parity.reliability.silent_wrong_bits,
+        "unprotected reads cannot corrupt less than parity"
+    );
+    assert!(
+        p_secded.reliability.ecc_corrected_bits > 0,
+        "the scenario must exercise in-place correction"
+    );
+
+    let mode_json = |run: &ProtectionRun| {
+        format!(
+            "{{\n      \"time_ns\": {:.1}, \"energy_pj\": {:.1}, \"ecc_ns\": {:.1}, \
+             \"ecc_pj\": {:.1},\n      \"explicit_read_failures\": {}, \
+             \"silent_wrong_bits\": {}, \"wrong_accepted_rows\": {},\n      \
+             \"ecc_corrected_bits\": {}, \"ecc_detected_double\": {}, \
+             \"sense_retries\": {}\n    }}",
+            run.time_ns,
+            run.energy_pj,
+            run.ecc_ns,
+            run.ecc_pj,
+            run.explicit_read_failures,
+            run.reliability.silent_wrong_bits,
+            run.wrong_accepted_rows,
+            run.reliability.ecc_corrected_bits,
+            run.reliability.ecc_detected_double,
+            run.reliability.sense_retries,
+        )
+    };
+    let protection_json = format!(
+        "{{\n    \"rows\": {}, \"row_bits\": {},\n    \"none\": {},\n    \
+         \"parity\": {},\n    \"secded\": {},\n    \
+         \"secded_time_overhead_vs_none\": {:.4},\n    \
+         \"secded_time_overhead_vs_parity\": {:.4},\n    \
+         \"secded_energy_overhead_vs_none\": {:.4},\n    \
+         \"secded_energy_overhead_vs_parity\": {:.4}\n  }}",
+        prot_rows,
+        prot_bits,
+        mode_json(p_none),
+        mode_json(p_parity),
+        mode_json(p_secded),
+        p_secded.time_ns / p_none.time_ns - 1.0,
+        p_secded.time_ns / p_parity.time_ns - 1.0,
+        p_secded.energy_pj / p_none.energy_pj - 1.0,
+        p_secded.energy_pj / p_parity.energy_pj - 1.0,
+    );
+
     let json = format!(
         "{{\n  \"bits_per_row\": {},\n  \"fan_in\": {},\n  \"senses\": {},\n  \
          \"writes\": {},\n  \"packed_sense_ms\": {:.3},\n  \
          \"reference_sense_ms\": {:.3},\n  \"sense_speedup\": {:.1},\n  \
          \"packed_write_ms\": {:.3},\n  \"reference_write_ms\": {:.3},\n  \
          \"write_speedup\": {:.1},\n  \"outputs_identical\": {},\n  \
-         \"ledgers_identical\": {}\n}}\n",
+         \"ledgers_identical\": {},\n  \"protection\": {}\n}}\n",
         cols,
         FAN_IN,
         senses,
@@ -194,6 +278,7 @@ fn main() {
         write_speedup,
         outputs_identical,
         ledgers_identical,
+        protection_json,
     );
     std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
     println!("\nwrote BENCH_fault.json");

@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod protection;
+
 use pinatubo_apps::AppRun;
 use pinatubo_baselines::{
     AcPimExecutor, BitwiseExecutor, ExecReport, PinatuboExecutor, SdramExecutor, SimdCpu,

@@ -53,6 +53,28 @@ pub enum ReliableFanIn {
     Fixed(usize),
 }
 
+/// How stored rows are protected against corruption on the read path.
+///
+/// Both non-trivial modes keep per-row metadata computed from the
+/// *intended* data at write time (the metadata store itself is modeled
+/// reliable, as a real design would protect it with stronger coding) and
+/// check it on every single-row read. They differ in what a mismatch can
+/// do about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectionMode {
+    /// No stored metadata, nothing checked: corruption is silent.
+    None,
+    /// One parity bit per 64-bit word. Detection only: any mismatch pays
+    /// the re-calibrated retry ladder, and an even number of flips per
+    /// word aliases the parity and escapes silently.
+    Parity,
+    /// A (72,64) Hamming SEC-DED check byte per 64-bit word
+    /// ([`crate::secded`]; 12.5 % storage overhead, charged). Single-bit
+    /// errors are corrected in place without touching the retry ladder;
+    /// double-bit detections still fall through to it.
+    SecDed,
+}
+
 /// Detection and recovery policy for the fault-injected memory.
 ///
 /// With the default ([`ReliabilityConfig::off`]) nothing is checked: faults
@@ -62,6 +84,8 @@ pub enum ReliableFanIn {
 /// program-and-verify on writes, per-row parity on reads, duplicate sensing
 /// with reference re-calibration on PIM activations, and proactive fan-in
 /// splitting at the yield-analysis limit.
+/// [`ReliabilityConfig::protected_secded`] upgrades the read-path rung to
+/// in-place SEC-DED correction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityConfig {
     /// Verify every charged write (and setup poke) against the intended
@@ -69,10 +93,11 @@ pub struct ReliabilityConfig {
     /// `max_write_retries` times before reporting
     /// [`MemError::UncorrectableWrite`].
     pub verify_writes: bool,
-    /// Keep one parity bit per 64-bit word per row, checked on every
-    /// single-row read; mismatches trigger re-calibrated re-reads and
-    /// eventually [`MemError::UncorrectableRead`].
-    pub parity_check: bool,
+    /// Per-row protection metadata kept alongside writes and checked on
+    /// every single-row read (see [`ProtectionMode`]); uncorrectable
+    /// mismatches trigger re-calibrated re-reads and eventually
+    /// [`MemError::UncorrectableRead`].
+    pub protection: ProtectionMode,
     /// Sense every PIM activation twice and require agreement; disagreement
     /// triggers re-calibrated retries and eventually
     /// [`MemError::SenseUnstable`] (the caller's cue to fall back to
@@ -92,7 +117,7 @@ impl ReliabilityConfig {
     pub fn off() -> Self {
         ReliabilityConfig {
             verify_writes: false,
-            parity_check: false,
+            protection: ProtectionMode::None,
             duplicate_sense: false,
             max_write_retries: 0,
             max_sense_retries: 0,
@@ -105,7 +130,7 @@ impl ReliabilityConfig {
     pub fn protected() -> Self {
         ReliabilityConfig {
             verify_writes: true,
-            parity_check: true,
+            protection: ProtectionMode::Parity,
             duplicate_sense: true,
             max_write_retries: 3,
             max_sense_retries: 3,
@@ -114,6 +139,16 @@ impl ReliabilityConfig {
                 trials: 2000,
                 seed: 0x5EED,
             },
+        }
+    }
+
+    /// [`ReliabilityConfig::protected`] with the read-path rung upgraded
+    /// from parity detection to SEC-DED correction.
+    #[must_use]
+    pub fn protected_secded() -> Self {
+        ReliabilityConfig {
+            protection: ProtectionMode::SecDed,
+            ..ReliabilityConfig::protected()
         }
     }
 }
@@ -233,10 +268,13 @@ pub struct MainMemory {
     /// The fan-in limit enforced by the protected sense path (resolved
     /// once at construction from `config.reliability.reliable_fan_in`).
     reliable_or_fan_in: usize,
-    /// Per-row parity words (one parity bit per 64-bit data word), keyed
-    /// by row, stored alongside the intended data on every write. Only
-    /// maintained when `reliability.parity_check` is set.
-    parity: HashMap<RowAddr, (u64, Vec<u64>)>,
+    /// Per-row protection metadata, keyed by row, computed from the
+    /// *intended* data on every write: packed parity words (one bit per
+    /// 64-bit data word) under [`ProtectionMode::Parity`], packed SEC-DED
+    /// check bytes (one per data word) under [`ProtectionMode::SecDed`].
+    /// Stored as `(intended_len_bits, metadata_words)`; empty under
+    /// [`ProtectionMode::None`].
+    protect: HashMap<RowAddr, (u64, Vec<u64>)>,
     mode: PimConfig,
     stats: MemStats,
     trace: Vec<MemCommand>,
@@ -256,16 +294,34 @@ struct CachedRowSites {
     sites: Vec<(u64, bool)>,
 }
 
+/// Whole-row verdict of one SEC-DED syndrome pass
+/// ([`MainMemory::secded_scan`]).
+#[derive(Debug, PartialEq, Eq)]
+enum SecdedScan {
+    /// Every checkable word decoded clean.
+    Clean,
+    /// Some words carried single-bit errors, all corrected in place.
+    Corrected {
+        /// Data bits flipped back.
+        bits: u64,
+        /// Ascending indices of the corrected words (their divergence
+        /// from the functional truth is repair, not silent corruption).
+        words: Vec<usize>,
+    },
+    /// At least one word decoded as an uncorrectable double-bit error.
+    Double,
+}
+
 /// Keys of the functional state mutated since the last drain. Maintained
-/// by the store/wear/parity/open-page/fault mutation paths themselves, so
-/// the log is exact regardless of which command touched the state. Row
-/// writes are logged at page granularity: a delta ships the whole (Arc'd)
-/// page, so finer tracking would buy nothing.
+/// by the store/wear/protection-metadata/open-page/fault mutation paths
+/// themselves, so the log is exact regardless of which command touched
+/// the state. Row writes are logged at page granularity: a delta ships
+/// the whole (Arc'd) page, so finer tracking would buy nothing.
 #[derive(Debug, Default)]
 struct DirtyLog {
     pages: HashSet<PageId>,
     wear: HashSet<RowAddr>,
-    parity: HashSet<RowAddr>,
+    protect: HashSet<RowAddr>,
     open: HashSet<crate::address::SubarrayId>,
     fault: HashSet<u32>,
 }
@@ -277,15 +333,16 @@ impl DirtyLog {
     fn discard_channel(&mut self, channel: u32) {
         self.pages.retain(|id| id.channel() != channel);
         self.wear.retain(|a| a.channel != channel);
-        self.parity.retain(|a| a.channel != channel);
+        self.protect.retain(|a| a.channel != channel);
         self.open.retain(|id| id.channel != channel);
         self.fault.remove(&channel);
     }
 }
 
 /// The state one channel's owner must ship to bring a stale mirror up to
-/// date: exactly the row pages, wear counters, parity words, open-page
-/// entries and fault-stream position touched since the last drain.
+/// date: exactly the row pages, wear counters, protection metadata
+/// (parity words or SEC-DED check bytes), open-page entries and
+/// fault-stream position touched since the last drain.
 /// Produced by [`MainMemory::take_dirty_state`], consumed by
 /// [`MainMemory::apply_delta`]. Dirty pages travel as `Arc` references —
 /// O(1) each, no row data cloned — and the receiver installs them
@@ -298,7 +355,7 @@ pub struct ChannelDelta {
     channel: u32,
     pages: Vec<(PageId, Arc<RowPage>)>,
     wear: Vec<(RowAddr, u64)>,
-    parity: Vec<(RowAddr, (u64, Vec<u64>))>,
+    protect: Vec<(RowAddr, (u64, Vec<u64>))>,
     open: Vec<(crate::address::SubarrayId, Option<u32>)>,
     fault: Option<FaultState>,
 }
@@ -309,7 +366,7 @@ impl ChannelDelta {
             channel,
             pages: Vec::new(),
             wear: Vec::new(),
-            parity: Vec::new(),
+            protect: Vec::new(),
             open: Vec::new(),
             fault: None,
         }
@@ -326,7 +383,7 @@ impl ChannelDelta {
     pub fn is_empty(&self) -> bool {
         self.pages.is_empty()
             && self.wear.is_empty()
-            && self.parity.is_empty()
+            && self.protect.is_empty()
             && self.open.is_empty()
             && self.fault.is_none()
     }
@@ -353,6 +410,30 @@ where
         .filter(|(k, _)| pred(k))
         .map(|(&k, v)| (k, v.clone()))
         .collect()
+}
+
+/// Ascending-key snapshot of the entries of `map` whose key matches
+/// `pred` — the one way `HashMap` state is ever iterated for
+/// deterministic output (digests, delta drains), so the sort lives here
+/// instead of at every call site.
+fn sorted_matching<K, V>(map: &HashMap<K, V>, pred: impl Fn(&K) -> bool) -> Vec<(K, &V)>
+where
+    K: Eq + std::hash::Hash + Copy + Ord,
+{
+    let mut entries: Vec<(K, &V)> = map
+        .iter()
+        .filter(|(k, _)| pred(k))
+        .map(|(&k, v)| (k, v))
+        .collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    entries
+}
+
+/// Consumes a dirty-key set into an ascending, deterministic drain order.
+fn sorted_keys<K: Ord>(set: HashSet<K>) -> Vec<K> {
+    let mut keys: Vec<K> = set.into_iter().collect();
+    keys.sort_unstable();
+    keys
 }
 
 impl MainMemory {
@@ -398,7 +479,7 @@ impl MainMemory {
             fault,
             fault_sites: HashMap::new(),
             reliable_or_fan_in,
-            parity: HashMap::new(),
+            protect: HashMap::new(),
             mode: PimConfig::Off,
             stats: MemStats::new(),
             trace: Vec::new(),
@@ -491,8 +572,9 @@ impl MainMemory {
     }
 
     /// Splits off everything `channel` owns into an independent
-    /// [`MainMemory`] shard: the channel's rows, wear, parity, open-page
-    /// state and fault-injection stream move to the shard; configuration
+    /// [`MainMemory`] shard: the channel's rows, wear, protection
+    /// metadata, open-page state and fault-injection stream move to the
+    /// shard; configuration
     /// and the cached fan-in analyses are copied (never re-derived — the
     /// yield sweep is a Monte-Carlo run). The shard starts with zeroed
     /// statistics and the parent's current PIM mode; merge it back with
@@ -519,7 +601,7 @@ impl MainMemory {
         let mut shard = self.shard_skeleton();
         shard.rows = self.rows.drain_channel(channel);
         shard.wear = drain_matching(&mut self.wear, |a| a.channel == channel);
-        shard.parity = drain_matching(&mut self.parity, |a| a.channel == channel);
+        shard.protect = drain_matching(&mut self.protect, |a| a.channel == channel);
         shard.open_rows = drain_matching(&mut self.open_rows, |id| id.channel == channel);
         self.act_history.retain(|&(ch, _), _| ch != channel);
         if let Some(state) = self.fault.remove(&channel) {
@@ -565,7 +647,7 @@ impl MainMemory {
         let mut shard = self.shard_skeleton();
         shard.rows = self.rows.share_channel(channel);
         shard.wear = clone_matching(&self.wear, |a| a.channel == channel);
-        shard.parity = clone_matching(&self.parity, |a| a.channel == channel);
+        shard.protect = clone_matching(&self.protect, |a| a.channel == channel);
         shard.open_rows = clone_matching(&self.open_rows, |id| id.channel == channel);
         self.act_history.retain(|&(ch, _), _| ch != channel);
         if let Some(state) = self.fault.get(&channel) {
@@ -596,7 +678,7 @@ impl MainMemory {
             fault: HashMap::new(),
             fault_sites: HashMap::new(),
             reliable_or_fan_in: self.reliable_or_fan_in,
-            parity: HashMap::new(),
+            protect: HashMap::new(),
             mode: self.mode,
             stats: MemStats::new(),
             trace: Vec::new(),
@@ -614,9 +696,7 @@ impl MainMemory {
         let dirty = std::mem::take(&mut self.dirty);
         let mut by_channel: std::collections::BTreeMap<u32, ChannelDelta> =
             std::collections::BTreeMap::new();
-        let mut pages: Vec<PageId> = dirty.pages.into_iter().collect();
-        pages.sort_unstable();
-        for id in pages {
+        for id in sorted_keys(dirty.pages) {
             // One Arc bump per dirty page, never a row copy: the receiver
             // installs the page wholesale and both sides share it again.
             if let Some(page) = self.rows.page(id) {
@@ -627,9 +707,7 @@ impl MainMemory {
                     .push((id, page));
             }
         }
-        let mut wear: Vec<RowAddr> = dirty.wear.into_iter().collect();
-        wear.sort_unstable();
-        for addr in wear {
+        for addr in sorted_keys(dirty.wear) {
             if let Some(&writes) = self.wear.get(&addr) {
                 by_channel
                     .entry(addr.channel)
@@ -638,20 +716,16 @@ impl MainMemory {
                     .push((addr, writes));
             }
         }
-        let mut parity: Vec<RowAddr> = dirty.parity.into_iter().collect();
-        parity.sort_unstable();
-        for addr in parity {
-            if let Some(p) = self.parity.get(&addr) {
+        for addr in sorted_keys(dirty.protect) {
+            if let Some(p) = self.protect.get(&addr) {
                 by_channel
                     .entry(addr.channel)
                     .or_insert_with(|| ChannelDelta::empty(addr.channel))
-                    .parity
+                    .protect
                     .push((addr, p.clone()));
             }
         }
-        let mut open: Vec<crate::address::SubarrayId> = dirty.open.into_iter().collect();
-        open.sort_unstable();
-        for id in open {
+        for id in sorted_keys(dirty.open) {
             by_channel
                 .entry(id.channel)
                 .or_insert_with(|| ChannelDelta::empty(id.channel))
@@ -669,8 +743,9 @@ impl MainMemory {
 
     /// Applies a delta produced by the owner of a channel's state: row
     /// pages install wholesale (re-sharing them between both sides), wear
-    /// and parity entries overwrite, open-page entries set or clear, and
-    /// the fault stream (when carried) replaces this side's position.
+    /// and protection-metadata entries overwrite, open-page entries set or
+    /// clear, and the fault stream (when carried) replaces this side's
+    /// position.
     /// Application is not logged as dirty — both sides agree on the
     /// shipped state afterwards, so re-shipping it would be pure waste.
     ///
@@ -687,8 +762,8 @@ impl MainMemory {
         for (addr, writes) in delta.wear {
             self.wear.insert(addr, writes);
         }
-        for (addr, parity) in delta.parity {
-            self.parity.insert(addr, parity);
+        for (addr, meta) in delta.protect {
+            self.protect.insert(addr, meta);
         }
         for (id, open) in delta.open {
             match open {
@@ -741,7 +816,8 @@ impl MainMemory {
     }
 
     /// Order-independent digest of every piece of functional state
-    /// `channel` owns (rows, wear, parity, open pages, fault-stream
+    /// `channel` owns (rows, wear, protection metadata, open pages,
+    /// fault-stream
     /// position; activation history is clock-scoped and deliberately
     /// excluded). Two memories that digest equal respond identically to
     /// any command on the channel. Used by the session sync's debug
@@ -759,30 +835,9 @@ impl MainMemory {
             (id, row).hash(&mut hasher);
             data.hash(&mut hasher);
         }
-        let mut wear: Vec<(RowAddr, u64)> = self
-            .wear
-            .iter()
-            .filter(|(a, _)| a.channel == channel)
-            .map(|(&a, &w)| (a, w))
-            .collect();
-        wear.sort_unstable();
-        wear.hash(&mut hasher);
-        let mut parity: Vec<(RowAddr, &(u64, Vec<u64>))> = self
-            .parity
-            .iter()
-            .filter(|(a, _)| a.channel == channel)
-            .map(|(&a, p)| (a, p))
-            .collect();
-        parity.sort_unstable_by_key(|&(a, _)| a);
-        parity.hash(&mut hasher);
-        let mut open: Vec<(crate::address::SubarrayId, u32)> = self
-            .open_rows
-            .iter()
-            .filter(|(id, _)| id.channel == channel)
-            .map(|(&id, &row)| (id, row))
-            .collect();
-        open.sort_unstable();
-        open.hash(&mut hasher);
+        sorted_matching(&self.wear, |a| a.channel == channel).hash(&mut hasher);
+        sorted_matching(&self.protect, |a| a.channel == channel).hash(&mut hasher);
+        sorted_matching(&self.open_rows, |id| id.channel == channel).hash(&mut hasher);
         self.fault
             .get(&channel)
             .map(FaultState::events_drawn)
@@ -791,7 +846,8 @@ impl MainMemory {
     }
 
     /// Merges a shard produced by [`MainMemory::split_channel`] back:
-    /// functional state, wear, parity, fault streams and the recorded
+    /// functional state, wear, protection metadata, fault streams and the
+    /// recorded
     /// trace move back in, and the shard's statistics are added to this
     /// memory's ledgers. The shard's tRRD/tFAW activation history is
     /// dropped for the same clock-scoping reason `split_channel` drops
@@ -816,7 +872,7 @@ impl MainMemory {
         );
         self.rows.extend(shard.rows);
         self.wear.extend(shard.wear);
-        self.parity.extend(shard.parity);
+        self.protect.extend(shard.protect);
         self.open_rows.extend(shard.open_rows);
         self.fault.extend(shard.fault);
         self.trace.extend(shard.trace);
@@ -847,7 +903,7 @@ impl MainMemory {
         self.validate_cols(data.len_bits())?;
         if self.fault.is_empty() {
             self.store(addr, data.clone());
-            self.record_parity(addr, data);
+            self.record_protection(addr, data);
             return Ok(());
         }
         // Setup DMA still goes through the physical write path (the image
@@ -860,7 +916,7 @@ impl MainMemory {
             let bad = self.store_physical(addr, data, WriteSource::Bus);
             self.stats.reliability.injected_write_faults += bad;
             if bad == 0 || !verify {
-                self.record_parity(addr, data);
+                self.record_protection(addr, data);
                 self.note_unverified_store(addr, data, bad);
                 if verify && attempt > 0 {
                     self.stats.reliability.corrected_errors += 1;
@@ -871,7 +927,7 @@ impl MainMemory {
                 self.stats.reliability.detected_errors += 1;
             }
             if attempt >= self.config.reliability.max_write_retries {
-                self.record_parity(addr, data);
+                self.record_protection(addr, data);
                 self.stats.reliability.uncorrectable_errors += 1;
                 return Err(MemError::UncorrectableWrite {
                     addr,
@@ -1052,22 +1108,36 @@ impl MainMemory {
     /// Reads the first `cols` bits of one row into the subarray's SA latch
     /// (a plain activate + sense, no data movement beyond the mats).
     ///
-    /// With fault injection and `parity_check` enabled, the sensed data is
-    /// checked against the row's stored parity; mismatches trigger up to
-    /// `max_sense_retries` re-calibrated re-reads (each charged one MRS
-    /// plus a full re-activation) before giving up.
+    /// With fault injection and [`ProtectionMode::Parity`], the sensed
+    /// data is checked against the row's stored parity; mismatches trigger
+    /// up to `max_sense_retries` re-calibrated re-reads (each charged one
+    /// MRS plus a full re-activation) before giving up. Under
+    /// [`ProtectionMode::SecDed`] single-bit errors are instead corrected
+    /// in place from the syndrome — no retry is issued — and only
+    /// double-bit detections pay the retry ladder.
     ///
     /// # Errors
     ///
     /// Same conditions as [`MainMemory::multi_activate_sense`], plus
-    /// [`MemError::UncorrectableRead`] when the parity never checks out.
+    /// [`MemError::UncorrectableRead`] when the protection check never
+    /// accepts a sense.
     pub fn activate_read(&mut self, addr: RowAddr, cols: u64) -> Result<RowData, MemError> {
         let operands = [addr];
         let (data, truth) = self.multi_activate_sense_full(&operands, SenseMode::Read, cols)?;
+        if self.config.reliability.protection == ProtectionMode::SecDed {
+            // The checker runs on every read, faults present or not — the
+            // syndrome pass is part of the datapath, not of recovery.
+            self.charge_ecc_check(cols);
+        }
         let Some(truth) = truth else {
             return Ok(data);
         };
-        if !self.config.reliability.parity_check || self.parity_matches(addr, &data) {
+        if self.config.reliability.protection == ProtectionMode::SecDed {
+            return self.secded_read(addr, cols, data, &truth);
+        }
+        if self.config.reliability.protection != ProtectionMode::Parity
+            || self.parity_matches(addr, &data)
+        {
             self.note_accepted(&truth, &data);
             return Ok(data);
         }
@@ -1084,6 +1154,61 @@ impl MainMemory {
         }
         self.stats.reliability.uncorrectable_errors += 1;
         Err(MemError::UncorrectableRead { addr })
+    }
+
+    /// The SEC-DED read path: syndrome-check (and correct) the sensed
+    /// data against the row's stored check bytes. Single-bit-per-word
+    /// errors are fixed in place without any retry-ladder involvement; a
+    /// double-bit word sends the whole read through the re-calibrated
+    /// retry loop (a *transient* double may sense clean next time), and
+    /// only a persistently uncorrectable row surfaces as an error.
+    fn secded_read(
+        &mut self,
+        addr: RowAddr,
+        cols: u64,
+        mut data: RowData,
+        truth: &RowData,
+    ) -> Result<RowData, MemError> {
+        match self.secded_scan(addr, &mut data) {
+            SecdedScan::Clean => {
+                self.note_accepted(truth, &data);
+                Ok(data)
+            }
+            SecdedScan::Corrected { bits, words } => {
+                self.stats.reliability.detected_errors += 1;
+                self.stats.reliability.corrected_errors += 1;
+                self.stats.reliability.ecc_corrected_bits += bits;
+                self.note_accepted_outside(truth, &data, &words);
+                Ok(data)
+            }
+            SecdedScan::Double => {
+                self.stats.reliability.detected_errors += 1;
+                self.stats.reliability.ecc_detected_double += 1;
+                for _ in 0..self.config.reliability.max_sense_retries {
+                    self.stats.reliability.sense_retries += 1;
+                    self.charge_recalibration();
+                    let operands = [addr];
+                    let mut again = self.multi_activate_sense(&operands, SenseMode::Read, cols)?;
+                    self.charge_ecc_check(cols);
+                    match self.secded_scan(addr, &mut again) {
+                        SecdedScan::Clean => {
+                            self.stats.reliability.corrected_errors += 1;
+                            self.note_accepted(truth, &again);
+                            return Ok(again);
+                        }
+                        SecdedScan::Corrected { bits, words } => {
+                            self.stats.reliability.corrected_errors += 1;
+                            self.stats.reliability.ecc_corrected_bits += bits;
+                            self.note_accepted_outside(truth, &again, &words);
+                            return Ok(again);
+                        }
+                        SecdedScan::Double => {}
+                    }
+                }
+                self.stats.reliability.uncorrectable_errors += 1;
+                Err(MemError::UncorrectableRead { addr })
+            }
+        }
     }
 
     /// [`MainMemory::multi_activate_sense`] wrapped in the recovery ladder
@@ -1725,7 +1850,7 @@ impl MainMemory {
     fn program_row(&mut self, addr: RowAddr, data: RowData, local: bool) -> Result<(), MemError> {
         let bits = data.len_bits();
         if self.fault.is_empty() {
-            self.record_parity(addr, &data);
+            self.record_protection(addr, &data);
             self.charge_write(addr, bits, local);
             self.store(addr, data);
             return Ok(());
@@ -1742,17 +1867,18 @@ impl MainMemory {
             self.charge_write(addr, bits, local);
             self.stats.reliability.injected_write_faults += bad;
             if !verify {
-                // Unverified: parity (of the intended data) still flags the
-                // corruption at read time; with parity off too — or when
-                // the corruption aliases the parity — the wrong bits are
+                // Unverified: the protection metadata (of the intended
+                // data) still flags — or, under SEC-DED, repairs — the
+                // corruption at read time; with protection off, or when
+                // the corruption aliases the code, the wrong bits are
                 // silent.
-                self.record_parity(addr, &data);
+                self.record_protection(addr, &data);
                 self.note_unverified_store(addr, &data, bad);
                 return Ok(());
             }
             self.charge_verify_pass(bits);
             if bad == 0 {
-                self.record_parity(addr, &data);
+                self.record_protection(addr, &data);
                 if attempt > 0 {
                     self.stats.reliability.corrected_errors += 1;
                 }
@@ -1762,7 +1888,7 @@ impl MainMemory {
                 self.stats.reliability.detected_errors += 1;
             }
             if attempt >= self.config.reliability.max_write_retries {
-                self.record_parity(addr, &data);
+                self.record_protection(addr, &data);
                 self.stats.reliability.uncorrectable_errors += 1;
                 return Err(MemError::UncorrectableWrite {
                     addr,
@@ -1854,6 +1980,24 @@ impl MainMemory {
         self.stats.reliability.silent_wrong_bits += out.count_diff(truth);
     }
 
+    /// [`MainMemory::note_accepted`] restricted to the words *outside*
+    /// `skip_words` (ascending indices). After a SEC-DED correction the
+    /// corrected words match the intended data by construction — any
+    /// divergence from the functional `truth` there is repaired storage
+    /// corruption, not a silent escape — so only words the syndrome
+    /// called clean can hide aliased wrong bits.
+    fn note_accepted_outside(&mut self, truth: &RowData, out: &RowData, skip_words: &[usize]) {
+        let diff: u64 = out
+            .as_words()
+            .iter()
+            .zip(truth.as_words())
+            .enumerate()
+            .filter(|(w, _)| skip_words.binary_search(w).is_err())
+            .map(|(_, (a, b))| u64::from((a ^ b).count_ones()))
+            .sum();
+        self.stats.reliability.silent_wrong_bits += diff;
+    }
+
     /// One packed parity bit per 64-bit data word.
     fn parity_words(data: &RowData) -> Vec<u64> {
         let words = data.as_words();
@@ -1866,57 +2010,151 @@ impl MainMemory {
         out
     }
 
+    /// One packed SEC-DED check byte per 64-bit data word: word `i`'s
+    /// byte sits at byte `i % 8` of metadata word `i / 8`.
+    fn secded_check_bytes(data: &RowData) -> Vec<u64> {
+        let words = data.as_words();
+        let mut out = vec![0u64; words.len().div_ceil(8)];
+        for (i, &w) in words.iter().enumerate() {
+            out[i / 8] |= u64::from(crate::secded::encode(w)) << ((i % 8) * 8);
+        }
+        out
+    }
+
     /// Accounts the wrong bits an unverified (or verify-accepted-anyway)
-    /// store left behind. With parity off every bad bit is silent; with
-    /// parity on, only corruption that *aliases* the per-word parity (an
-    /// even number of flips inside each 64-bit word) can ever be accepted
-    /// by a later read, so exactly those bits are charged to the silent
-    /// ledger — non-aliasing corruption deterministically fails the read's
-    /// parity check and surfaces as an explicit error instead.
+    /// store left behind, by modeling what a later noise-free read would
+    /// accept. With no protection every bad bit is silent. With parity,
+    /// only corruption that *aliases* the per-word parity (an even number
+    /// of flips inside each 64-bit word) can ever be accepted — exactly
+    /// those bits are charged; anything else deterministically fails the
+    /// read check and surfaces as an explicit error. With SEC-DED,
+    /// single-bit words are corrected back to the intended data (nothing
+    /// silent), a double-bit word makes the whole row fail explicitly at
+    /// read time (nothing silent), and only ≥3-flip words that alias or
+    /// miscorrect the code charge their residual wrong bits.
     fn note_unverified_store(&mut self, addr: RowAddr, intended: &RowData, bad: u64) {
         if bad == 0 {
             return;
         }
-        let aliases = !self.config.reliability.parity_check
-            || self
+        let silent = match self.config.reliability.protection {
+            ProtectionMode::None => Some(bad),
+            ProtectionMode::Parity => self
                 .peek_row(addr)
-                .is_some_and(|actual| Self::parity_words(actual) == Self::parity_words(intended));
-        if aliases {
-            self.stats.reliability.silent_wrong_bits += bad;
-        }
-    }
-
-    /// Stores the parity of the *intended* data alongside a write, so a
-    /// later read of cells that silently failed to program flags a
-    /// mismatch. The parity array itself is modeled as reliable (a real
-    /// design would protect it with stronger coding).
-    fn record_parity(&mut self, addr: RowAddr, data: &RowData) {
-        if !self.config.reliability.parity_check {
-            return;
-        }
-        self.dirty.parity.insert(addr);
-        self.parity
-            .insert(addr, (data.len_bits(), Self::parity_words(data)));
-    }
-
-    /// Checks sensed data against the stored parity. Only words fully
-    /// determined on both sides are compared: all stored words when the
-    /// read covers the whole row (sensing zero-extends, matching the
-    /// zero-padded stored tail), otherwise only the complete words read.
-    /// Rows never written have no parity and pass vacuously.
-    fn parity_matches(&self, addr: RowAddr, data: &RowData) -> bool {
-        let Some((stored_bits, stored_parity)) = self.parity.get(&addr) else {
-            return true;
+                .is_some_and(|actual| Self::parity_words(actual) == Self::parity_words(intended))
+                .then_some(bad),
+            ProtectionMode::SecDed => self
+                .peek_row(addr)
+                .and_then(|actual| Self::secded_escape_bits(intended, actual)),
         };
-        let sensed = Self::parity_words(data);
-        let cols = data.len_bits();
-        let checkable = if cols >= *stored_bits {
+        if let Some(bits) = silent {
+            self.stats.reliability.silent_wrong_bits += bits;
+        }
+    }
+
+    /// The wrong bits a noise-free SEC-DED read of `actual` (decoded
+    /// against the check bytes of `intended`) would silently accept, or
+    /// `None` when some word decodes as a double-bit error — then the
+    /// read deterministically fails explicit instead, and nothing is
+    /// silent.
+    fn secded_escape_bits(intended: &RowData, actual: &RowData) -> Option<u64> {
+        let mut wrong = 0u64;
+        for (&want, &have) in intended.as_words().iter().zip(actual.as_words()) {
+            if want == have {
+                continue;
+            }
+            let mut accepted = have;
+            match crate::secded::decode(have, crate::secded::encode(want)) {
+                crate::secded::Decode::Double => return None,
+                verdict => {
+                    let _ = crate::secded::correct(&mut accepted, verdict);
+                }
+            }
+            wrong += u64::from((accepted ^ want).count_ones());
+        }
+        Some(wrong)
+    }
+
+    /// Stores the protection metadata of the *intended* data alongside a
+    /// write (parity words or SEC-DED check bytes, see
+    /// [`ProtectionMode`]), so a later read of cells that silently failed
+    /// to program sees a syndrome. The metadata array itself is modeled
+    /// as reliable (a real design would protect it with stronger coding).
+    fn record_protection(&mut self, addr: RowAddr, data: &RowData) {
+        let meta = match self.config.reliability.protection {
+            ProtectionMode::None => return,
+            ProtectionMode::Parity => Self::parity_words(data),
+            ProtectionMode::SecDed => Self::secded_check_bytes(data),
+        };
+        self.dirty.protect.insert(addr);
+        self.protect.insert(addr, (data.len_bits(), meta));
+    }
+
+    /// How many leading words of a sensed row are fully determined on
+    /// both sides of a protection check: all stored words when the read
+    /// covers the whole row (sensing zero-extends, matching the
+    /// zero-padded stored tail), otherwise only the complete words read.
+    fn checkable_words(stored_bits: u64, cols: u64) -> u64 {
+        if cols >= stored_bits {
             stored_bits.div_ceil(64)
         } else {
             cols / 64
+        }
+    }
+
+    /// Checks sensed data against the stored parity. Rows never written
+    /// have no metadata and pass vacuously.
+    fn parity_matches(&self, addr: RowAddr, data: &RowData) -> bool {
+        let Some((stored_bits, stored_parity)) = self.protect.get(&addr) else {
+            return true;
         };
+        let sensed = Self::parity_words(data);
+        let checkable = Self::checkable_words(*stored_bits, data.len_bits());
         let bit = |v: &[u64], w: u64| v.get((w / 64) as usize).map_or(0, |x| x >> (w % 64) & 1);
         (0..checkable).all(|w| bit(&sensed, w) == bit(stored_parity, w))
+    }
+
+    /// Syndrome-checks (and corrects) sensed data in place against the
+    /// row's stored SEC-DED check bytes. Any word decoding as a
+    /// double-bit error fails the whole row — corrections applied to
+    /// earlier words are irrelevant then, the caller discards the buffer
+    /// and re-senses. Rows never written have no metadata and pass
+    /// vacuously. A corrected bit beyond the sensed width (only reachable
+    /// through a ≥3-flip miscorrection naming a zero-padded tail column)
+    /// is a no-op on the nonexistent column, exactly as the hardware's
+    /// column mux would treat it.
+    fn secded_scan(&self, addr: RowAddr, data: &mut RowData) -> SecdedScan {
+        let Some((stored_bits, check_bytes)) = self.protect.get(&addr) else {
+            return SecdedScan::Clean;
+        };
+        let cols = data.len_bits();
+        let checkable = Self::checkable_words(*stored_bits, cols) as usize;
+        let mut bits = 0u64;
+        let mut corrected = Vec::new();
+        let words = data.as_words_mut();
+        for (w, word) in words.iter_mut().enumerate().take(checkable) {
+            let check = (check_bytes.get(w / 8).copied().unwrap_or(0) >> ((w % 8) * 8)) as u8;
+            match crate::secded::decode(*word, check) {
+                crate::secded::Decode::Clean => {}
+                crate::secded::Decode::Double => return SecdedScan::Double,
+                crate::secded::Decode::Single(bit) => {
+                    if let Some(bit) = bit {
+                        if (w as u64) * 64 + u64::from(bit) < cols {
+                            *word ^= 1u64 << bit;
+                            bits += 1;
+                        }
+                    }
+                    corrected.push(w);
+                }
+            }
+        }
+        if corrected.is_empty() {
+            SecdedScan::Clean
+        } else {
+            SecdedScan::Corrected {
+                bits,
+                words: corrected,
+            }
+        }
     }
 
     /// One read-back / duplicate sense: the column passes through the SA
@@ -1939,10 +2177,36 @@ impl MainMemory {
         self.record(MemCommand::ModeRegisterSet(self.mode));
     }
 
+    /// One SEC-DED syndrome pass over a sensed row: the stored check
+    /// bytes are sensed through the column path (12.5 % more bits —
+    /// `CHECK_BITS_PER_WORD` per 64 data bits, the code's real storage
+    /// overhead) and the syndrome XOR tree evaluates. Charged into the
+    /// dedicated ECC time/energy buckets so the ladder-vs-ECC comparison
+    /// can read the overhead directly.
+    fn charge_ecc_check(&mut self, bits: u64) {
+        let t = self.config.timing.t_ecc_ns;
+        self.stats.time_ns += t;
+        self.stats.time.ecc_ns += t;
+        let check_bits = bits.div_ceil(64) * crate::secded::CHECK_BITS_PER_WORD;
+        self.stats.energy.ecc_pj +=
+            self.config.energy.sense_pj(check_bits) + self.config.energy.ecc_pj(bits);
+    }
+
     fn charge_write(&mut self, addr: RowAddr, bits: u64, local: bool) {
         self.stats.time_ns += self.config.timing.t_wr_ns;
         self.stats.time.write_ns += self.config.timing.t_wr_ns;
         self.stats.energy.write_pj += self.config.energy.write_pj(bits);
+        if self.config.reliability.protection == ProtectionMode::SecDed {
+            // Encoding rides the write: the XOR tree computes the check
+            // bytes and the write drivers program the extra 12.5 % of
+            // cells holding them.
+            let t = self.config.timing.t_ecc_ns;
+            self.stats.time_ns += t;
+            self.stats.time.ecc_ns += t;
+            let check_bits = bits.div_ceil(64) * crate::secded::CHECK_BITS_PER_WORD;
+            self.stats.energy.ecc_pj +=
+                self.config.energy.write_pj(check_bits) + self.config.energy.ecc_pj(bits);
+        }
         self.stats.events.row_writes += 1;
         self.dirty.wear.insert(addr);
         *self.wear.entry(addr).or_insert(0) += 1;

@@ -42,12 +42,15 @@ pub mod commands;
 pub mod controller;
 pub mod geometry;
 mod page;
+pub mod secded;
 pub mod stats;
 
 pub use address::RowAddr;
 pub use array::RowData;
 pub use commands::{MemCommand, PimConfig};
-pub use controller::{ChannelDelta, MainMemory, MemConfig, ReliabilityConfig, ReliableFanIn};
+pub use controller::{
+    ChannelDelta, MainMemory, MemConfig, ProtectionMode, ReliabilityConfig, ReliableFanIn,
+};
 pub use geometry::MemGeometry;
 pub use page::ROWS_PER_PAGE;
 pub use stats::{EnergyBreakdown, MemStats, ReliabilityStats, TimeBreakdown};
@@ -90,10 +93,11 @@ pub enum MemError {
         /// Bits still wrong after the final verify.
         bad_bits: u64,
     },
-    /// A parity-checked read kept disagreeing with the stored parity after
-    /// exhausting its retry budget.
+    /// A protected read kept disagreeing with the row's stored protection
+    /// metadata (parity or SEC-DED check bytes) after exhausting its
+    /// retry budget.
     UncorrectableRead {
-        /// The row whose parity never checked out.
+        /// The row whose protection check never accepted a sense.
         addr: RowAddr,
     },
     /// Duplicate sensing of a multi-row activation kept disagreeing after
@@ -130,7 +134,7 @@ impl fmt::Display for MemError {
             ),
             MemError::UncorrectableRead { addr } => write!(
                 f,
-                "read of row {addr} failed its parity check after exhausting retries"
+                "read of row {addr} failed its protection check after exhausting retries"
             ),
             MemError::SenseUnstable { addr, retries } => write!(
                 f,

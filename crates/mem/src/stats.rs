@@ -23,6 +23,10 @@ pub struct EnergyBreakdown {
     pub logic_pj: f64,
     /// Bit-line precharge.
     pub precharge_pj: f64,
+    /// SEC-DED overhead: check-bit sensing/writing (the code's 12.5 %
+    /// storage overhead) plus the syndrome/encode XOR trees. Zero unless
+    /// `ProtectionMode::SecDed` is active.
+    pub ecc_pj: f64,
 }
 
 impl EnergyBreakdown {
@@ -36,6 +40,7 @@ impl EnergyBreakdown {
             + self.gdl_pj
             + self.logic_pj
             + self.precharge_pj
+            + self.ecc_pj
     }
 }
 
@@ -50,6 +55,7 @@ impl Add for EnergyBreakdown {
             gdl_pj: self.gdl_pj + rhs.gdl_pj,
             logic_pj: self.logic_pj + rhs.logic_pj,
             precharge_pj: self.precharge_pj + rhs.precharge_pj,
+            ecc_pj: self.ecc_pj + rhs.ecc_pj,
         }
     }
 }
@@ -71,6 +77,7 @@ impl Sub for EnergyBreakdown {
             gdl_pj: self.gdl_pj - rhs.gdl_pj,
             logic_pj: self.logic_pj - rhs.logic_pj,
             precharge_pj: self.precharge_pj - rhs.precharge_pj,
+            ecc_pj: self.ecc_pj - rhs.ecc_pj,
         }
     }
 }
@@ -194,6 +201,13 @@ pub struct ReliabilityStats {
     /// Physical (fault-injected) write events evaluated, including
     /// program-and-verify retries.
     pub physical_writes: u64,
+    /// Data bits flipped back in place by SEC-DED single-bit correction
+    /// (no retry-ladder involvement; the enclosing read counts one
+    /// detected + one corrected event).
+    pub ecc_corrected_bits: u64,
+    /// Reads on which SEC-DED flagged an uncorrectable double-bit word
+    /// and fell through to the re-calibrated retry ladder.
+    pub ecc_detected_double: u64,
 }
 
 impl ReliabilityStats {
@@ -228,6 +242,8 @@ impl Add for ReliabilityStats {
             uncorrectable_errors: self.uncorrectable_errors + rhs.uncorrectable_errors,
             physical_senses: self.physical_senses + rhs.physical_senses,
             physical_writes: self.physical_writes + rhs.physical_writes,
+            ecc_corrected_bits: self.ecc_corrected_bits + rhs.ecc_corrected_bits,
+            ecc_detected_double: self.ecc_detected_double + rhs.ecc_detected_double,
         }
     }
 }
@@ -254,6 +270,8 @@ impl Sub for ReliabilityStats {
             uncorrectable_errors: self.uncorrectable_errors - rhs.uncorrectable_errors,
             physical_senses: self.physical_senses - rhs.physical_senses,
             physical_writes: self.physical_writes - rhs.physical_writes,
+            ecc_corrected_bits: self.ecc_corrected_bits - rhs.ecc_corrected_bits,
+            ecc_detected_double: self.ecc_detected_double - rhs.ecc_detected_double,
         }
     }
 }
@@ -281,6 +299,10 @@ pub struct TimeBreakdown {
     pub precharge_ns: f64,
     /// Stalls inserted to honor tRRD/tFAW inter-activation constraints.
     pub stall_ns: f64,
+    /// SEC-DED syndrome/encode passes (zero unless
+    /// `ProtectionMode::SecDed` is active). Bank-local: the XOR tree
+    /// sits beside the SA strip / write drivers.
+    pub ecc_ns: f64,
     /// Off-chip DDR bus bursts.
     pub bus_ns: f64,
     /// Mode-register sets (PIM reconfiguration).
@@ -303,6 +325,7 @@ impl TimeBreakdown {
             + self.gdl_ns
             + self.precharge_ns
             + self.stall_ns
+            + self.ecc_ns
     }
 
     /// Channel-serialized time: bus bursts and mode-register sets hold the
@@ -323,6 +346,7 @@ impl Add for TimeBreakdown {
             gdl_ns: self.gdl_ns + rhs.gdl_ns,
             precharge_ns: self.precharge_ns + rhs.precharge_ns,
             stall_ns: self.stall_ns + rhs.stall_ns,
+            ecc_ns: self.ecc_ns + rhs.ecc_ns,
             bus_ns: self.bus_ns + rhs.bus_ns,
             mrs_ns: self.mrs_ns + rhs.mrs_ns,
         }
@@ -345,6 +369,7 @@ impl Sub for TimeBreakdown {
             gdl_ns: self.gdl_ns - rhs.gdl_ns,
             precharge_ns: self.precharge_ns - rhs.precharge_ns,
             stall_ns: self.stall_ns - rhs.stall_ns,
+            ecc_ns: self.ecc_ns - rhs.ecc_ns,
             bus_ns: self.bus_ns - rhs.bus_ns,
             mrs_ns: self.mrs_ns - rhs.mrs_ns,
         }
@@ -466,8 +491,9 @@ mod tests {
             gdl_pj: 5.0,
             logic_pj: 6.0,
             precharge_pj: 7.0,
+            ecc_pj: 8.0,
         };
-        assert!((e.total_pj() - 28.0).abs() < 1e-12);
+        assert!((e.total_pj() - 36.0).abs() < 1e-12);
     }
 
     #[test]
@@ -499,15 +525,16 @@ mod tests {
             gdl_ns: 4.0,
             precharge_ns: 5.0,
             stall_ns: 6.0,
+            ecc_ns: 9.0,
             bus_ns: 7.0,
             mrs_ns: 8.0,
         };
-        assert!((t.lane_ns() - 21.0).abs() < 1e-12);
+        assert!((t.lane_ns() - 30.0).abs() < 1e-12);
         assert!((t.shared_ns() - 15.0).abs() < 1e-12);
-        assert!((t.total_ns() - 36.0).abs() < 1e-12);
+        assert!((t.total_ns() - 45.0).abs() < 1e-12);
 
         let doubled = t + t;
-        assert!((doubled.total_ns() - 72.0).abs() < 1e-12);
+        assert!((doubled.total_ns() - 90.0).abs() < 1e-12);
         let back = doubled - t;
         assert_eq!(back, t);
         let mut acc = TimeBreakdown::default();

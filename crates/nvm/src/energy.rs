@@ -34,6 +34,11 @@ pub struct EnergyParams {
     pub logic_pj_per_bit: Picojoules,
     /// Bit-line precharge per bit of the row.
     pub precharge_pj_per_bit: Picojoules,
+    /// SEC-DED syndrome/encode XOR-tree energy per protected data bit
+    /// (a handful of XOR gate evaluations — cheaper than a full logic
+    /// pass). Check-bit sensing/writing is charged separately at the
+    /// array's own per-bit rates.
+    pub ecc_pj_per_bit: Picojoules,
     /// Standby (idle) power per stored bit, picowatts. DRAM pays refresh
     /// plus retention leakage; non-volatile cells hold state for free —
     /// the "ultra-low stand-by power" the paper's §1 credits NVM with.
@@ -52,6 +57,7 @@ impl EnergyParams {
             gdl_pj_per_bit: 1.0,
             logic_pj_per_bit: 0.1,
             precharge_pj_per_bit: 0.005,
+            ecc_pj_per_bit: 0.02,
             standby_pw_per_bit: 0.15,
         }
     }
@@ -68,6 +74,7 @@ impl EnergyParams {
             gdl_pj_per_bit: 0.5,
             logic_pj_per_bit: 0.1,
             precharge_pj_per_bit: 0.02,
+            ecc_pj_per_bit: 0.02,
             standby_pw_per_bit: 14.6,
         }
     }
@@ -124,6 +131,14 @@ impl EnergyParams {
     #[must_use]
     pub fn logic_pj(&self, bits: u64) -> Picojoules {
         bits as f64 * self.logic_pj_per_bit
+    }
+
+    /// Energy for one SEC-DED syndrome/encode pass over `bits` protected
+    /// data bits (XOR tree only — check-bit array traffic is charged at
+    /// the sense/write rates by the caller).
+    #[must_use]
+    pub fn ecc_pj(&self, bits: u64) -> Picojoules {
+        bits as f64 * self.ecc_pj_per_bit
     }
 
     /// Energy to precharge a row of `row_bits` bits.

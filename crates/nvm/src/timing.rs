@@ -44,6 +44,11 @@ pub struct TimingParams {
     /// activations to one rank must span at least this long, bounding the
     /// rank's peak activation current draw.
     pub t_faw_ns: Nanos,
+    /// One SEC-DED syndrome/encode pass through the per-bank ECC XOR
+    /// tree (a few gate levels wide, pipelined with the column path —
+    /// roughly two command-bus clocks). Charged only when the controller
+    /// runs with SEC-DED protection.
+    pub t_ecc_ns: Nanos,
 }
 
 impl TimingParams {
@@ -65,6 +70,7 @@ impl TimingParams {
             burst_beats: 8,
             t_rrd_ns: 7.5,
             t_faw_ns: 30.0,
+            t_ecc_ns: 2.5,
         }
     }
 
@@ -84,6 +90,7 @@ impl TimingParams {
             burst_beats: 8,
             t_rrd_ns: 7.5,
             t_faw_ns: 30.0,
+            t_ecc_ns: 2.5,
         }
     }
 

@@ -405,6 +405,174 @@ fn packed_path_matches_reference_at_the_margin_cap() {
     assert_eq!(ledgers[0], ledgers[1], "fan-in-128 ledgers diverge");
 }
 
+/// The SEC-DED read path rides the same packed physical fault machinery,
+/// so the PR-4 equivalence matrix must hold under
+/// [`ReliabilityConfig::protected_secded`] too: bit-identical transcripts,
+/// ledgers (including the new ECC counters), command streams and timing
+/// between the packed and per-cell-reference fault paths, with every
+/// fault class active at once.
+#[test]
+fn secded_packed_fault_path_matches_reference_exactly() {
+    let mut ecc_activity = 0u64;
+    for seed in [1u64, 2] {
+        for cols in [37u64, 130, 1000] {
+            for variation in [VariationModel::BoundedUniform, VariationModel::Gaussian] {
+                let model = all_classes(seed, variation);
+                let reliability = ReliabilityConfig::protected_secded();
+                let mut packed = physical_mem(model, reliability, false);
+                let mut reference = physical_mem(model, reliability, true);
+                let (packed_out, packed_rel) = drive_physical(&mut packed, seed, cols);
+                let (ref_out, ref_rel) = drive_physical(&mut reference, seed, cols);
+                let ctx = format!("secded: seed {seed}, cols {cols}, {variation:?}");
+                assert_eq!(packed_out, ref_out, "{ctx}: transcripts diverge");
+                assert_eq!(packed_rel, ref_rel, "{ctx}: ledgers diverge");
+                assert_eq!(
+                    packed.stats().events,
+                    reference.stats().events,
+                    "{ctx}: command streams diverge"
+                );
+                assert_eq!(
+                    packed.stats().time_ns,
+                    reference.stats().time_ns,
+                    "{ctx}: timing diverges"
+                );
+                assert!(packed_rel.is_consistent(), "{ctx}: {packed_rel:?}");
+                ecc_activity += packed_rel.ecc_corrected_bits + packed_rel.ecc_detected_double;
+            }
+        }
+    }
+    assert!(
+        ecc_activity > 0,
+        "the matrix must actually exercise the SEC-DED read path"
+    );
+}
+
+/// Every 2-flip pattern across the whole 72-bit codeword — data+data,
+/// data+check, check+check, and pairs involving the overall parity bit —
+/// decodes as an explicit double-bit detection. These are exactly the
+/// even-weight per-word patterns that alias per-word parity, so none of
+/// them may be accepted or miscorrected.
+#[test]
+fn secded_detects_every_even_parity_aliasing_pair() {
+    use pinatubo_mem::secded::{decode, encode, Decode};
+    let mut state = 0x0DD5EEDu64;
+    for _ in 0..3 {
+        let word = splitmix64(&mut state);
+        let check = encode(word);
+        for i in 0..72u8 {
+            for j in (i + 1)..72 {
+                let mut w = word;
+                let mut c = check;
+                for bit in [i, j] {
+                    if bit < 64 {
+                        w ^= 1u64 << bit;
+                    } else {
+                        c ^= 1u8 << (bit - 64);
+                    }
+                }
+                assert_eq!(
+                    decode(w, c),
+                    Decode::Double,
+                    "word {word:#x}: flips at codeword bits {i},{j} must be detected"
+                );
+            }
+        }
+    }
+}
+
+/// Memory-level mirror of the codec property: on rows where stuck cells
+/// flip exactly two bits of one word, parity aliases and hands back wrong
+/// data, while SEC-DED on the same seed refuses the row explicitly; rows
+/// with a single flipped bit come back corrected to the intended data
+/// without a single retry-ladder invocation.
+#[test]
+fn secded_closes_the_parity_aliasing_blind_spot() {
+    use pinatubo_mem::{MemError, ProtectionMode};
+    const ROWS: u32 = 256;
+    const BITS: u64 = 64;
+    let memory = |mode: ProtectionMode| {
+        let mut config = MemConfig::pcm_default();
+        config.fault_model = FaultModel::with_seed(0x0DD).with_stuck_at(5e-3, 5e-3);
+        let mut reliability = match mode {
+            ProtectionMode::None => ReliabilityConfig::off(),
+            ProtectionMode::Parity => ReliabilityConfig::protected(),
+            ProtectionMode::SecDed => ReliabilityConfig::protected_secded(),
+        };
+        reliability.verify_writes = false; // corruption must land
+        config.reliability = reliability;
+        MainMemory::new(config)
+    };
+    let addr = |r: u32| RowAddr::new(0, 0, 0, 0, r);
+    let image = |r: u32| -> RowData {
+        let mut rng = SimRng::seed_from_u64(0x0DD ^ u64::from(r));
+        (0..BITS).map(|_| rng.gen_bit()).collect()
+    };
+
+    // Classify the deterministic stuck-cell corruption with an unprotected
+    // scout; the classification transfers exactly to the measured runs.
+    let mut scout = memory(ProtectionMode::None);
+    let (mut singles, mut doubles) = (Vec::new(), Vec::new());
+    for r in 0..ROWS {
+        let want = image(r);
+        scout.poke_row(addr(r), &want).expect("scout poke");
+        match scout.peek_row(addr(r)).expect("stored").count_diff(&want) {
+            1 => singles.push(r),
+            2 => doubles.push(r),
+            _ => {}
+        }
+    }
+    assert!(
+        !singles.is_empty() && !doubles.is_empty(),
+        "seed must yield both classes: {} singles, {} doubles",
+        singles.len(),
+        doubles.len()
+    );
+
+    let mut parity = memory(ProtectionMode::Parity);
+    let mut secded = memory(ProtectionMode::SecDed);
+    for mem in [&mut parity, &mut secded] {
+        for &r in singles.iter().chain(&doubles) {
+            mem.poke_row(addr(r), &image(r)).expect("poke");
+        }
+    }
+    for &r in &singles {
+        let retries_before = secded.stats().reliability.sense_retries;
+        let got = secded.activate_read(addr(r), BITS).expect("corrected");
+        assert_eq!(got, image(r), "row {r}: corrected to the intended data");
+        assert_eq!(
+            secded.stats().reliability.sense_retries,
+            retries_before,
+            "row {r}: in-place correction must not touch the ladder"
+        );
+        assert!(
+            matches!(
+                parity.activate_read(addr(r), BITS),
+                Err(MemError::UncorrectableRead { .. })
+            ),
+            "row {r}: parity can only detect an odd flip"
+        );
+    }
+    for &r in &doubles {
+        assert!(
+            matches!(
+                secded.activate_read(addr(r), BITS),
+                Err(MemError::UncorrectableRead { .. })
+            ),
+            "row {r}: a double flip must fail explicitly under SEC-DED"
+        );
+        let got = parity.activate_read(addr(r), BITS).expect("aliased");
+        assert_ne!(got, image(r), "row {r}: parity aliases on even flips");
+    }
+    let (pr, sr) = (parity.stats().reliability, secded.stats().reliability);
+    assert!(pr.is_consistent(), "{pr:?}");
+    assert!(sr.is_consistent(), "{sr:?}");
+    assert_eq!(sr.silent_wrong_bits, 0, "{sr:?}");
+    assert_eq!(sr.ecc_corrected_bits, singles.len() as u64);
+    assert_eq!(sr.ecc_detected_double, doubles.len() as u64);
+    assert_eq!(pr.silent_wrong_bits, 2 * doubles.len() as u64, "{pr:?}");
+    assert_eq!(pr.ecc_corrected_bits, 0);
+}
+
 /// The event counters themselves are part of the pinned ledger: every
 /// physical sense and every physical write consumes exactly one event on
 /// both paths, so retries and verify re-reads advance the fault stream

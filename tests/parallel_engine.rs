@@ -559,6 +559,129 @@ fn empty_session_and_implicit_drop_are_safe() {
     assert!(s.stats().reliability.is_consistent());
 }
 
+/// [`faulty_mem`] with the read path upgraded to SEC-DED and a read
+/// transient rate high enough that in-place corrections actually fire
+/// during the batch's loads.
+fn faulty_mem_secded() -> MemConfig {
+    let mut mem = faulty_mem();
+    mem.fault_model = FaultModel::with_seed(0xD15C)
+        .with_drift(0.04)
+        .with_variation(VariationModel::Gaussian)
+        .with_transients(1e-4, 1e-5, 1e-5)
+        .with_write_flips(1e-5);
+    mem.reliability = ReliabilityConfig::protected_secded();
+    mem
+}
+
+/// Session-vs-serial parity holds with SEC-DED enabled: the ECC check
+/// bytes ship through `ChannelDelta` like every other protection
+/// metadata, so shard-side reads correct the same bits the serial run
+/// corrects and the merged ledgers (including `ecc_corrected_bits`)
+/// match exactly.
+#[test]
+fn secded_session_matches_serial() {
+    for with_cross in [false, true] {
+        let mut serial = sys(faulty_mem_secded());
+        let (batch, outs) = build_batch(&mut serial, with_cross);
+        serial.execute_batch_serial(&batch).expect("serial batch");
+        let serial_bits: Vec<Vec<bool>> = outs.iter().map(|v| serial.load(v)).collect();
+
+        for workers in [1usize, 4] {
+            let mut s = sys(faulty_mem_secded());
+            let (batch, outs) = build_batch(&mut s, with_cross);
+            let mut session = s.open_session_with_workers(workers);
+            session.submit_batch(&batch).expect("submit batch");
+            session.close().expect("close");
+            let bits: Vec<Vec<bool>> = outs.iter().map(|v| s.load(v)).collect();
+            assert_eq!(
+                serial_bits, bits,
+                "secded session must be bit-identical (workers={workers}, with_cross={with_cross})"
+            );
+            assert_stats_match(serial.stats(), s.stats());
+        }
+        let r = serial.stats().reliability;
+        assert!(
+            r.ecc_corrected_bits > 0,
+            "the transient rate must exercise in-place correction: {r:?}"
+        );
+        assert!(r.is_consistent(), "{r:?}");
+    }
+}
+
+/// SEC-DED metadata created inside a shard survives the dirty-state
+/// sync: rows stored in a cloned channel shard (with stuck-at corruption
+/// landing, write verification off) correct in the shard, and after
+/// `take_dirty_state`/`apply_delta` the *parent* corrects a row it never
+/// wrote — possible only if the check bytes shipped with the delta.
+#[test]
+fn secded_shard_correction_survives_apply_delta() {
+    use pinatubo_mem::{MainMemory, ProtectionMode, RowAddr, RowData};
+    let mut config = MemConfig::pcm_default();
+    config.fault_model = FaultModel::with_seed(0x5EC0).with_stuck_at(5e-3, 5e-3);
+    let mut reliability = ReliabilityConfig::protected_secded();
+    reliability.verify_writes = false; // corruption must land
+    config.reliability = reliability;
+    assert_eq!(config.reliability.protection, ProtectionMode::SecDed);
+    let mut parent = MainMemory::new(config);
+
+    let addr = |r: u32| RowAddr::new(0, 0, 0, 0, r);
+    let image = |r: u32| -> RowData {
+        let mut rng = SimRng::seed_from_u64(0x5EC0 ^ u64::from(r));
+        (0..64u64).map(|_| rng.gen_bit()).collect()
+    };
+
+    let mut shard = parent.clone_channel(0);
+    let mut singles = Vec::new();
+    for r in 0..192u32 {
+        let want = image(r);
+        shard.poke_row(addr(r), &want).expect("shard poke");
+        if shard.peek_row(addr(r)).expect("stored").count_diff(&want) == 1 {
+            singles.push(r);
+        }
+    }
+    assert!(
+        singles.len() >= 2,
+        "seed must corrupt at least two rows by one bit, got {}",
+        singles.len()
+    );
+
+    // First single-flip row: corrected inside the shard.
+    let in_shard = singles[0];
+    let got = shard.activate_read(addr(in_shard), 64).expect("shard read");
+    assert_eq!(got, image(in_shard), "shard read corrects in place");
+    assert!(shard.stats().reliability.ecc_corrected_bits >= 1);
+
+    // Sync the shard's dirty state back and absorb its ledger.
+    for delta in shard.take_dirty_state() {
+        parent.apply_delta(delta);
+    }
+    assert_eq!(
+        parent.channel_digest(0),
+        shard.channel_digest(0),
+        "parent and shard must agree bit-for-bit after the sync"
+    );
+    parent.merge_stats(shard.take_stats());
+
+    // Second single-flip row, read for the first time in the parent: the
+    // stored bits are corrupt and the parent never wrote the row, so the
+    // correction below can only come from the shipped check bytes.
+    let in_parent = singles[1];
+    let corrected_before = parent.stats().reliability.ecc_corrected_bits;
+    let got = parent
+        .activate_read(addr(in_parent), 64)
+        .expect("parent read");
+    assert_eq!(
+        got,
+        image(in_parent),
+        "parent corrects via shipped metadata"
+    );
+    assert_eq!(
+        parent.stats().reliability.ecc_corrected_bits,
+        corrected_before + 1
+    );
+    assert!(parent.stats().reliability.is_consistent());
+}
+
 #[test]
 fn single_channel_geometry_degenerates_to_serial() {
     let mut mem = faulty_mem();
