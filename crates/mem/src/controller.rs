@@ -324,6 +324,11 @@ struct DirtyLog {
     protect: HashSet<RowAddr>,
     open: HashSet<crate::address::SubarrayId>,
     fault: HashSet<u32>,
+    /// Channels whose tRRD/tFAW activation history advanced. Shipped as
+    /// *relative* offsets (entry − local now) so receivers on a different
+    /// clock can re-anchor them — the scheduler's command-granularity
+    /// interleaving needs the window to survive a sync.
+    acts: HashSet<u32>,
 }
 
 impl DirtyLog {
@@ -336,6 +341,7 @@ impl DirtyLog {
         self.protect.retain(|a| a.channel != channel);
         self.open.retain(|id| id.channel != channel);
         self.fault.remove(&channel);
+        self.acts.remove(&channel);
     }
 }
 
@@ -358,6 +364,12 @@ pub struct ChannelDelta {
     protect: Vec<(RowAddr, (u64, Vec<u64>))>,
     open: Vec<(crate::address::SubarrayId, Option<u32>)>,
     fault: Option<FaultState>,
+    /// Per-rank activation issue times as *relative* offsets from the
+    /// sender's clock at drain time (entry − sender now, hence ≤ 0): the
+    /// receiver re-anchors them at its own clock, so tRRD/tFAW state
+    /// survives a sync without ever shipping an absolute timestamp
+    /// (ascending rank order for determinism).
+    act_history: Vec<(u32, Vec<f64>)>,
 }
 
 impl ChannelDelta {
@@ -369,6 +381,7 @@ impl ChannelDelta {
             protect: Vec::new(),
             open: Vec::new(),
             fault: None,
+            act_history: Vec::new(),
         }
     }
 
@@ -386,6 +399,7 @@ impl ChannelDelta {
             && self.protect.is_empty()
             && self.open.is_empty()
             && self.fault.is_none()
+            && self.act_history.is_empty()
     }
 }
 
@@ -580,12 +594,14 @@ impl MainMemory {
     /// statistics and the parent's current PIM mode; merge it back with
     /// [`MainMemory::absorb`].
     ///
-    /// The channel's tRRD/tFAW activation history is *dropped*, not
-    /// moved: its issue times are on the parent's clock, while the shard
-    /// starts a fresh clock at zero, and carrying absolute times across
-    /// would manufacture stalls out of thin air. A split happens between
-    /// whole requests, so the four-activation window has long expired —
-    /// the same clock-scoping [`MainMemory::take_stats`] already applies.
+    /// The channel's tRRD/tFAW activation history moves with the shard as
+    /// *relative* offsets: each issue time is rebased by the parent's
+    /// clock at the split (entry − parent now, hence ≤ 0) so the shard —
+    /// whose clock starts at zero — sees the same "how long ago" the
+    /// serial stream would. Carrying absolute times instead would
+    /// manufacture stalls out of thin air; dropping the history (as this
+    /// method once did) would let a shard's first activation dodge a
+    /// window the serial stream still honours under tight parameters.
     ///
     /// Channels draw from independent fault streams (see
     /// [`FaultState::for_channel`]), so executing on shards consumes
@@ -603,7 +619,12 @@ impl MainMemory {
         shard.wear = drain_matching(&mut self.wear, |a| a.channel == channel);
         shard.protect = drain_matching(&mut self.protect, |a| a.channel == channel);
         shard.open_rows = drain_matching(&mut self.open_rows, |id| id.channel == channel);
-        self.act_history.retain(|&(ch, _), _| ch != channel);
+        let now = self.stats.time_ns;
+        for (key, hist) in drain_matching(&mut self.act_history, |&(ch, _)| ch == channel) {
+            shard
+                .act_history
+                .insert(key, hist.iter().map(|&t| t - now).collect());
+        }
         if let Some(state) = self.fault.remove(&channel) {
             shard.fault.insert(channel, state);
         }
@@ -631,12 +652,15 @@ impl MainMemory {
     /// parent, so its deltas need to carry only its own writes.
     ///
     /// Clock scoping is identical to `split_channel`: the channel's
-    /// tRRD/tFAW activation history is dropped on this side and the shard
-    /// starts a fresh clock, zeroed statistics and the parent's current
-    /// PIM mode. The parent's fault stream for the channel is *retained*
-    /// (unlike `split_channel`) so barrier operations on the unified
-    /// memory can keep drawing; the sync protocol replaces it with the
-    /// shard's advanced stream before any such draw.
+    /// tRRD/tFAW activation history moves to the shard as relative
+    /// offsets (entry − parent now) and is dropped on this side — the
+    /// shard is the channel's writer now, and its sync deltas carry the
+    /// advanced history back. The shard starts a fresh clock, zeroed
+    /// statistics and the parent's current PIM mode. The parent's fault
+    /// stream for the channel is *retained* (unlike `split_channel`) so
+    /// barrier operations on the unified memory can keep drawing; the
+    /// sync protocol replaces it with the shard's advanced stream before
+    /// any such draw.
     ///
     /// # Panics
     ///
@@ -649,7 +673,12 @@ impl MainMemory {
         shard.wear = clone_matching(&self.wear, |a| a.channel == channel);
         shard.protect = clone_matching(&self.protect, |a| a.channel == channel);
         shard.open_rows = clone_matching(&self.open_rows, |id| id.channel == channel);
-        self.act_history.retain(|&(ch, _), _| ch != channel);
+        let now = self.stats.time_ns;
+        for (key, hist) in drain_matching(&mut self.act_history, |&(ch, _)| ch == channel) {
+            shard
+                .act_history
+                .insert(key, hist.iter().map(|&t| t - now).collect());
+        }
         if let Some(state) = self.fault.get(&channel) {
             shard.fault.insert(channel, state.clone());
         }
@@ -738,6 +767,20 @@ impl MainMemory {
                 .or_insert_with(|| ChannelDelta::empty(channel))
                 .fault = self.fault.get(&channel).cloned();
         }
+        let now = self.stats.time_ns;
+        for channel in sorted_keys(dirty.acts) {
+            let hist: Vec<(u32, Vec<f64>)> =
+                sorted_matching(&self.act_history, |&(ch, _)| ch == channel)
+                    .into_iter()
+                    .map(|((_, rank), times)| (rank, times.iter().map(|&t| t - now).collect()))
+                    .collect();
+            if !hist.is_empty() {
+                by_channel
+                    .entry(channel)
+                    .or_insert_with(|| ChannelDelta::empty(channel))
+                    .act_history = hist;
+            }
+        }
         by_channel.into_values().collect()
     }
 
@@ -777,6 +820,13 @@ impl MainMemory {
         }
         if let Some(state) = delta.fault {
             self.fault.insert(state.channel(), state);
+        }
+        let now = self.stats.time_ns;
+        for (rank, rel) in delta.act_history {
+            self.act_history.insert(
+                (delta.channel, rank),
+                rel.iter().map(|&r| now + r).collect(),
+            );
         }
     }
 
@@ -849,10 +899,12 @@ impl MainMemory {
     /// functional state, wear, protection metadata, fault streams and the
     /// recorded
     /// trace move back in, and the shard's statistics are added to this
-    /// memory's ledgers. The shard's tRRD/tFAW activation history is
-    /// dropped for the same clock-scoping reason `split_channel` drops
-    /// the parent's: its issue times are on the shard's local clock and
-    /// the window has expired by the time a merge happens.
+    /// memory's ledgers. The shard's tRRD/tFAW activation history comes
+    /// back rebased onto the parent's clock: an entry that was
+    /// `shard_now − t` ago on the shard lands `parent_now_after − (shard_now
+    /// − t)` here, so "how long ago" is preserved exactly across the
+    /// round trip (the mirror of the relative rebase `split_channel`
+    /// applies on the way out).
     ///
     /// The PIM mode register is left untouched: the batch executor primes
     /// it explicitly to keep MRS accounting identical to serial.
@@ -876,7 +928,13 @@ impl MainMemory {
         self.open_rows.extend(shard.open_rows);
         self.fault.extend(shard.fault);
         self.trace.extend(shard.trace);
+        let shard_now = shard.stats.time_ns;
         self.stats += shard.stats;
+        let now = self.stats.time_ns;
+        for (key, hist) in shard.act_history {
+            self.act_history
+                .insert(key, hist.iter().map(|&t| now - (shard_now - t)).collect());
+        }
     }
 
     /// Direct (zero-cost) view of a row's contents — for assertions and
@@ -1065,6 +1123,7 @@ impl MainMemory {
             if history.len() > 4 {
                 history.remove(0);
             }
+            self.dirty.acts.insert(first.channel);
             if stall > 0.0 {
                 self.stats.time_ns += stall;
                 self.stats.time.stall_ns += stall;
@@ -2640,6 +2699,99 @@ mod tests {
         // On a fresh clock the old issue times must not gate anything.
         m.activate_read(RowAddr::new(0, 0, 1, 0, 0), 64).expect("b");
         assert_eq!(m.stats().time.stall_ns, 0.0);
+    }
+
+    #[test]
+    fn split_carries_relative_activation_history() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.timing.t_rrd_ns = 1000.0;
+        let mut parent = MainMemory::new(cfg);
+        parent
+            .activate_read(RowAddr::new(0, 0, 0, 0, 0), 64)
+            .expect("parent act");
+        let parent_now = parent.stats().time_ns; // 35.0
+        let mut shard = parent.split_channel(0);
+        assert!(
+            parent.act_history.is_empty(),
+            "the history moved with the shard"
+        );
+        // The shard's clock starts at zero, but the parent's activation
+        // was only 35 ns ago — the shard's first ACT must still honour
+        // the 1000 ns window: stall = (0 - 35 + 1000) - 0 = 965.
+        shard
+            .activate_read(RowAddr::new(0, 0, 1, 0, 0), 64)
+            .expect("shard act");
+        let expect_stall = 1000.0 - parent_now;
+        assert!(
+            (shard.stats().time.stall_ns - expect_stall).abs() < 1e-9,
+            "shard stall {} vs {}",
+            shard.stats().time.stall_ns,
+            expect_stall
+        );
+    }
+
+    #[test]
+    fn absorb_rebases_the_shard_history_onto_the_parent_clock() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.timing.t_rrd_ns = 1000.0;
+        let mut parent = MainMemory::new(cfg);
+        parent
+            .activate_read(RowAddr::new(0, 0, 0, 0, 0), 64)
+            .expect("act 1");
+        let mut shard = parent.split_channel(0);
+        shard
+            .activate_read(RowAddr::new(0, 0, 1, 0, 0), 64)
+            .expect("act 2"); // issues at shard-time 965
+        parent.absorb(shard);
+        // Serial would run the three activations at 0, 1000 and 2000:
+        // the absorbed history must gate the third exactly the same way.
+        parent
+            .activate_read(RowAddr::new(0, 0, 2, 0, 0), 64)
+            .expect("act 3");
+        let expect_total_stall = 2.0 * (1000.0 - 35.0);
+        assert!(
+            (parent.stats().time.stall_ns - expect_total_stall).abs() < 1e-9,
+            "total stall {} vs {}",
+            parent.stats().time.stall_ns,
+            expect_total_stall
+        );
+    }
+
+    #[test]
+    fn dirty_delta_carries_relative_activation_history() {
+        let mut cfg = MemConfig::pcm_default();
+        cfg.timing.t_rrd_ns = 1000.0;
+        let mut parent = MainMemory::new(cfg);
+        let mut shard = parent.clone_channel(0);
+        shard
+            .activate_read(RowAddr::new(0, 0, 0, 0, 0), 64)
+            .expect("shard act");
+        let deltas = shard.take_dirty_state();
+        let with_acts: Vec<_> = deltas
+            .iter()
+            .filter(|d| !d.act_history.is_empty())
+            .collect();
+        assert_eq!(with_acts.len(), 1, "the gated channel ships its window");
+        assert!(
+            with_acts[0].act_history[0].1.iter().all(|&r| r <= 0.0),
+            "offsets are relative to the sender's clock, hence non-positive"
+        );
+        for delta in deltas {
+            parent.apply_delta(delta);
+        }
+        // The parent's clock never advanced (it executed nothing), so the
+        // re-anchored entry sits 35 ns in its past and gates exactly as
+        // the shard's own next activation would have.
+        parent
+            .activate_read(RowAddr::new(0, 0, 1, 0, 0), 64)
+            .expect("parent act");
+        let expect_stall = 1000.0 - 35.0;
+        assert!(
+            (parent.stats().time.stall_ns - expect_stall).abs() < 1e-9,
+            "parent stall {} vs {}",
+            parent.stats().time.stall_ns,
+            expect_stall
+        );
     }
 
     #[test]

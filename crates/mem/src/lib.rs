@@ -41,6 +41,7 @@ pub mod array;
 pub mod commands;
 pub mod controller;
 pub mod geometry;
+pub mod interleave;
 mod page;
 pub mod secded;
 pub mod stats;
@@ -52,6 +53,7 @@ pub use controller::{
     ChannelDelta, MainMemory, MemConfig, ProtectionMode, ReliabilityConfig, ReliableFanIn,
 };
 pub use geometry::MemGeometry;
+pub use interleave::{ChannelTimeline, CmdKind, CmdStep, Placement, RequestStream};
 pub use page::ROWS_PER_PAGE;
 pub use stats::{EnergyBreakdown, MemStats, ReliabilityStats, TimeBreakdown};
 

@@ -38,11 +38,17 @@ pub struct TimingParams {
     /// Minimum gap between activations to *different banks* of one rank
     /// (tRRD). Limits how tightly bank-parallel PIM requests can launch;
     /// a serial command stream already spaces activations by ≥ tRCD, so
-    /// the constraint only binds when bank lanes overlap.
+    /// the constraint only binds when bank lanes overlap. The
+    /// command-interleaved channel model enforces it per ACT command —
+    /// each activation slots into the rank's ledger, possibly *between*
+    /// earlier requests' activations — not just once per request launch.
     pub t_rrd_ns: Nanos,
     /// Four-activation rolling window per rank (tFAW): any four
     /// activations to one rank must span at least this long, bounding the
-    /// rank's peak activation current draw.
+    /// rank's peak activation current draw. Like tRRD, checked at
+    /// command granularity when requests interleave: the window spans
+    /// activations from *all* requests on the rank, whatever order they
+    /// were dispatched in.
     pub t_faw_ns: Nanos,
     /// One SEC-DED syndrome/encode pass through the per-bank ECC XOR
     /// tree (a few gate levels wide, pipelined with the column path —

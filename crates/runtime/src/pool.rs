@@ -89,7 +89,7 @@ enum WorkerMsg {
     /// State written by the parent (straddling requests, stores) pushed
     /// back into the owning shard. Carries no statistics: the parent
     /// already accounted them.
-    Apply(ChannelDelta),
+    Apply(Box<ChannelDelta>),
     Sync(mpsc::Sender<SyncReply>),
     Shutdown,
 }
@@ -150,6 +150,7 @@ fn worker_main(mut shards: Vec<Shard>, rx: &mpsc::Receiver<WorkerMsg>) {
                 }
             }
             WorkerMsg::Apply(delta) => {
+                let delta = *delta;
                 if let Some(shard) = shards
                     .iter_mut()
                     .find(|s| s.channel == delta.channel() && s.poisoned.is_none())
@@ -720,7 +721,9 @@ impl ExecSession<'_> {
         let deltas = self.system.engine_mut().memory_mut().take_dirty_state();
         for delta in deltas {
             if let Some(&thread) = self.thread_of.get(&delta.channel()) {
-                let _ = self.threads[thread].tx.send(WorkerMsg::Apply(delta));
+                let _ = self.threads[thread]
+                    .tx
+                    .send(WorkerMsg::Apply(Box::new(delta)));
             }
         }
     }

@@ -5,7 +5,7 @@ use crate::bitvec::PimBitVec;
 use crate::mapping::MappingPolicy;
 use crate::RuntimeError;
 use pinatubo_core::{BitwiseOp, BulkOp, OpClass, OpOutcome, PinatuboConfig, PinatuboEngine};
-use pinatubo_mem::{MemConfig, MemStats, ReliabilityStats, RowData};
+use pinatubo_mem::{MemConfig, MemStats, ReliabilityStats, RowData, TimeBreakdown};
 
 /// A complete Pinatubo system: engine + allocator + driver.
 ///
@@ -243,6 +243,7 @@ impl PimSystem {
             summary.class = summary.class.max(outcome.class);
             summary.segments += 1;
             summary.reliability += outcome.stats.reliability;
+            summary.time += outcome.stats.time;
         }
         Ok(summary)
     }
@@ -312,6 +313,7 @@ pub(crate) fn bitwise_on_engine(
         summary.class = summary.class.max(outcome.class);
         summary.segments += 1;
         summary.reliability += outcome.stats.reliability;
+        summary.time += outcome.stats.time;
     }
     let record = BulkOp {
         op,
@@ -343,6 +345,12 @@ pub struct OpSummary {
     /// Fault-injection and recovery counters accumulated over the
     /// segments (all zero when the memory runs fault-free).
     pub reliability: ReliabilityStats,
+    /// Per-mechanism breakdown of `time_ns` (activate, sense, write, GDL,
+    /// precharge, stall, ECC, bus, MRS), summed over the segments. The
+    /// scheduler expands this into a command stream
+    /// ([`pinatubo_mem::RequestStream`]) to interleave requests at
+    /// command granularity; `time.total_ns() == time_ns` always.
+    pub time: TimeBreakdown,
 }
 
 impl OpSummary {
@@ -364,6 +372,7 @@ impl Default for OpSummary {
             class: OpClass::IntraSubarray,
             segments: 0,
             reliability: ReliabilityStats::default(),
+            time: TimeBreakdown::default(),
         }
     }
 }

@@ -79,6 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.rrd_faw_stall_ns
     );
     println!(
+        "    request-granularity model: {:.2} us; command interleaving \
+         recovered {:.0} ns ({:.0} ns spent waiting on busy bus/GDL slots)",
+        m.request_granularity_ns / 1000.0,
+        m.interleave_recovered_ns,
+        m.bus_conflict_stall_ns
+    );
+    println!(
         "  simulator wall-clock   : serial {:.2} ms, 4 sharded workers {:.2} ms ({:.2}x)",
         serial_wall.as_secs_f64() * 1e3,
         parallel_wall.as_secs_f64() * 1e3,

@@ -170,6 +170,16 @@ fn fault_free_parallel_batch_matches_serial_exactly() {
         assert_eq!(ss.segments, ps.segments);
         assert_eq!(ss.class, ps.class);
         assert_close("per-op time", ss.time_ns, ps.time_ns);
+        // The per-mechanism breakdown the scheduler expands into command
+        // streams must survive the parallel path unchanged and stay
+        // internally consistent.
+        assert_close("per-op activate", ss.time.activate_ns, ps.time.activate_ns);
+        assert_close("per-op sense", ss.time.sense_ns, ps.time.sense_ns);
+        assert_close("per-op write", ss.time.write_ns, ps.time.write_ns);
+        assert_close("per-op gdl", ss.time.gdl_ns, ps.time.gdl_ns);
+        assert_close("per-op bus", ss.time.bus_ns, ps.time.bus_ns);
+        assert_close("per-op mrs", ss.time.mrs_ns, ps.time.mrs_ns);
+        assert_close("breakdown total", ps.time.total_ns(), ps.time_ns);
     }
     assert_close(
         "makespan",
@@ -273,6 +283,9 @@ fn session_matches_serial_across_pool_sizes() {
                 assert_eq!(ss.class, ps.class, "op {k} class");
                 assert_eq!(ss.reliability, ps.reliability, "op {k} fault ledger");
                 assert_close("per-op time", ss.time_ns, ps.time_ns);
+                assert_close("per-op bus", ss.time.bus_ns, ps.time.bus_ns);
+                assert_close("per-op write", ss.time.write_ns, ps.time.write_ns);
+                assert_close("breakdown total", ps.time.total_ns(), ps.time_ns);
             }
         }
     }
