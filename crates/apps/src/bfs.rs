@@ -227,172 +227,177 @@ pub fn frontier_bfs(graph: &Graph, sys: &mut PimSystem) -> Result<FrontierBfsRes
     let hybrid_threshold = (n / 256).max(256);
 
     // The working bitmaps, co-allocated for intra-subarray operation.
+    // The traversal runs in a closure so the group is released on every
+    // exit path — an early operation error must not leak the five rows.
     let group = sys.alloc_group(5, bits)?;
     let [visited, reach, not_visited, pruned, delta]: [PimBitVec; 5] = group
         .try_into()
         .expect("alloc_group returns exactly the requested count");
+    let result = (|| {
+        sys.take_stats();
+        let _ = sys.take_trace();
+        let mut scalar_instructions = 0u64;
+        let mut scalar_bytes = 0u64;
 
-    sys.take_stats();
-    let _ = sys.take_trace();
-    let mut scalar_instructions = 0u64;
-    let mut scalar_bytes = 0u64;
+        let mut levels = vec![u32::MAX; n];
+        let mut visited_host = vec![false; n];
+        let mut visited_count = 0usize;
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut bitmap_levels = 0u64;
+        let mut scalar_levels = 0u64;
+        let mut components = 0u64;
 
-    let mut levels = vec![u32::MAX; n];
-    let mut visited_host = vec![false; n];
-    let mut visited_count = 0usize;
-    let mut frontier: Vec<u32> = Vec::new();
-    let mut bitmap_levels = 0u64;
-    let mut scalar_levels = 0u64;
-    let mut components = 0u64;
+        // The PIM-side visited bitmap is synced lazily: pure-scalar levels set
+        // this flag instead of rewriting the whole row per step. Assigned at
+        // each component start, before any read.
+        let mut visited_stale;
+        // Reused scratch for the frontier's neighbor union.
+        let mut reach_host = vec![false; n];
+        let mut reach_touched: Vec<u32> = Vec::new();
 
-    // The PIM-side visited bitmap is synced lazily: pure-scalar levels set
-    // this flag instead of rewriting the whole row per step. Assigned at
-    // each component start, before any read.
-    let mut visited_stale;
-    // Reused scratch for the frontier's neighbor union.
-    let mut reach_host = vec![false; n];
-    let mut reach_touched: Vec<u32> = Vec::new();
-
-    let mut cursor = 0usize;
-    loop {
-        // Scalar: scan for the next unvisited vertex ("searching for an
-        // unvisited bit-vector") — the loose-graph bottleneck.
-        let mut source = None;
-        while cursor < n {
-            scalar_instructions += 2;
-            if !visited_host[cursor] {
-                source = Some(cursor);
-                break;
+        let mut cursor = 0usize;
+        loop {
+            // Scalar: scan for the next unvisited vertex ("searching for an
+            // unvisited bit-vector") — the loose-graph bottleneck.
+            let mut source = None;
+            while cursor < n {
+                scalar_instructions += 2;
+                if !visited_host[cursor] {
+                    source = Some(cursor);
+                    break;
+                }
+                cursor += 1;
             }
-            cursor += 1;
-        }
-        scalar_bytes += 8;
-        let Some(source) = source else { break };
-        components += 1;
-        visited_host[source] = true;
-        visited_count += 1;
-        levels[source] = 0;
-        visited_stale = true;
-        frontier.clear();
-        frontier.push(source as u32);
+            scalar_bytes += 8;
+            let Some(source) = source else { break };
+            components += 1;
+            visited_host[source] = true;
+            visited_count += 1;
+            levels[source] = 0;
+            visited_stale = true;
+            frontier.clear();
+            frontier.push(source as u32);
 
-        let mut level = 0u32;
-        while !frontier.is_empty() {
-            level += 1;
-            // Assemble the frontier's neighbor union (functionally; the
-            // scalar *charge* depends on the regime below: top-down scans
-            // the frontier's edges, bottom-up checks unvisited vertices).
-            for &v in &reach_touched {
-                reach_host[v as usize] = false;
-            }
-            reach_touched.clear();
-            let mut edges_scanned = 0u64;
-            for &v in &frontier {
-                for &u in graph.neighbors(v as usize) {
-                    if !reach_host[u as usize] {
-                        reach_host[u as usize] = true;
-                        reach_touched.push(u);
-                    }
-                    edges_scanned += 1;
+            let mut level = 0u32;
+            while !frontier.is_empty() {
+                level += 1;
+                // Assemble the frontier's neighbor union (functionally; the
+                // scalar *charge* depends on the regime below: top-down scans
+                // the frontier's edges, bottom-up checks unvisited vertices).
+                for &v in &reach_touched {
+                    reach_host[v as usize] = false;
                 }
-            }
-
-            if frontier.len() > bitmap_threshold {
-                // Bitmap (bottom-up) regime: each still-unvisited vertex
-                // probes its adjacency until it hits a frontier member.
-                let unvisited = (n - visited_count) as u64;
-                scalar_instructions += 4 * unvisited + bits / 16 + 50;
-                scalar_bytes += 12 * unvisited + bits / 8;
-                bitmap_levels += 1;
-
-                if visited_stale {
-                    sys.store(&visited, &visited_host)?;
-                    visited_stale = false;
-                }
-                sys.store(&reach, &reach_host)?;
-                scalar_instructions += bits / 16; // bitmap assembly, word-granular
-                scalar_bytes += bits / 8;
-
-                sys.not(&visited, &not_visited)?;
-                sys.bitwise(
-                    pinatubo_core::BitwiseOp::And,
-                    &[&reach, &not_visited],
-                    &pruned,
-                )?;
-                sys.bitwise(pinatubo_core::BitwiseOp::Xor, &[&pruned, &reach], &delta)?;
-                sys.or_many(&[&visited, &pruned], &visited)?;
-
-                // Scalar: read the pruned bitmap back into the frontier.
-                let next_bits = sys.load(&pruned);
-                scalar_instructions += bits / 16;
-                scalar_bytes += bits / 8;
-                frontier.clear();
-                for (v, &set) in next_bits.iter().enumerate() {
-                    if set {
-                        visited_host[v] = true;
-                        visited_count += 1;
-                        levels[v] = level;
-                        frontier.push(v as u32);
+                reach_touched.clear();
+                let mut edges_scanned = 0u64;
+                for &v in &frontier {
+                    for &u in graph.neighbors(v as usize) {
+                        if !reach_host[u as usize] {
+                            reach_host[u as usize] = true;
+                            reach_touched.push(u);
+                        }
+                        edges_scanned += 1;
                     }
                 }
-            } else {
-                // Scalar expansion (top-down): walk the reach set directly.
-                scalar_instructions += 3 * edges_scanned + 8 * frontier.len() as u64 + 50;
-                scalar_bytes += edges_scanned * 4;
-                scalar_levels += 1;
 
-                let mut next = Vec::new();
-                for &u in &reach_touched {
-                    let v = u as usize;
-                    if !visited_host[v] {
-                        visited_host[v] = true;
-                        visited_count += 1;
-                        levels[v] = level;
-                        next.push(u);
-                        scalar_instructions += 10;
-                    }
-                }
-                if frontier.len() > hybrid_threshold {
-                    // Hybrid regime: merge the discovered set into the
-                    // visited bitmap with one bulk OR.
-                    let mut next_bits = vec![false; n];
-                    for &u in &next {
-                        next_bits[u as usize] = true;
-                    }
+                if frontier.len() > bitmap_threshold {
+                    // Bitmap (bottom-up) regime: each still-unvisited vertex
+                    // probes its adjacency until it hits a frontier member.
+                    let unvisited = (n - visited_count) as u64;
+                    scalar_instructions += 4 * unvisited + bits / 16 + 50;
+                    scalar_bytes += 12 * unvisited + bits / 8;
+                    bitmap_levels += 1;
+
                     if visited_stale {
                         sys.store(&visited, &visited_host)?;
                         visited_stale = false;
                     }
-                    sys.store(&reach, &next_bits)?;
-                    sys.or_many(&[&visited, &reach], &visited)?;
+                    sys.store(&reach, &reach_host)?;
+                    scalar_instructions += bits / 16; // bitmap assembly, word-granular
                     scalar_bytes += bits / 8;
+
+                    sys.not(&visited, &not_visited)?;
+                    sys.bitwise(
+                        pinatubo_core::BitwiseOp::And,
+                        &[&reach, &not_visited],
+                        &pruned,
+                    )?;
+                    sys.bitwise(pinatubo_core::BitwiseOp::Xor, &[&pruned, &reach], &delta)?;
+                    sys.or_many(&[&visited, &pruned], &visited)?;
+
+                    // Scalar: read the pruned bitmap back into the frontier.
+                    let next_bits = sys.load(&pruned);
+                    scalar_instructions += bits / 16;
+                    scalar_bytes += bits / 8;
+                    frontier.clear();
+                    for (v, &set) in next_bits.iter().enumerate() {
+                        if set {
+                            visited_host[v] = true;
+                            visited_count += 1;
+                            levels[v] = level;
+                            frontier.push(v as u32);
+                        }
+                    }
                 } else {
-                    // Pure scalar regime: the PIM-side bitmap is synced
-                    // lazily before the next bulk operation.
-                    visited_stale = true;
+                    // Scalar expansion (top-down): walk the reach set directly.
+                    scalar_instructions += 3 * edges_scanned + 8 * frontier.len() as u64 + 50;
+                    scalar_bytes += edges_scanned * 4;
+                    scalar_levels += 1;
+
+                    let mut next = Vec::new();
+                    for &u in &reach_touched {
+                        let v = u as usize;
+                        if !visited_host[v] {
+                            visited_host[v] = true;
+                            visited_count += 1;
+                            levels[v] = level;
+                            next.push(u);
+                            scalar_instructions += 10;
+                        }
+                    }
+                    if frontier.len() > hybrid_threshold {
+                        // Hybrid regime: merge the discovered set into the
+                        // visited bitmap with one bulk OR.
+                        let mut next_bits = vec![false; n];
+                        for &u in &next {
+                            next_bits[u as usize] = true;
+                        }
+                        if visited_stale {
+                            sys.store(&visited, &visited_host)?;
+                            visited_stale = false;
+                        }
+                        sys.store(&reach, &next_bits)?;
+                        sys.or_many(&[&visited, &reach], &visited)?;
+                        scalar_bytes += bits / 8;
+                    } else {
+                        // Pure scalar regime: the PIM-side bitmap is synced
+                        // lazily before the next bulk operation.
+                        visited_stale = true;
+                    }
+                    frontier = next;
                 }
-                frontier = next;
             }
         }
-    }
 
-    let trace = sys.take_trace();
-    // CSR edges + per-vertex records (labels, offsets, queue slots) + the
-    // working bitmaps: what the processor-side run actually streams.
-    let footprint_bytes = graph.edge_count() * 8 + bits * 64 + 5 * bits / 8;
-    Ok(FrontierBfsResult {
-        levels,
-        bitmap_levels,
-        scalar_levels,
-        components,
-        run: AppRun {
-            name: String::new(),
-            trace,
-            scalar_instructions,
-            scalar_bytes,
-            footprint_bytes,
-        },
-    })
+        let trace = sys.take_trace();
+        // CSR edges + per-vertex records (labels, offsets, queue slots) + the
+        // working bitmaps: what the processor-side run actually streams.
+        let footprint_bytes = graph.edge_count() * 8 + bits * 64 + 5 * bits / 8;
+        Ok(FrontierBfsResult {
+            levels,
+            bitmap_levels,
+            scalar_levels,
+            components,
+            run: AppRun {
+                name: String::new(),
+                trace,
+                scalar_instructions,
+                scalar_bytes,
+                footprint_bytes,
+            },
+        })
+    })();
+    sys.release_vecs([&visited, &reach, &not_visited, &pruned, &delta]);
+    result
 }
 
 #[cfg(test)]

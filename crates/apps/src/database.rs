@@ -17,6 +17,7 @@
 use crate::AppRun;
 use pinatubo_core::rng::SimRng;
 use pinatubo_core::BitwiseOp;
+use pinatubo_runtime::microcode::{self, CompileOptions, MicroProgram, TransposedVec};
 use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
 
 /// Shape of the synthetic event table.
@@ -95,14 +96,30 @@ impl BitmapIndex {
         let final_scratch = group.pop().expect("group includes the final buffer");
         let attr_scratch = group.split_off(spec.attributes * spec.bins);
 
-        let mut bitmaps = Vec::with_capacity(spec.attributes);
+        let mut bitmaps: Vec<Vec<PimBitVec>> = Vec::with_capacity(spec.attributes);
         let mut group_iter = group.into_iter();
         for column in &columns {
             let mut attr_maps = Vec::with_capacity(spec.bins);
             for bin in 0..spec.bins {
                 let vec = group_iter.next().expect("group sized for all bitmaps");
                 let bits: Vec<bool> = column.iter().map(|&c| usize::from(c) == bin).collect();
-                sys.store(&vec, &bits)?;
+                if let Err(e) = sys.store(&vec, &bits) {
+                    // A failed store must not leak the placement group:
+                    // hand back every row — the bitmaps stored so far, this
+                    // one, the untouched tail, and the query buffers.
+                    attr_maps.push(vec);
+                    let tail: Vec<PimBitVec> = group_iter.collect();
+                    sys.release_vecs(
+                        bitmaps
+                            .iter()
+                            .flatten()
+                            .chain(&attr_maps)
+                            .chain(&tail)
+                            .chain(&attr_scratch)
+                            .chain(std::iter::once(&final_scratch)),
+                    );
+                    return Err(e);
+                }
                 attr_maps.push(vec);
             }
             bitmaps.push(attr_maps);
@@ -181,10 +198,185 @@ impl BitmapIndex {
             .count() as u64
     }
 
+    /// Evaluates `query` with an aggregation pushdown: the measure
+    /// predicate `column[r] >= min_value` is computed in PIM as a
+    /// bit-serial comparison, ANDed into the bitmap result, and counted
+    /// in memory — only the final count crosses the bus, instead of the
+    /// base query's whole hit set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/operation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` does not cover the table's rows.
+    pub fn run_query_filtered(
+        &self,
+        query: &Query,
+        column: &ValueColumn,
+        min_value: u64,
+        sys: &mut PimSystem,
+    ) -> Result<QueryOutcome, RuntimeError> {
+        assert_eq!(
+            column.values().len() as u64,
+            self.spec.rows,
+            "the measure column must cover every event"
+        );
+        let mut scalar_instructions = 60; // parse/plan, incl. the predicate
+        for (a, &(lo, hi)) in query.ranges.iter().enumerate() {
+            let operands: Vec<&PimBitVec> = (lo..=hi)
+                .map(|b| &self.bitmaps[a][usize::from(b)])
+                .collect();
+            scalar_instructions += 10 * operands.len() as u64;
+            if operands.len() == 1 {
+                sys.or_many(&[operands[0], operands[0]], &self.attr_scratch[a])?;
+            } else {
+                sys.or_many(&operands, &self.attr_scratch[a])?;
+            }
+        }
+
+        // The predicate mask joins the AND chain like another attribute.
+        let predicate = column.filter_ge(min_value, sys)?;
+        let mut refs: Vec<&PimBitVec> = self.attr_scratch.iter().collect();
+        refs.push(&predicate);
+        let and_outcome = sys.bitwise(BitwiseOp::And, &refs, &self.final_scratch);
+        // The mask is per-query scratch: return its row either way.
+        sys.release_vecs(std::iter::once(&predicate));
+        and_outcome?;
+
+        let count = sys.count_ones(&self.final_scratch);
+        scalar_instructions += 800 * count;
+        Ok(QueryOutcome {
+            count,
+            scalar_instructions,
+            scalar_bytes: self.spec.rows / 8 + 1100 * count,
+        })
+    }
+
+    /// Scalar reference for [`Self::run_query_filtered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` does not cover the table's rows.
+    #[must_use]
+    pub fn count_reference_filtered(
+        &self,
+        query: &Query,
+        column: &ValueColumn,
+        min_value: u64,
+    ) -> u64 {
+        assert_eq!(column.values().len() as u64, self.spec.rows);
+        (0..self.spec.rows as usize)
+            .filter(|&r| {
+                column.values()[r] >= min_value
+                    && query.ranges.iter().enumerate().all(|(a, &(lo, hi))| {
+                        let bin = self.columns[a][r];
+                        bin >= lo && bin <= hi
+                    })
+            })
+            .count() as u64
+    }
+
     /// Total index footprint in bytes (all bitmaps).
     #[must_use]
     pub fn footprint_bytes(&self) -> u64 {
         self.spec.rows / 8 * (self.spec.attributes * self.spec.bins) as u64
+    }
+}
+
+/// A per-event integer measure column resident in PIM memory in
+/// bit-transposed form, so predicates on it evaluate as bit-serial
+/// µ-ops instead of streaming the values to the CPU.
+#[derive(Debug)]
+pub struct ValueColumn {
+    values: Vec<u64>,
+    planes: TransposedVec,
+}
+
+impl ValueColumn {
+    /// Loads a measure column (setup, uncharged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/store failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, `width_bits` is outside `1..=64`, or
+    /// any value overflows the declared width.
+    pub fn build(
+        values: Vec<u64>,
+        width_bits: u32,
+        sys: &mut PimSystem,
+    ) -> Result<Self, RuntimeError> {
+        assert!(!values.is_empty(), "a measure column needs values");
+        if width_bits < 64 {
+            assert!(
+                values.iter().all(|&v| v >> width_bits == 0),
+                "values must fit the declared column width"
+            );
+        }
+        let planes = sys.alloc_transposed(values.len() as u64, width_bits)?;
+        if let Err(e) = sys.store_lanes(&planes, &values) {
+            // Don't leak the placement group on a failed load.
+            sys.release_vecs(planes.planes());
+            return Err(e);
+        }
+        Ok(ValueColumn { values, planes })
+    }
+
+    /// A synthetic measure (e.g. event energy), clustered like real
+    /// detector data.
+    #[must_use]
+    pub fn synthetic_values(rows: u64, width_bits: u32, seed: u64) -> Vec<u64> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let max = if width_bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << width_bits) - 1
+        };
+        (0..rows)
+            .map(|_| {
+                let a = rng.gen_range_u64(0, max / 2 + 1);
+                let b = rng.gen_range_u64(0, max / 2 + 1);
+                a + b // triangular, like the binned attributes
+            })
+            .collect()
+    }
+
+    /// The ground-truth values.
+    #[must_use]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The column's lane width in bits.
+    #[must_use]
+    pub fn width_bits(&self) -> u32 {
+        self.planes.width_bits()
+    }
+
+    /// Computes the predicate mask `value >= min_value` with the
+    /// bit-serial comparator, returning a freshly allocated mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/operation failures.
+    pub fn filter_ge(
+        &self,
+        min_value: u64,
+        sys: &mut PimSystem,
+    ) -> Result<PimBitVec, RuntimeError> {
+        let mask = sys.alloc(self.values.len() as u64)?;
+        let program = MicroProgram::cmp_ge_const(&self.planes, min_value, &mask);
+        match microcode::run(&[program], CompileOptions::default(), sys) {
+            Ok(_) => Ok(mask),
+            Err(e) => {
+                sys.release_vecs(std::iter::once(&mask));
+                Err(e)
+            }
+        }
     }
 }
 
@@ -328,6 +520,60 @@ mod tests {
         );
         assert!(run.trace.iter().any(|o| o.op == BitwiseOp::And));
         assert!(run.scalar_instructions > 0);
+    }
+
+    #[test]
+    fn filtered_query_counts_match_reference() {
+        let mut s = sys();
+        let spec = small_spec();
+        let index = BitmapIndex::build(spec, &mut s).expect("build");
+        let column = ValueColumn::build(
+            ValueColumn::synthetic_values(spec.rows, 12, 0xC0),
+            12,
+            &mut s,
+        )
+        .expect("column");
+        let free_before = s.allocator().free_rows();
+        let mut rng = SimRng::seed_from_u64(11);
+        for min_value in [0u64, 1, 500, 2048, 4000, 4095, 4096] {
+            let q = Query::random(index.spec(), &mut rng);
+            let got = index
+                .run_query_filtered(&q, &column, min_value, &mut s)
+                .expect("query")
+                .count;
+            assert_eq!(
+                got,
+                index.count_reference_filtered(&q, &column, min_value),
+                "query {q:?} min {min_value}"
+            );
+        }
+        // Predicate masks and comparator scratch are per-query: the free
+        // pool must round-trip across the whole batch.
+        assert_eq!(s.allocator().free_rows(), free_before);
+    }
+
+    #[test]
+    fn pushdown_beats_unfiltered_scalar_cost() {
+        let mut s = sys();
+        let spec = small_spec();
+        let index = BitmapIndex::build(spec, &mut s).expect("build");
+        let column = ValueColumn::build(
+            ValueColumn::synthetic_values(spec.rows, 12, 0xC1),
+            12,
+            &mut s,
+        )
+        .expect("column");
+        let q = Query {
+            ranges: vec![(0, 7); 3],
+        };
+        // A selective predicate leaves the PIM side with far fewer hits to
+        // hand to the scalar aggregator than the unfiltered query.
+        let base = index.run_query(&q, &mut s).expect("base");
+        let pushed = index
+            .run_query_filtered(&q, &column, 3500, &mut s)
+            .expect("pushed");
+        assert!(pushed.count < base.count);
+        assert!(pushed.scalar_instructions < base.scalar_instructions);
     }
 
     #[test]

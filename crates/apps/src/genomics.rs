@@ -94,7 +94,11 @@ impl KmerCohort {
         let mut names = Vec::with_capacity(samples.len());
         let mut sequences = Vec::with_capacity(samples.len());
         for ((name, sequence), bitmap) in samples.into_iter().zip(&group) {
-            sys.store(bitmap, &kmer_presence_bits(&sequence, k))?;
+            if let Err(e) = sys.store(bitmap, &kmer_presence_bits(&sequence, k)) {
+                // A failed store must not leak the placement group.
+                sys.release_vecs(group.iter().chain(&scratch));
+                return Err(e);
+            }
             names.push(name);
             sequences.push(sequence);
         }

@@ -2,17 +2,14 @@
 //! operations with image processing \[6\] (fast color segmentation); this
 //! module builds that workload on Pinatubo.
 //!
-//! An 8-bit grayscale channel is stored as eight *bit planes*, each a
-//! `width × height`-bit vector. A threshold test `pixel > t` then becomes
-//! a bit-serial magnitude comparison — a fixed sequence of AND / OR / NOT
-//! / XOR operations over the planes, entirely inter-row work:
-//!
-//! ```text
-//! gt ← 0, eq ← 1
-//! for k = 7 … 0:
-//!     if t_k == 0:  gt ← gt OR (eq AND plane_k);  eq ← eq AND NOT plane_k
-//!     else:         eq ← eq AND plane_k
-//! ```
+//! An 8-bit grayscale channel is stored bit-transposed
+//! ([`TransposedVec`]): plane `k` holds bit `k` of every pixel. A
+//! threshold test `pixel > t` is then exactly the runtime's
+//! `ThresholdConst` µ-op — the magnitude-comparison ladder this module
+//! used to hand-roll now comes from `runtime::microcode`, which folds the
+//! constant's planes away and fuses the chain (one AND or OR per bit
+//! position after absorption). [`BitPlaneChannel::threshold_reference`]
+//! stays as the pinned scalar oracle.
 //!
 //! Color segmentation ANDs per-channel threshold masks together — the
 //! same conjunctive structure as the database workload, on image data.
@@ -20,16 +17,15 @@
 use crate::AppRun;
 use pinatubo_core::rng::SimRng;
 use pinatubo_core::BitwiseOp;
+use pinatubo_runtime::microcode::{self, CompileOptions, MicroProgram, TransposedVec};
 use pinatubo_runtime::{PimBitVec, PimSystem, RuntimeError};
 
 /// One 8-bit image channel resident in PIM memory as bit planes.
 #[derive(Debug)]
 pub struct BitPlaneChannel {
     pixels: Vec<u8>,
-    /// `planes[k]` holds bit `k` of every pixel.
-    planes: Vec<PimBitVec>,
-    /// Reusable scratch vectors co-allocated with the planes.
-    scratch: Vec<PimBitVec>,
+    /// The bit-transposed pixel data: plane `k` holds bit `k`.
+    planes: TransposedVec,
 }
 
 impl BitPlaneChannel {
@@ -47,19 +43,15 @@ impl BitPlaneChannel {
     /// Panics if `pixels` is empty.
     pub fn load(pixels: Vec<u8>, sys: &mut PimSystem) -> Result<Self, RuntimeError> {
         assert!(!pixels.is_empty(), "an image needs at least one pixel");
-        let bits = pixels.len() as u64;
-        // Planes + comparator scratch (gt, eq, tmp) in one placement group.
-        let mut group = sys.alloc_group(Self::PLANES + 3, bits)?;
-        let scratch = group.split_off(Self::PLANES);
-        for (k, plane) in group.iter().enumerate() {
-            let plane_bits: Vec<bool> = pixels.iter().map(|&p| p >> k & 1 == 1).collect();
-            sys.store(plane, &plane_bits)?;
+        let lanes = pixels.len() as u64;
+        let planes = sys.alloc_transposed(lanes, Self::PLANES as u32)?;
+        let values: Vec<u64> = pixels.iter().map(|&p| u64::from(p)).collect();
+        if let Err(e) = sys.store_lanes(&planes, &values) {
+            // Don't leak the placement group on a failed load.
+            sys.release_vecs(planes.planes());
+            return Err(e);
         }
-        Ok(BitPlaneChannel {
-            pixels,
-            planes: group,
-            scratch,
-        })
+        Ok(BitPlaneChannel { pixels, planes })
     }
 
     /// A synthetic test image: a smooth gradient with bright blobs, the
@@ -110,8 +102,10 @@ impl BitPlaneChannel {
         &self.pixels
     }
 
-    /// Computes the mask `pixel > threshold` with the bit-serial
-    /// comparator, returning a freshly allocated mask vector.
+    /// Computes the mask `pixel > threshold` via the `ThresholdConst`
+    /// µ-op, returning a freshly allocated mask vector. Compilation folds
+    /// the constant's uniform planes and recycles its scratch rows; the
+    /// requests run through the batch planner.
     ///
     /// # Errors
     ///
@@ -121,30 +115,16 @@ impl BitPlaneChannel {
         threshold: u8,
         sys: &mut PimSystem,
     ) -> Result<PimBitVec, RuntimeError> {
-        let bits = self.pixels.len() as u64;
-        let mask = sys.alloc(bits)?;
-        let [gt, eq, tmp] = [&self.scratch[0], &self.scratch[1], &self.scratch[2]];
-
-        // gt ← 0, eq ← 1 (setup writes).
-        sys.store(gt, &vec![false; bits as usize])?;
-        sys.store(eq, &vec![true; bits as usize])?;
-
-        for k in (0..Self::PLANES).rev() {
-            let plane = &self.planes[k];
-            if threshold >> k & 1 == 0 {
-                // gt |= eq & plane ; eq &= !plane
-                sys.bitwise(BitwiseOp::And, &[eq, plane], tmp)?;
-                sys.bitwise(BitwiseOp::Or, &[gt, tmp], gt)?;
-                sys.bitwise(BitwiseOp::Not, &[plane], tmp)?;
-                sys.bitwise(BitwiseOp::And, &[eq, tmp], eq)?;
-            } else {
-                // eq &= plane
-                sys.bitwise(BitwiseOp::And, &[eq, plane], eq)?;
+        let mask = sys.alloc(self.pixels.len() as u64)?;
+        let program = MicroProgram::threshold_const(&self.planes, u64::from(threshold), &mask);
+        match microcode::run(&[program], CompileOptions::default(), sys) {
+            Ok(_) => Ok(mask),
+            Err(e) => {
+                // The mask is half-written garbage: return its row too.
+                sys.release_vecs(std::iter::once(&mask));
+                Err(e)
             }
         }
-        // Materialize the result out of the scratch register.
-        sys.bitwise(BitwiseOp::Or, &[gt, gt], &mask)?;
-        Ok(mask)
     }
 
     /// Scalar reference mask.
@@ -279,21 +259,15 @@ mod tests {
     }
 
     #[test]
-    fn workload_uses_all_four_ops() {
+    fn workload_uses_fused_comparator_ops() {
         let mut s = sys();
         let run = run_image_workload(64, 64, 3, &mut s).expect("workload");
-        for op in [
-            BitwiseOp::And,
-            BitwiseOp::Or,
-            BitwiseOp::Xor,
-            BitwiseOp::Not,
-        ] {
+        // The fused ThresholdConst chain const-folds the threshold's
+        // planes and absorbs the NOTs, so for mid-range thresholds the
+        // trace is pure AND/OR ladder steps.
+        for op in [BitwiseOp::And, BitwiseOp::Or] {
             let used = run.trace.iter().any(|o| o.op == op);
-            // XOR only appears via thresholds whose comparator needs it —
-            // AND/OR/NOT always do.
-            if op != BitwiseOp::Xor {
-                assert!(used, "trace should contain {op}");
-            }
+            assert!(used, "trace should contain {op}");
         }
         assert!(run.scalar_instructions > 0);
     }

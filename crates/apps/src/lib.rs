@@ -26,6 +26,7 @@ pub mod database;
 pub mod genomics;
 pub mod graph;
 pub mod image;
+pub mod intvec;
 pub mod vector;
 pub mod workloads;
 

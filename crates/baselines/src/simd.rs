@@ -12,7 +12,7 @@
 //! real applications, which is what limits overall speedup in Fig. 12.
 
 use crate::{BitwiseExecutor, ExecReport};
-use pinatubo_core::{BitwiseOp, BulkOp};
+use pinatubo_core::{ArithOp, BitwiseOp, BulkOp};
 
 /// 1 W sustained for 1 ns is 1000 pJ.
 const PJ_PER_WATT_NS: f64 = 1000.0;
@@ -169,6 +169,41 @@ impl SimdCpu {
         f64::from(self.simd_bits) * self.simd_ops_per_cycle * f64::from(self.cores) * self.freq_ghz
     }
 
+    /// Prices a lane-wise integer kernel (`runtime::microcode`'s
+    /// competition): `lanes` elements of `width_bits` each, processed with
+    /// packed-integer SIMD (one `paddb`/`pcmpgt`/`pminu`-class op per
+    /// vector of lanes). Two-operand ops stream both inputs; constant
+    /// comparisons stream one. Comparison results are written as packed
+    /// one-bit masks; arithmetic results are full-width.
+    #[must_use]
+    pub fn arith_report(&self, op: ArithOp, lanes: u64, width_bits: u32) -> ExecReport {
+        // Lanes are stored at the next power-of-two element width the
+        // SIMD ISA supports (8/16/32/64-bit packed integers).
+        let elem_bits = u64::from(width_bits.next_power_of_two().max(8));
+        let read_vectors: u64 = if op.takes_constant() { 1 } else { 2 };
+        let read_bits = read_vectors * lanes * elem_bits;
+        let write_bits = if op.result_is_mask() {
+            lanes
+        } else {
+            lanes * elem_bits
+        };
+        let working_set = (read_bits + write_bits) / 8;
+        let level = *self.level_for(working_set);
+
+        let move_ns = (read_bits as f64 / 8.0) / level.bandwidth_gbps
+            + (write_bits as f64 / 8.0) / self.mem_or_level_write_bw(&level);
+        let elems_per_vec = f64::from(self.simd_bits) / elem_bits as f64;
+        let vector_ops = lanes as f64 / elems_per_vec;
+        let compute_ns =
+            vector_ops / (self.simd_ops_per_cycle * f64::from(self.cores) * self.freq_ghz);
+        let time_ns = move_ns.max(compute_ns) + self.op_overhead_ns;
+
+        let energy_pj = read_bits as f64 * (level.read_pj_per_bit + self.pipeline_pj_per_bit)
+            + write_bits as f64 * (level.write_pj_per_bit + self.pipeline_pj_per_bit)
+            + self.package_power_w * time_ns * PJ_PER_WATT_NS;
+        ExecReport { time_ns, energy_pj }
+    }
+
     /// Prices scalar (non-bitwise) application work: `instructions`
     /// executed while touching `bytes` of data. Used for the overall
     /// application results (Fig. 12), where this part is common to every
@@ -240,6 +275,31 @@ impl SimdCpu {
             level.bandwidth_gbps
         }
     }
+}
+
+/// The scalar reference path for the bit-serial arithmetic µ-ops: the
+/// host loop every compiled µ-program is verified against, bit for bit.
+/// `b` is the second operand vector or `None` for broadcast-constant ops
+/// (the constant then comes from `konst`).
+///
+/// # Panics
+///
+/// If `b` is shorter than `a`.
+#[must_use]
+pub fn arith_reference(
+    op: ArithOp,
+    a: &[u64],
+    b: Option<&[u64]>,
+    konst: u64,
+    width_bits: u32,
+) -> Vec<u64> {
+    a.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let rhs = b.map_or(konst, |b| b[i]);
+            op.eval_lane(x, rhs, width_bits)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -324,5 +384,43 @@ mod tests {
     fn name_reflects_memory() {
         assert_eq!(SimdCpu::with_pcm().name(), "SIMD/PCM");
         assert_eq!(SimdCpu::with_dram().name(), "SIMD/DRAM");
+    }
+
+    #[test]
+    fn arith_report_scales_with_lanes_and_width() {
+        let mut cpu = SimdCpu::with_pcm();
+        cpu.set_workload_footprint(Some(4 << 30));
+        let small = cpu.arith_report(ArithOp::Add, 1 << 10, 8);
+        let more_lanes = cpu.arith_report(ArithOp::Add, 1 << 16, 8);
+        let wider = cpu.arith_report(ArithOp::Add, 1 << 16, 32);
+        assert!(more_lanes.time_ns > small.time_ns);
+        assert!(wider.time_ns > more_lanes.time_ns);
+        assert!(wider.energy_pj > more_lanes.energy_pj);
+    }
+
+    #[test]
+    fn arith_masks_write_less_than_vectors() {
+        let mut cpu = SimdCpu::with_pcm();
+        cpu.set_workload_footprint(Some(4 << 30));
+        let cmp = cpu.arith_report(ArithOp::CmpGe, 1 << 16, 32);
+        let add = cpu.arith_report(ArithOp::Add, 1 << 16, 32);
+        assert!(cmp.energy_pj < add.energy_pj);
+        // A constant threshold streams one input instead of two.
+        let thr = cpu.arith_report(ArithOp::ThresholdConst, 1 << 16, 32);
+        assert!(thr.time_ns < cmp.time_ns);
+    }
+
+    #[test]
+    fn arith_reference_matches_eval_lane() {
+        let a = [0u64, 255, 17, 128];
+        let b = [255u64, 255, 42, 127];
+        assert_eq!(
+            arith_reference(ArithOp::Sub, &a, Some(&b), 0, 8),
+            vec![1, 0, 231, 1]
+        );
+        assert_eq!(
+            arith_reference(ArithOp::ThresholdConst, &a, None, 127, 8),
+            vec![0, 1, 0, 1]
+        );
     }
 }

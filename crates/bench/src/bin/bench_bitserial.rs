@@ -1,0 +1,387 @@
+//! Bit-serial arithmetic µ-programs: fused vs unfused compilation, and
+//! PIM vs the SIMD host baseline.
+//!
+//! Each row compiles one kernel twice over identical bit-transposed
+//! operands:
+//!
+//! * **unfused** — `CompileOptions::unoptimized()`: every µ-program
+//!   lowers its own full-adder ladder, no sharing, no fusion;
+//! * **fused** — `CompileOptions::optimized()`: hash-consed CSE shares
+//!   carry/borrow chains across the batch's programs, same-op gate
+//!   fusion widens activations, and liveness recycles scratch rows.
+//!
+//! Both executions must produce bit-identical results (also checked
+//! against the scalar reference), so the activation and modeled-makespan
+//! deltas are pure compiler wins. The `shared` kernel — `Sub`, `CmpGe`,
+//! `CmpLt` and `Min` over the same operands, four programs needing one
+//! borrow chain — is the pinned shared-subexpression shape: its fused
+//! activation count must undercut unfused by at least
+//! [`SHARED_MIN_ACTIVATION_CUT`].
+//!
+//! The SIMD columns price the same kernel on the paper's host CPU model
+//! (packed-integer ops, roofline over the cache hierarchy) attached to
+//! PCM, with the workload footprint set to the kernel's actual working
+//! set.
+//!
+//! ```console
+//! $ cargo run --release -p pinatubo-bench --bin bench_bitserial
+//! $ cargo run --release -p pinatubo-bench --bin bench_bitserial -- --smoke
+//! ```
+//!
+//! `--smoke` runs the pinned shapes and asserts only correctness and the
+//! pinned compiler wins (fused bits == unfused bits == reference, fused
+//! requests and activations strictly drop on `shared`, and the
+//! activation cut meets the floor) — **no JSON output**, so CI runners
+//! can never overwrite the committed measurement.
+
+use pinatubo_baselines::simd::arith_reference;
+use pinatubo_baselines::SimdCpu;
+use pinatubo_core::rng::SimRng;
+use pinatubo_core::ArithOp;
+use pinatubo_runtime::microcode::{self, CompileOptions, MicroProgram, TransposedVec};
+use pinatubo_runtime::{MappingPolicy, PimBitVec, PimSystem};
+
+/// Minimum fraction of unfused activations the fused compilation must
+/// eliminate on the `shared` kernel. The shape is deterministic, so this
+/// is a regression pin, not a noisy threshold. (Measured at width 16:
+/// ~0.4; the ISSUE floor is 15%.)
+const SHARED_MIN_ACTIVATION_CUT: f64 = 0.15;
+
+fn sys() -> PimSystem {
+    PimSystem::pcm_default(MappingPolicy::SubarrayFirst)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Add,
+    CmpGe,
+    Max,
+    Shared,
+}
+
+impl Kernel {
+    fn name(self) -> &'static str {
+        match self {
+            Kernel::Add => "add",
+            Kernel::CmpGe => "cmp_ge",
+            Kernel::Max => "max",
+            Kernel::Shared => "shared",
+        }
+    }
+
+    /// The arithmetic ops the kernel performs (also the SIMD pricing).
+    fn ops(self) -> &'static [ArithOp] {
+        match self {
+            Kernel::Add => &[ArithOp::Add],
+            Kernel::CmpGe => &[ArithOp::CmpGe],
+            Kernel::Max => &[ArithOp::Max],
+            Kernel::Shared => &[ArithOp::Sub, ArithOp::CmpGe, ArithOp::CmpLt, ArithOp::Min],
+        }
+    }
+}
+
+/// Deterministic operand lanes with the wrap/borrow corners pinned.
+fn lane_values(seed: u64, count: usize, width: u32) -> Vec<u64> {
+    let max = ArithOp::lane_mask(width);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..count).map(|_| rng.gen_range_u64(0, max) + 1).collect();
+    let pins = [0, max, max - 1, 1, max / 2];
+    for (slot, pin) in v.iter_mut().zip(pins) {
+        *slot = pin;
+    }
+    v
+}
+
+/// A kernel instance on one system: the programs plus every output with
+/// its expected value.
+struct KernelInstance {
+    programs: Vec<MicroProgram>,
+    expect_vecs: Vec<(TransposedVec, Vec<u64>)>,
+    expect_masks: Vec<(PimBitVec, Vec<bool>)>,
+}
+
+fn build_kernel(kernel: Kernel, width: u32, lanes: usize, s: &mut PimSystem) -> KernelInstance {
+    let a_values = lane_values(0xA11 ^ u64::from(width), lanes, width);
+    let b_values = lane_values(0xB22 ^ lanes as u64, lanes, width);
+    let a = s.alloc_transposed(lanes as u64, width).expect("a");
+    let b = s.alloc_transposed(lanes as u64, width).expect("b");
+    s.store_lanes(&a, &a_values).expect("store a");
+    s.store_lanes(&b, &b_values).expect("store b");
+
+    let mut programs = Vec::new();
+    let mut expect_vecs = Vec::new();
+    let mut expect_masks = Vec::new();
+    for &op in kernel.ops() {
+        let want = arith_reference(op, &a_values, Some(&b_values), 0, width);
+        if op.result_is_mask() {
+            let mask = s.alloc(lanes as u64).expect("mask");
+            programs.push(match op {
+                ArithOp::CmpGe => MicroProgram::cmp_ge(&a, &b, &mask),
+                ArithOp::CmpLt => MicroProgram::cmp_lt(&a, &b, &mask),
+                _ => unreachable!("mask kernels"),
+            });
+            expect_masks.push((mask, want.into_iter().map(|v| v != 0).collect()));
+        } else {
+            let dst = s.alloc_transposed(lanes as u64, width).expect("dst");
+            programs.push(match op {
+                ArithOp::Add => MicroProgram::add(&a, &b, &dst),
+                ArithOp::Sub => MicroProgram::sub(&a, &b, &dst),
+                ArithOp::Max => MicroProgram::max(&a, &b, &dst),
+                ArithOp::Min => MicroProgram::min(&a, &b, &dst),
+                _ => unreachable!("vector kernels"),
+            });
+            expect_vecs.push((dst, want));
+        }
+    }
+    KernelInstance {
+        programs,
+        expect_vecs,
+        expect_masks,
+    }
+}
+
+/// One compilation mode's measured run.
+struct ModeRun {
+    requests: usize,
+    live_gates: usize,
+    scratch_planes: usize,
+    activations: u64,
+    makespan_ns: f64,
+    pim_time_ns: f64,
+    pim_energy_pj: f64,
+}
+
+fn run_mode(kernel: Kernel, width: u32, lanes: usize, opts: CompileOptions) -> ModeRun {
+    let mut s = sys();
+    let instance = build_kernel(kernel, width, lanes, &mut s);
+    s.take_stats();
+    let batch = microcode::compile(&instance.programs, opts, &mut s).expect("compile");
+    let report = batch.execute(&mut s).expect("execute");
+    let run = ModeRun {
+        requests: batch.requests().len(),
+        live_gates: batch.live_gates(),
+        scratch_planes: batch.scratch_planes(),
+        activations: report.per_op.iter().map(|(_, op)| op.activations).sum(),
+        makespan_ns: report.makespan.makespan_ns,
+        pim_time_ns: s.stats().time_ns,
+        pim_energy_pj: s.stats().total_energy_pj(),
+    };
+    batch.release(&mut s);
+    // Every output must match the scalar reference, in both modes.
+    for (v, want) in &instance.expect_vecs {
+        assert_eq!(
+            &s.load_lanes(v),
+            want,
+            "{} diverged from reference (width={width}, lanes={lanes}, {opts:?})",
+            kernel.name()
+        );
+    }
+    for (m, want) in &instance.expect_masks {
+        assert_eq!(
+            &s.load(m),
+            want,
+            "{} mask diverged from reference (width={width}, lanes={lanes}, {opts:?})",
+            kernel.name()
+        );
+    }
+    run
+}
+
+struct Measurement {
+    kernel: Kernel,
+    width: u32,
+    lanes: usize,
+    fused: ModeRun,
+    unfused: ModeRun,
+    simd_time_ns: f64,
+    simd_energy_pj: f64,
+}
+
+impl Measurement {
+    /// Fraction of unfused activations eliminated by fusion + CSE.
+    fn activation_cut(&self) -> f64 {
+        if self.unfused.activations == 0 {
+            0.0
+        } else {
+            1.0 - self.fused.activations as f64 / self.unfused.activations as f64
+        }
+    }
+
+    /// Fraction of the unfused modeled makespan eliminated.
+    fn makespan_cut(&self) -> f64 {
+        if self.unfused.makespan_ns == 0.0 {
+            0.0
+        } else {
+            1.0 - self.fused.makespan_ns / self.unfused.makespan_ns
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\n      \"kernel\": \"{}\",\n      \"width_bits\": {},\n      \
+             \"lanes\": {},\n      \"programs\": {},\n      \
+             \"unfused_requests\": {},\n      \"fused_requests\": {},\n      \
+             \"fused_live_gates\": {},\n      \"fused_scratch_planes\": {},\n      \
+             \"unfused_activations\": {},\n      \"fused_activations\": {},\n      \
+             \"activation_cut\": {:.4},\n      \"unfused_makespan_ns\": {:.3},\n      \
+             \"fused_makespan_ns\": {:.3},\n      \"makespan_cut\": {:.4},\n      \
+             \"pim_time_ns\": {:.3},\n      \"pim_energy_pj\": {:.3},\n      \
+             \"simd_time_ns\": {:.3},\n      \"simd_energy_pj\": {:.3}\n    }}",
+            self.kernel.name(),
+            self.width,
+            self.lanes,
+            self.kernel.ops().len(),
+            self.unfused.requests,
+            self.fused.requests,
+            self.fused.live_gates,
+            self.fused.scratch_planes,
+            self.unfused.activations,
+            self.fused.activations,
+            self.activation_cut(),
+            self.unfused.makespan_ns,
+            self.fused.makespan_ns,
+            self.makespan_cut(),
+            self.fused.pim_time_ns,
+            self.fused.pim_energy_pj,
+            self.simd_time_ns,
+            self.simd_energy_pj,
+        )
+    }
+}
+
+fn measure(kernel: Kernel, width: u32, lanes: usize) -> Measurement {
+    let fused = run_mode(kernel, width, lanes, CompileOptions::optimized());
+    let unfused = run_mode(kernel, width, lanes, CompileOptions::unoptimized());
+
+    // The SIMD host prices the same kernel with packed-integer ops over
+    // its actual working set (two input vectors + the outputs).
+    let elem_bytes = u64::from(width.next_power_of_two().max(8)) / 8;
+    let footprint = (2 + kernel.ops().len() as u64) * lanes as u64 * elem_bytes;
+    let mut cpu = SimdCpu::with_pcm();
+    cpu.set_workload_footprint(Some(footprint));
+    let (mut simd_time_ns, mut simd_energy_pj) = (0.0, 0.0);
+    for &op in kernel.ops() {
+        let r = cpu.arith_report(op, lanes as u64, width);
+        simd_time_ns += r.time_ns;
+        simd_energy_pj += r.energy_pj;
+    }
+
+    Measurement {
+        kernel,
+        width,
+        lanes,
+        fused,
+        unfused,
+        simd_time_ns,
+        simd_energy_pj,
+    }
+}
+
+fn check(m: &Measurement) {
+    // Results were pinned to the scalar reference inside run_mode for
+    // both modes, so fused == unfused == reference bits already held.
+    assert!(
+        m.fused.activations <= m.unfused.activations,
+        "{}: fusion must never add activations ({} vs {})",
+        m.kernel.name(),
+        m.fused.activations,
+        m.unfused.activations
+    );
+    assert!(
+        m.fused.requests <= m.unfused.requests,
+        "{}: fusion must never add requests",
+        m.kernel.name()
+    );
+    assert!(
+        m.fused.scratch_planes <= m.fused.live_gates.max(1),
+        "{}: liveness recycling must not allocate a slot per gate",
+        m.kernel.name()
+    );
+    if m.kernel == Kernel::Shared {
+        assert!(
+            m.fused.requests < m.unfused.requests,
+            "shared: CSE must strictly drop the request count"
+        );
+        assert!(
+            m.fused.activations < m.unfused.activations,
+            "shared: CSE must strictly drop activations"
+        );
+        assert!(
+            m.activation_cut() >= SHARED_MIN_ACTIVATION_CUT,
+            "shared: fused activations cut only {:.1}% (pinned >= {:.0}%)",
+            m.activation_cut() * 100.0,
+            SHARED_MIN_ACTIVATION_CUT * 100.0
+        );
+    }
+}
+
+fn print_row(m: &Measurement) {
+    println!(
+        "{:<7} w{:<2} x{:<6} | req {:>3} -> {:>3} | acts {:>5} -> {:>5} ({:>5.1}% cut) | makespan {:>9.1} -> {:>9.1} ns | PIM {:>10.1} ns / {:>12.1} pJ | SIMD {:>9.1} ns / {:>12.1} pJ",
+        m.kernel.name(),
+        m.width,
+        m.lanes,
+        m.unfused.requests,
+        m.fused.requests,
+        m.unfused.activations,
+        m.fused.activations,
+        m.activation_cut() * 100.0,
+        m.unfused.makespan_ns,
+        m.fused.makespan_ns,
+        m.fused.pim_time_ns,
+        m.fused.pim_energy_pj,
+        m.simd_time_ns,
+        m.simd_energy_pj,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    if smoke {
+        for m in [
+            measure(Kernel::Shared, 16, 2048),
+            measure(Kernel::Add, 8, 1024),
+            measure(Kernel::CmpGe, 32, 1024),
+        ] {
+            check(&m);
+            print_row(&m);
+        }
+        println!("smoke OK (correctness only; no BENCH_bitserial.json written)");
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for kernel in [Kernel::Add, Kernel::CmpGe, Kernel::Max, Kernel::Shared] {
+        for width in [8u32, 16, 32] {
+            for lanes in [1024usize, 16384] {
+                rows.push(measure(kernel, width, lanes));
+            }
+        }
+    }
+    println!("# Bit-serial µ-programs: fused vs unfused, PIM vs SIMD");
+    for m in &rows {
+        check(m);
+        print_row(m);
+    }
+
+    let json = format!(
+        "{{\n  \"definition\": \"Each row compiles the kernel's µ-programs over \
+         identical bit-transposed operands twice: unfused (no CSE, no gate \
+         fusion) and fused (hash-consed CSE + same-op fusion + scratch \
+         liveness). Both runs are verified bit-identical to the scalar \
+         reference. activation_cut = 1 - fused_activations / \
+         unfused_activations; makespan is the command-interleaved channel \
+         model's. The shared kernel (Sub+CmpGe+CmpLt+Min over one operand \
+         pair) is the pinned shared-subexpression shape. SIMD columns price \
+         the same kernel on the 4-core packed-integer host attached to PCM. \
+         All quantities are deterministic model time, not wall clock.\",\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        rows.iter()
+            .map(Measurement::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write("BENCH_bitserial.json", &json).expect("write BENCH_bitserial.json");
+    println!("wrote BENCH_bitserial.json");
+}

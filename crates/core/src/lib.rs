@@ -58,7 +58,7 @@ pub use pinatubo_nvm::rng;
 pub use classify::OpClass;
 pub use config::PinatuboConfig;
 pub use engine::{EngineStats, OpOutcome, PinatuboEngine};
-pub use op::BitwiseOp;
+pub use op::{ArithOp, BitwiseOp};
 pub use trace::{BulkOp, OpTrace};
 
 use pinatubo_mem::MemError;

@@ -73,6 +73,111 @@ impl BitwiseOp {
     }
 }
 
+/// A bit-serial arithmetic operation over bit-transposed integer lanes.
+///
+/// These are not hardware primitives: `runtime::microcode` synthesizes
+/// each one from [`BitwiseOp`] sequences over bit-planes, SIMDRAM-style.
+/// The enum lives here so the scalar reference semantics (`eval_lane`)
+/// sit next to the bitwise ones (`BitwiseOp::apply`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Lane-wise wrapping addition.
+    Add,
+    /// Lane-wise wrapping subtraction (two's complement: `a + !b + 1`).
+    Sub,
+    /// Lane-wise unsigned `a >= b`, producing a one-bit mask per lane.
+    CmpGe,
+    /// Lane-wise unsigned `a < b`, producing a one-bit mask per lane.
+    CmpLt,
+    /// Lane-wise unsigned maximum.
+    Max,
+    /// Lane-wise unsigned minimum.
+    Min,
+    /// Lane-wise unsigned `a > constant`, producing a one-bit mask per
+    /// lane. The constant is broadcast, so its bit-planes are all-zero or
+    /// all-one and fold away at compile time.
+    ThresholdConst,
+}
+
+impl ArithOp {
+    /// All arithmetic operations, in a stable order (handy for sweeps).
+    pub const ALL: [ArithOp; 7] = [
+        ArithOp::Add,
+        ArithOp::Sub,
+        ArithOp::CmpGe,
+        ArithOp::CmpLt,
+        ArithOp::Max,
+        ArithOp::Min,
+        ArithOp::ThresholdConst,
+    ];
+
+    /// The all-ones lane value for a `width_bits`-bit lane.
+    #[must_use]
+    pub fn lane_mask(width_bits: u32) -> u64 {
+        assert!(
+            (1..=64).contains(&width_bits),
+            "lane width must be 1..=64 bits, got {width_bits}"
+        );
+        if width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width_bits) - 1
+        }
+    }
+
+    /// Whether the result is a one-bit mask per lane (comparisons) rather
+    /// than a full `width_bits`-bit lane.
+    #[must_use]
+    pub fn result_is_mask(self) -> bool {
+        matches!(
+            self,
+            ArithOp::CmpGe | ArithOp::CmpLt | ArithOp::ThresholdConst
+        )
+    }
+
+    /// Whether the second operand is a broadcast constant rather than a
+    /// transposed vector.
+    #[must_use]
+    pub fn takes_constant(self) -> bool {
+        matches!(self, ArithOp::ThresholdConst)
+    }
+
+    /// Scalar reference semantics for one lane, for reference models and
+    /// tests. `b` carries the second vector operand or the broadcast
+    /// constant, depending on [`ArithOp::takes_constant`]. Inputs are
+    /// masked to `width_bits`; comparison results are `0` or `1`.
+    #[must_use]
+    pub fn eval_lane(self, a: u64, b: u64, width_bits: u32) -> u64 {
+        let mask = Self::lane_mask(width_bits);
+        let a = a & mask;
+        let b = b & mask;
+        match self {
+            ArithOp::Add => a.wrapping_add(b) & mask,
+            ArithOp::Sub => a.wrapping_sub(b) & mask,
+            ArithOp::CmpGe => u64::from(a >= b),
+            ArithOp::CmpLt => u64::from(a < b),
+            ArithOp::Max => a.max(b),
+            ArithOp::Min => a.min(b),
+            ArithOp::ThresholdConst => u64::from(a > b),
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "ADD",
+            ArithOp::Sub => "SUB",
+            ArithOp::CmpGe => "CMP_GE",
+            ArithOp::CmpLt => "CMP_LT",
+            ArithOp::Max => "MAX",
+            ArithOp::Min => "MIN",
+            ArithOp::ThresholdConst => "THRESHOLD",
+        };
+        f.write_str(s)
+    }
+}
+
 impl fmt::Display for BitwiseOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -118,5 +223,40 @@ mod tests {
     fn display_names() {
         let names: Vec<String> = BitwiseOp::ALL.iter().map(ToString::to_string).collect();
         assert_eq!(names, ["OR", "AND", "XOR", "NOT"]);
+    }
+
+    #[test]
+    fn arith_scalar_semantics() {
+        assert_eq!(ArithOp::Add.eval_lane(200, 100, 8), 44); // wraps at 2^8
+        assert_eq!(ArithOp::Sub.eval_lane(3, 5, 8), 254); // two's complement
+        assert_eq!(ArithOp::CmpGe.eval_lane(7, 7, 16), 1);
+        assert_eq!(ArithOp::CmpLt.eval_lane(7, 7, 16), 0);
+        assert_eq!(ArithOp::Max.eval_lane(3, 200, 8), 200);
+        assert_eq!(ArithOp::Min.eval_lane(3, 200, 8), 3);
+        assert_eq!(ArithOp::ThresholdConst.eval_lane(128, 127, 8), 1);
+        assert_eq!(ArithOp::ThresholdConst.eval_lane(127, 127, 8), 0);
+        // Inputs are masked to the lane width before evaluation.
+        assert_eq!(ArithOp::Add.eval_lane(0x1_00, 0x2_00, 8), 0);
+        assert_eq!(ArithOp::Add.eval_lane(u64::MAX, 1, 64), 0);
+    }
+
+    #[test]
+    fn arith_lane_masks() {
+        assert_eq!(ArithOp::lane_mask(1), 1);
+        assert_eq!(ArithOp::lane_mask(8), 0xFF);
+        assert_eq!(ArithOp::lane_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn arith_result_shapes() {
+        for op in ArithOp::ALL {
+            let is_mask = op.result_is_mask();
+            match op {
+                ArithOp::CmpGe | ArithOp::CmpLt | ArithOp::ThresholdConst => assert!(is_mask),
+                _ => assert!(!is_mask),
+            }
+        }
+        assert!(ArithOp::ThresholdConst.takes_constant());
+        assert!(!ArithOp::Sub.takes_constant());
     }
 }

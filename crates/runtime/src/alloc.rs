@@ -151,6 +151,23 @@ impl PimAllocator {
         self.retired.len() as u64
     }
 
+    /// Returns rows to the free pool (`pim_free`): scratch released by a
+    /// µ-program batch or an application error path becomes allocatable
+    /// again, so [`PimAllocator::free_rows`] round-trips. Rows retired for
+    /// endurance stay retired — release never resurrects them.
+    ///
+    /// Returns how many rows were actually released.
+    pub fn release_rows(&mut self, rows: &[RowAddr]) -> usize {
+        let mut released = 0;
+        for row in rows.iter().filter(|r| r.is_valid(&self.geometry)) {
+            let linear = row.to_linear(&self.geometry);
+            if !self.retired.contains(&linear) && self.used.remove(&linear) {
+                released += 1;
+            }
+        }
+        released
+    }
+
     /// Allocates a bit-vector of `len_bits` (the `pim_malloc` entry point).
     ///
     /// # Errors
@@ -230,7 +247,7 @@ impl PimAllocator {
                             base + ((skip_to - base) % per_channel);
                     }
                 }
-                let group = (0..count).map(|_| self.alloc(len_bits)).collect();
+                let group = self.alloc_many(count, len_bits);
                 // The next group lands on the next channel, so independent
                 // batch requests spread across channels.
                 self.rotate_channel = (self.rotate_channel + 1) % self.geometry.channels as usize;
@@ -238,7 +255,54 @@ impl PimAllocator {
             }
             _ => {}
         }
-        (0..count).map(|_| self.alloc(len_bits)).collect()
+        self.alloc_many(count, len_bits)
+    }
+
+    /// Allocates `width_bits` bit-planes of `lanes` bits each — the
+    /// bit-transposed layout for `runtime::microcode`: plane `k` holds bit
+    /// `k` (LSB first) of every lane. The planes are one placement group,
+    /// always started on a copy-on-write page boundary (like
+    /// [`PimAllocator::set_page_aligned_groups`], but unconditional: a
+    /// transposed vector's planes are rewritten together, so sharing a
+    /// page with a neighbouring group would drag its cold rows through
+    /// every copy).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PimAllocator::alloc`]; a partial failure
+    /// releases the planes already placed.
+    pub fn alloc_transposed(
+        &mut self,
+        lanes: u64,
+        width_bits: u32,
+    ) -> Result<Vec<PimBitVec>, RuntimeError> {
+        if lanes == 0 || width_bits == 0 {
+            return Err(RuntimeError::EmptyAllocation);
+        }
+        let was_aligned = self.page_aligned_groups;
+        self.page_aligned_groups = true;
+        let planes = self.alloc_group(width_bits as usize, lanes);
+        self.page_aligned_groups = was_aligned;
+        planes
+    }
+
+    /// `count` sequential [`PimAllocator::alloc`] calls that roll back on
+    /// failure: a half-allocated group releases its rows before the error
+    /// propagates, so callers never leak placement on early returns.
+    fn alloc_many(&mut self, count: usize, len_bits: u64) -> Result<Vec<PimBitVec>, RuntimeError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            match self.alloc(len_bits) {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    let rows: Vec<RowAddr> =
+                        out.iter().flat_map(|v| v.rows().iter().copied()).collect();
+                    self.release_rows(&rows);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Picks the next free row under the policy.
@@ -511,6 +575,76 @@ mod tests {
             let rows = |g2: &[PimBitVec]| g2.iter().map(|v| v.rows().to_vec()).collect::<Vec<_>>();
             assert_eq!(rows(&a), rows(&b), "default placement must not move");
         }
+    }
+
+    #[test]
+    fn release_rows_round_trips_free_rows() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        let before = a.free_rows();
+        let v = a.alloc(64).expect("allocates");
+        assert_eq!(a.free_rows(), before - 1);
+        assert_eq!(a.release_rows(v.rows()), 1);
+        assert_eq!(a.free_rows(), before, "release must round-trip free_rows");
+        // Double release is a no-op.
+        assert_eq!(a.release_rows(v.rows()), 0);
+        assert_eq!(a.free_rows(), before);
+    }
+
+    #[test]
+    fn release_never_resurrects_retired_rows() {
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        let v = a.alloc(64).expect("allocates");
+        let before = a.free_rows();
+        assert_eq!(a.retire_rows(v.rows()), 1);
+        assert_eq!(a.release_rows(v.rows()), 0, "retired rows stay retired");
+        assert_eq!(a.free_rows(), before);
+    }
+
+    #[test]
+    fn failed_group_allocation_rolls_back() {
+        let mut g = MemGeometry::pcm_default();
+        g.channels = 1;
+        g.ranks_per_channel = 1;
+        g.banks_per_chip = 1;
+        g.subarrays_per_bank = 1;
+        g.rows_per_subarray = 8;
+        let mut a = PimAllocator::new(g, MappingPolicy::SubarrayFirst);
+        assert!(matches!(
+            a.alloc_group(12, 64),
+            Err(RuntimeError::OutOfMemory { .. })
+        ));
+        assert_eq!(
+            a.free_rows(),
+            8,
+            "a half-allocated group must release its rows"
+        );
+        // The freed rows are immediately usable.
+        assert_eq!(a.alloc_group(8, 64).expect("fits exactly").len(), 8);
+    }
+
+    #[test]
+    fn transposed_planes_are_page_aligned_groups() {
+        let g = MemGeometry::pcm_default();
+        let page = u64::from(pinatubo_mem::ROWS_PER_PAGE);
+        let mut a = alloc(MappingPolicy::SubarrayFirst);
+        a.alloc(64).expect("misalign the cursor");
+        let planes = a.alloc_transposed(4096, 8).expect("transposed");
+        assert_eq!(planes.len(), 8);
+        let first = planes[0].rows()[0].to_linear(&g);
+        assert_eq!(first % page, 0, "planes start on a page boundary");
+        for (k, p) in planes.iter().enumerate() {
+            assert_eq!(p.len_bits(), 4096);
+            assert_eq!(p.rows()[0].to_linear(&g), first + k as u64);
+        }
+        assert!(
+            !a.page_aligned_groups(),
+            "transposed alloc must not leave the page-alignment flag on"
+        );
+        assert_eq!(a.alloc_transposed(0, 8), Err(RuntimeError::EmptyAllocation));
+        assert_eq!(
+            a.alloc_transposed(64, 0),
+            Err(RuntimeError::EmptyAllocation)
+        );
     }
 
     #[test]

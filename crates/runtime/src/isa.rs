@@ -155,6 +155,30 @@ pub fn decode_stream(
     Ok(out)
 }
 
+/// Lowers batch requests to the wire ISA: one instruction per row
+/// segment, in request order — how a compiled µ-program batch leaves the
+/// driver library. The serial instruction order respects the requests'
+/// read/write dependences by construction, so `execute_stream` on the
+/// result reproduces the batch's bits.
+#[must_use]
+pub fn instructions_for_requests(
+    requests: &[crate::scheduler::BatchRequest],
+    row_bits: u64,
+) -> Vec<PimInstruction> {
+    let mut out = Vec::new();
+    for request in requests {
+        for (i, dst_row, seg_bits) in request.dst.segments(row_bits) {
+            out.push(PimInstruction {
+                op: request.op,
+                operands: request.operands.iter().map(|v| v.rows()[i]).collect(),
+                dst: dst_row,
+                cols: seg_bits,
+            });
+        }
+    }
+    out
+}
+
 /// Executes a decoded stream on an engine, stopping at the first failure.
 ///
 /// # Errors

@@ -40,6 +40,7 @@ pub mod alloc;
 pub mod bitvec;
 pub mod isa;
 pub mod mapping;
+pub mod microcode;
 pub mod pool;
 pub mod scheduler;
 pub mod system;
@@ -48,6 +49,7 @@ pub use alloc::PimAllocator;
 pub use bitvec::PimBitVec;
 pub use isa::PimInstruction;
 pub use mapping::MappingPolicy;
+pub use microcode::{CompileOptions, CompiledBatch, MicroOut, MicroProgram, TransposedVec};
 pub use pool::ExecSession;
 pub use scheduler::{BatchRequest, ScheduleReport};
 pub use system::{OpSummary, PimSystem};

@@ -100,6 +100,40 @@ impl PimSystem {
         self.allocator.alloc_group(count, len_bits)
     }
 
+    /// Releases vectors' rows back to the allocation pool (`pim_free`) —
+    /// see [`PimAllocator::release_rows`]. Applications use this on error
+    /// paths (a half-initialized structure must not leak placement) and
+    /// for transient masks/scratch; `runtime::microcode` uses it to
+    /// recycle a compiled batch's scratch planes.
+    ///
+    /// Returns how many rows were released.
+    pub fn release_vecs<'a, I>(&mut self, vecs: I) -> usize
+    where
+        I: IntoIterator<Item = &'a PimBitVec>,
+    {
+        let rows: Vec<pinatubo_mem::RowAddr> = vecs
+            .into_iter()
+            .flat_map(|v| v.rows().iter().copied())
+            .collect();
+        self.allocator.release_rows(&rows)
+    }
+
+    /// Allocates the bit-transposed layout for `runtime::microcode`:
+    /// `width_bits` page-aligned planes of `lanes` bits each (see
+    /// [`PimAllocator::alloc_transposed`]), returned as raw planes; the
+    /// microcode module wraps them into its `TransposedVec`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PimAllocator::alloc_transposed`].
+    pub fn alloc_transposed_planes(
+        &mut self,
+        lanes: u64,
+        width_bits: u32,
+    ) -> Result<Vec<PimBitVec>, RuntimeError> {
+        self.allocator.alloc_transposed(lanes, width_bits)
+    }
+
     /// Stores bits into a vector. Setup traffic: charged to nobody, like
     /// the paper's workload initialization (the measured region is the
     /// operations, not the data load).

@@ -1,9 +1,12 @@
 //! Database example: a FastBit-style equality-encoded bitmap index whose
-//! range queries evaluate as multi-row ORs + an AND chain, all in memory.
+//! range queries evaluate as multi-row ORs + an AND chain, all in memory —
+//! plus an aggregation pushdown, where a measure predicate (`energy >= c`)
+//! runs as a bit-serial comparison µ-op over a transposed value column and
+//! only the final popcount crosses the bus.
 //!
 //! Run with `cargo run --release --example bitmap_database`.
 
-use pinatubo_apps::database::{BitmapIndex, Query, TableSpec};
+use pinatubo_apps::database::{BitmapIndex, Query, TableSpec, ValueColumn};
 use pinatubo_core::rng::SimRng;
 use pinatubo_runtime::{MappingPolicy, PimSystem};
 
@@ -44,6 +47,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             elapsed
         );
     }
+
+    // Aggregation pushdown: filter the same queries by a 12-bit synthetic
+    // "energy" measure, evaluated in PIM via the cmp_ge µ-op.
+    const ENERGY_BITS: u32 = 12;
+    const MIN_ENERGY: u64 = 2600;
+    let column = ValueColumn::build(
+        ValueColumn::synthetic_values(spec.rows, ENERGY_BITS, 0xE4E2),
+        ENERGY_BITS,
+        &mut sys,
+    )?;
+    let mut rng = SimRng::seed_from_u64(99);
+    println!(
+        "\n{:<42}{:>10}{:>10}{:>12}",
+        format!("pushdown: same queries, energy >= {MIN_ENERGY}"),
+        "hits",
+        "filtered",
+        "time (ns)"
+    );
+    let free_before = sys.allocator().free_rows();
+    for _ in 0..5 {
+        let query = Query::random(&spec, &mut rng);
+        let before = sys.stats().time_ns;
+        let base = index.run_query(&query, &mut sys)?;
+        let filtered = index.run_query_filtered(&query, &column, MIN_ENERGY, &mut sys)?;
+        let elapsed = sys.stats().time_ns - before;
+        assert_eq!(
+            filtered.count,
+            index.count_reference_filtered(&query, &column, MIN_ENERGY)
+        );
+        println!(
+            "{:<42}{:>10}{:>10}{:>12.0}",
+            format!("{:?}", query.ranges),
+            base.count,
+            filtered.count,
+            elapsed
+        );
+    }
+    // The comparator's scratch rows and predicate masks are all recycled.
+    assert_eq!(sys.allocator().free_rows(), free_before);
 
     let stats = sys.stats();
     println!("\nacross the session:");
