@@ -204,6 +204,38 @@ impl SimdCpu {
         ExecReport { time_ns, energy_pj }
     }
 
+    /// Prices converting one `lanes × width_bits` vector between the
+    /// bit-transposed plane layout the PIM kernels compute on and the
+    /// lane-major packed-integer layout the SIMD units need (either
+    /// direction). In a Pinatubo deployment the canonical layout is
+    /// bit-transposed, so a host falling back to packed SIMD pays this
+    /// once per distinct input it gathers and once per result it
+    /// scatters back — a cost the raw [`SimdCpu::arith_report`] roofline
+    /// ignores.
+    ///
+    /// The conversion streams the `width_bits` planes and writes the
+    /// packed elements (or vice versa); compute is shuffle-bound
+    /// (`pmovmskb`/`pdep`-style bit gathering), modeled at a quarter of
+    /// the streaming SIMD rate over the plane bits.
+    #[must_use]
+    pub fn transpose_report(&self, lanes: u64, width_bits: u32) -> ExecReport {
+        let elem_bits = u64::from(width_bits.next_power_of_two().max(8));
+        let plane_bits = lanes * u64::from(width_bits);
+        let packed_bits = lanes * elem_bits;
+        let working_set = (plane_bits + packed_bits) / 8;
+        let level = *self.level_for(working_set);
+
+        let move_ns = (plane_bits as f64 / 8.0) / level.bandwidth_gbps
+            + (packed_bits as f64 / 8.0) / self.mem_or_level_write_bw(&level);
+        let compute_ns = plane_bits as f64 / (self.simd_bits_per_ns() / 4.0);
+        let time_ns = move_ns.max(compute_ns) + self.op_overhead_ns;
+
+        let energy_pj = plane_bits as f64 * (level.read_pj_per_bit + self.pipeline_pj_per_bit)
+            + packed_bits as f64 * (level.write_pj_per_bit + self.pipeline_pj_per_bit)
+            + self.package_power_w * time_ns * PJ_PER_WATT_NS;
+        ExecReport { time_ns, energy_pj }
+    }
+
     /// Prices scalar (non-bitwise) application work: `instructions`
     /// executed while touching `bytes` of data. Used for the overall
     /// application results (Fig. 12), where this part is common to every
@@ -408,6 +440,23 @@ mod tests {
         // A constant threshold streams one input instead of two.
         let thr = cpu.arith_report(ArithOp::ThresholdConst, 1 << 16, 32);
         assert!(thr.time_ns < cmp.time_ns);
+    }
+
+    #[test]
+    fn transpose_report_scales_and_is_material() {
+        let mut cpu = SimdCpu::with_pcm();
+        cpu.set_workload_footprint(Some(4 << 30));
+        let small = cpu.transpose_report(1 << 10, 8);
+        let more_lanes = cpu.transpose_report(1 << 16, 8);
+        let wider = cpu.transpose_report(1 << 16, 32);
+        assert!(more_lanes.time_ns > small.time_ns);
+        assert!(wider.time_ns > more_lanes.time_ns);
+        assert!(wider.energy_pj > more_lanes.energy_pj);
+        // Converting an input is comparable to streaming it once — it
+        // must cost something real relative to the kernel itself.
+        let kernel = cpu.arith_report(ArithOp::Add, 1 << 16, 32);
+        let conv = cpu.transpose_report(1 << 16, 32);
+        assert!(conv.time_ns > 0.2 * kernel.time_ns);
     }
 
     #[test]

@@ -97,11 +97,19 @@ pub enum ArithOp {
     /// lane. The constant is broadcast, so its bit-planes are all-zero or
     /// all-one and fold away at compile time.
     ThresholdConst,
+    /// Lane-wise logical left shift by a broadcast constant. In the
+    /// bit-transposed layout this is a pure plane-index remap — output
+    /// plane `k` is input plane `k - s` (zero for `k < s`) — so it
+    /// synthesizes to zero logic gates.
+    ShlConst,
+    /// Lane-wise logical right shift by a broadcast constant; the mirror
+    /// plane-index remap (output plane `k` is input plane `k + s`).
+    ShrConst,
 }
 
 impl ArithOp {
     /// All arithmetic operations, in a stable order (handy for sweeps).
-    pub const ALL: [ArithOp; 7] = [
+    pub const ALL: [ArithOp; 9] = [
         ArithOp::Add,
         ArithOp::Sub,
         ArithOp::CmpGe,
@@ -109,6 +117,8 @@ impl ArithOp {
         ArithOp::Max,
         ArithOp::Min,
         ArithOp::ThresholdConst,
+        ArithOp::ShlConst,
+        ArithOp::ShrConst,
     ];
 
     /// The all-ones lane value for a `width_bits`-bit lane.
@@ -139,7 +149,10 @@ impl ArithOp {
     /// transposed vector.
     #[must_use]
     pub fn takes_constant(self) -> bool {
-        matches!(self, ArithOp::ThresholdConst)
+        matches!(
+            self,
+            ArithOp::ThresholdConst | ArithOp::ShlConst | ArithOp::ShrConst
+        )
     }
 
     /// Scalar reference semantics for one lane, for reference models and
@@ -159,6 +172,20 @@ impl ArithOp {
             ArithOp::Max => a.max(b),
             ArithOp::Min => a.min(b),
             ArithOp::ThresholdConst => u64::from(a > b),
+            ArithOp::ShlConst => {
+                if b >= u64::from(width_bits) {
+                    0
+                } else {
+                    (a << b) & mask
+                }
+            }
+            ArithOp::ShrConst => {
+                if b >= u64::from(width_bits) {
+                    0
+                } else {
+                    a >> b
+                }
+            }
         }
     }
 }
@@ -173,6 +200,8 @@ impl fmt::Display for ArithOp {
             ArithOp::Max => "MAX",
             ArithOp::Min => "MIN",
             ArithOp::ThresholdConst => "THRESHOLD",
+            ArithOp::ShlConst => "SHL",
+            ArithOp::ShrConst => "SHR",
         };
         f.write_str(s)
     }
@@ -238,6 +267,14 @@ mod tests {
         // Inputs are masked to the lane width before evaluation.
         assert_eq!(ArithOp::Add.eval_lane(0x1_00, 0x2_00, 8), 0);
         assert_eq!(ArithOp::Add.eval_lane(u64::MAX, 1, 64), 0);
+        // Shifts are logical, mask to the lane width, and saturate to
+        // zero at or beyond it.
+        assert_eq!(ArithOp::ShlConst.eval_lane(0b1011, 2, 8), 0b101100);
+        assert_eq!(ArithOp::ShlConst.eval_lane(0xC1, 1, 8), 0x82);
+        assert_eq!(ArithOp::ShrConst.eval_lane(0b1011, 2, 8), 0b10);
+        assert_eq!(ArithOp::ShlConst.eval_lane(0xFF, 8, 8), 0);
+        assert_eq!(ArithOp::ShrConst.eval_lane(0xFF, 9, 8), 0);
+        assert_eq!(ArithOp::ShlConst.eval_lane(1, 0, 8), 1);
     }
 
     #[test]
@@ -257,6 +294,8 @@ mod tests {
             }
         }
         assert!(ArithOp::ThresholdConst.takes_constant());
+        assert!(ArithOp::ShlConst.takes_constant());
+        assert!(ArithOp::ShrConst.takes_constant());
         assert!(!ArithOp::Sub.takes_constant());
     }
 }

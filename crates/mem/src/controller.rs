@@ -1491,6 +1491,19 @@ impl MainMemory {
         rows
     }
 
+    /// Charged row writes summed per channel, indexed by channel number.
+    /// The input a wear-aware placement policy needs: a channel whose
+    /// total is far above its peers is being burned by hot data and
+    /// should stop receiving new allocations until the others catch up.
+    #[must_use]
+    pub fn channel_wear_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.config.geometry.channels as usize];
+        for (addr, &writes) in &self.wear {
+            totals[addr.channel as usize] += writes;
+        }
+        totals
+    }
+
     /// Inverts `data` through the SA's differential output while writing it
     /// back (INV support, §4.2). Charges one logic-free sense-side pass —
     /// the inversion is literally the other latch output, so only the

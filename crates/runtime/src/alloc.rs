@@ -100,6 +100,28 @@ impl PimAllocator {
         self.page_aligned_groups
     }
 
+    /// Steers the next [`PimAllocator::alloc_group`] to `channel` under
+    /// the `ChannelRotate` policy: the rotation cursor is parked on that
+    /// channel, the group lands there (spilling onward only if it is
+    /// full), and rotation resumes from the following channel as usual.
+    /// A wear-aware placement layer uses this to direct allocations away
+    /// from channels the wear ledger shows as hot. No-op under the other
+    /// policies, whose placement is not channel-addressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is outside the geometry.
+    pub fn set_next_channel(&mut self, channel: u32) {
+        assert!(
+            channel < self.geometry.channels,
+            "channel {channel} out of range ({} channels)",
+            self.geometry.channels
+        );
+        if matches!(self.policy, MappingPolicy::ChannelRotate) {
+            self.rotate_channel = channel as usize;
+        }
+    }
+
     /// Rounds the active policy cursor up to the next page boundary.
     /// Channel bases are whole numbers of subarrays, and subarrays are
     /// whole numbers of pages, so aligning the linear index aligns the

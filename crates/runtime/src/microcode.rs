@@ -265,6 +265,40 @@ impl MicroProgram {
         prog
     }
 
+    /// `dst = a << shift` (lane-wise, logical). In the transposed layout
+    /// this is a pure plane-index remap — output plane `k` is input plane
+    /// `k - shift`, with the vacated low planes constant zero — so it
+    /// compiles to zero logic gates: only the output copy/zeroing
+    /// requests remain. Shifts at or beyond the lane width produce zero.
+    #[must_use]
+    pub fn shl_const(a: &TransposedVec, shift: u32, dst: &TransposedVec) -> Self {
+        let prog = MicroProgram {
+            op: ArithOp::ShlConst,
+            a: a.clone(),
+            b: None,
+            konst: u64::from(shift.min(a.width_bits())),
+            out: MicroOut::Vector(dst.clone()),
+        };
+        prog.check_out();
+        prog
+    }
+
+    /// `dst = a >> shift` (lane-wise, logical) — the mirror plane-index
+    /// remap of [`MicroProgram::shl_const`]: output plane `k` is input
+    /// plane `k + shift`, with the vacated high planes constant zero.
+    #[must_use]
+    pub fn shr_const(a: &TransposedVec, shift: u32, dst: &TransposedVec) -> Self {
+        let prog = MicroProgram {
+            op: ArithOp::ShrConst,
+            a: a.clone(),
+            b: None,
+            konst: u64::from(shift.min(a.width_bits())),
+            out: MicroOut::Vector(dst.clone()),
+        };
+        prog.check_out();
+        prog
+    }
+
     /// The arithmetic operation.
     #[must_use]
     pub fn op(&self) -> ArithOp {
@@ -646,6 +680,32 @@ impl Builder {
                 } else {
                     vec![self.ge_const_chain(&a, p.konst)]
                 }
+            }
+            (ArithOp::ShlConst, None) => {
+                // Plane-index remap, no gates: output plane k reads input
+                // plane k - s; the vacated low planes are constant zero.
+                let s = usize::try_from(p.konst).unwrap_or(usize::MAX);
+                (0..width as usize)
+                    .map(|k| {
+                        if k >= s {
+                            a[k - s]
+                        } else {
+                            self.constant(false)
+                        }
+                    })
+                    .collect()
+            }
+            (ArithOp::ShrConst, None) => {
+                let s = usize::try_from(p.konst).unwrap_or(usize::MAX);
+                (0..width as usize)
+                    .map(|k| {
+                        if k.checked_add(s).is_some_and(|i| i < width as usize) {
+                            a[k + s]
+                        } else {
+                            self.constant(false)
+                        }
+                    })
+                    .collect()
             }
             _ => unreachable!("constructors pair operands with operations"),
         };

@@ -578,6 +578,59 @@ impl ExecSession<'_> {
         self.system
     }
 
+    /// Allocates a vector mid-session (see [`PimSystem::alloc`]).
+    /// Allocation is allocator bookkeeping only — it touches no
+    /// simulated memory — so unlike [`ExecSession::store`] it is *not* a
+    /// sync point and costs in-flight work nothing.
+    ///
+    /// # Errors
+    ///
+    /// See [`PimSystem::alloc`].
+    pub fn alloc(&mut self, len_bits: u64) -> Result<PimBitVec, RuntimeError> {
+        self.system.alloc(len_bits)
+    }
+
+    /// Allocates a co-operated group mid-session (see
+    /// [`PimSystem::alloc_group`]); not a sync point.
+    ///
+    /// # Errors
+    ///
+    /// See [`PimSystem::alloc_group`].
+    pub fn alloc_group(
+        &mut self,
+        count: usize,
+        len_bits: u64,
+    ) -> Result<Vec<PimBitVec>, RuntimeError> {
+        self.system.alloc_group(count, len_bits)
+    }
+
+    /// Channel-steered group allocation mid-session (see
+    /// [`PimSystem::alloc_group_on_channel`]); not a sync point. The
+    /// serving layer pairs this with the parent's wear ledger to place
+    /// new tenant data on the least-worn channel.
+    ///
+    /// # Errors
+    ///
+    /// See [`PimSystem::alloc_group_on_channel`].
+    pub fn alloc_group_on_channel(
+        &mut self,
+        channel: u32,
+        count: usize,
+        len_bits: u64,
+    ) -> Result<Vec<PimBitVec>, RuntimeError> {
+        self.system.alloc_group_on_channel(channel, count, len_bits)
+    }
+
+    /// Releases vectors' rows back to the allocation pool (see
+    /// [`PimSystem::release_vecs`]); not a sync point. The caller must
+    /// not release vectors still referenced by unsynced submissions.
+    pub fn release_vecs<'a, I>(&mut self, vecs: I) -> usize
+    where
+        I: IntoIterator<Item = &'a PimBitVec>,
+    {
+        self.system.release_vecs(vecs)
+    }
+
     /// How many requests have been submitted to this session.
     #[must_use]
     pub fn submitted(&self) -> usize {

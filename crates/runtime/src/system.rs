@@ -100,6 +100,51 @@ impl PimSystem {
         self.allocator.alloc_group(count, len_bits)
     }
 
+    /// [`PimSystem::alloc_group`] steered to one channel: parks the
+    /// `ChannelRotate` cursor on `channel` first (see
+    /// [`PimAllocator::set_next_channel`]), so a wear-aware placement
+    /// layer can route the group to the channel the wear ledger favours.
+    /// Under non-channel-addressed policies the steering is a no-op and
+    /// this is plain [`PimSystem::alloc_group`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PimAllocator::alloc_group`].
+    pub fn alloc_group_on_channel(
+        &mut self,
+        channel: u32,
+        count: usize,
+        len_bits: u64,
+    ) -> Result<Vec<PimBitVec>, RuntimeError> {
+        self.allocator.set_next_channel(channel);
+        self.allocator.alloc_group(count, len_bits)
+    }
+
+    /// Charged row writes summed per channel, straight from the wear
+    /// ledger (see [`pinatubo_mem::MainMemory::channel_wear_totals`]).
+    #[must_use]
+    pub fn channel_wear(&self) -> Vec<u64> {
+        self.engine.memory().channel_wear_totals()
+    }
+
+    /// [`PimSystem::alloc_transposed`] steered to one channel, like
+    /// [`PimSystem::alloc_group_on_channel`]: the planes place as one
+    /// group on `channel` under `ChannelRotate` (no-op steering under
+    /// other policies).
+    ///
+    /// # Errors
+    ///
+    /// See [`PimAllocator::alloc_transposed`].
+    pub fn alloc_transposed_on_channel(
+        &mut self,
+        channel: u32,
+        lanes: u64,
+        width_bits: u32,
+    ) -> Result<crate::microcode::TransposedVec, RuntimeError> {
+        self.allocator.set_next_channel(channel);
+        self.alloc_transposed(lanes, width_bits)
+    }
+
     /// Releases vectors' rows back to the allocation pool (`pim_free`) —
     /// see [`PimAllocator::release_rows`]. Applications use this on error
     /// paths (a half-initialized structure must not leak placement) and

@@ -1,7 +1,9 @@
 //! A compact version of the Fig. 9 experiment: equivalent OR bandwidth
 //! versus vector length and fan-in, straight from the public executor API —
 //! followed by a sustained multi-batch throughput comparison of the
-//! persistent-session engine against the per-batch barriered executor.
+//! persistent-session engine against the per-batch barriered executor,
+//! with the same stream also driven through the multi-tenant serving
+//! layer (admission control + deficit round-robin on top of a session).
 //!
 //! Run with `cargo run --release --example throughput_sweep`.
 
@@ -9,6 +11,8 @@ use pinatubo_baselines::{BitwiseExecutor, PinatuboExecutor, SimdCpu};
 use pinatubo_core::{BitwiseOp, BulkOp, PinatuboConfig};
 use pinatubo_mem::MemConfig;
 use pinatubo_runtime::{BatchRequest, MappingPolicy, PimSystem};
+use pinatubo_serve::{PimServer, ServeConfig, ServeError, TenantConfig};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One round's worth of independent single-channel requests, rotated over
@@ -63,6 +67,61 @@ fn sustained_throughput(count: usize, bits: u64, rounds: usize) -> (f64, f64) {
     (barriered_bps, pooled_bps)
 }
 
+/// The same sustained stream through the serving layer: one registered
+/// tenant, the round's requests as one shared slab, bounded admission
+/// queues and the deficit scheduler between the stream and the session.
+/// What this column shows is the serving layer's overhead (or lack of
+/// it) on top of the raw pooled session.
+fn sustained_serve(count: usize, bits: u64, rounds: usize) -> f64 {
+    let mut server = PimServer::new(
+        streaming_system(),
+        ServeConfig {
+            workers: 1,
+            channel_queue_capacity: count.max(1),
+            quantum: count as u64,
+            sync_every_rounds: 4,
+        },
+    );
+    let tenant = server.register(TenantConfig {
+        name: "sweep".into(),
+        weight: 1,
+        row_quota: 4 * count as u64 * bits.div_ceil(1 << 19).max(1),
+    });
+    let ops = [BitwiseOp::Or, BitwiseOp::And, BitwiseOp::Xor];
+    let requests: Vec<BatchRequest> = (0..count)
+        .map(|g| {
+            let group = server
+                .alloc_group(tenant, 3, bits)
+                .expect("allocation fits");
+            let pattern: Vec<bool> = (0..bits).map(|i| (i * 7 + g as u64) % 3 == 0).collect();
+            server.store(&group[0], &pattern).expect("store");
+            BatchRequest {
+                op: ops[g % ops.len()],
+                operands: group[..2].to_vec(),
+                dst: group[2].clone(),
+            }
+        })
+        .collect();
+    let slab = Arc::new(requests);
+    let t0 = Instant::now();
+    let mut session = server.open();
+    for _ in 0..rounds {
+        loop {
+            match session.submit(tenant, Arc::clone(&slab)) {
+                Ok(()) => break,
+                Err(ServeError::QueueFull { .. }) => {
+                    session.advance().expect("advance");
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    let report = session.finish().expect("finish");
+    assert_eq!(report.tenants[0].batches_completed, rounds as u64);
+    assert!(report.starved_tenants().is_empty());
+    rounds as f64 / t0.elapsed().as_secs_f64()
+}
+
 fn main() {
     let mut pim = PinatuboExecutor::multi_row();
     let mut cpu = SimdCpu::with_pcm();
@@ -90,18 +149,20 @@ fn main() {
     }
 
     println!();
-    println!("Sustained batch streams: persistent session vs per-batch barriers");
+    println!("Sustained batch streams: persistent session vs per-batch barriers vs serving layer");
     println!(
-        "{:<22}{:>20}{:>20}{:>10}",
-        "stream", "barriered (batch/s)", "session (batch/s)", "ratio"
+        "{:<22}{:>20}{:>20}{:>18}{:>10}",
+        "stream", "barriered (batch/s)", "session (batch/s)", "serve (batch/s)", "ratio"
     );
     for (count, bits_log2, rounds) in [(16usize, 12u32, 16usize), (24, 14, 8), (48, 16, 4)] {
         let (barriered_bps, pooled_bps) = sustained_throughput(count, 1 << bits_log2, rounds);
+        let serve_bps = sustained_serve(count, 1 << bits_log2, rounds);
         println!(
-            "{:<22}{:>20.0}{:>20.0}{:>9.2}x",
+            "{:<22}{:>20.0}{:>20.0}{:>18.0}{:>9.2}x",
             format!("{count} req x 2^{bits_log2} bits"),
             barriered_bps,
             pooled_bps,
+            serve_bps,
             pooled_bps / barriered_bps
         );
     }

@@ -56,9 +56,13 @@ fn all_op_programs(
 ) -> Vec<OpFixture> {
     let lanes = a.lanes();
     let width = a.width_bits();
+    // Shift amounts must stay inside the lane width; derive one from the
+    // shared constant so it still varies with the sweep parameters.
+    let shift = u32::try_from(konst % u64::from(width)).expect("shift fits");
     ArithOp::ALL
         .iter()
         .map(|&op| {
+            let mut used_konst = konst;
             let program = if op.result_is_mask() {
                 let mask = s.alloc(lanes).expect("mask");
                 match op {
@@ -74,10 +78,22 @@ fn all_op_programs(
                     ArithOp::Sub => MicroProgram::sub(a, b, &dst),
                     ArithOp::Max => MicroProgram::max(a, b, &dst),
                     ArithOp::Min => MicroProgram::min(a, b, &dst),
+                    ArithOp::ShlConst => {
+                        used_konst = u64::from(shift);
+                        MicroProgram::shl_const(a, shift, &dst)
+                    }
+                    ArithOp::ShrConst => {
+                        used_konst = u64::from(shift);
+                        MicroProgram::shr_const(a, shift, &dst)
+                    }
                     _ => unreachable!("vector-valued ops"),
                 }
             };
-            OpFixture { program, op, konst }
+            OpFixture {
+                program,
+                op,
+                konst: used_konst,
+            }
         })
         .collect()
 }
@@ -187,6 +203,38 @@ fn fusion_and_cse_cut_activations_on_shared_chains() {
         fused * 100 <= unfused * 85,
         "shared-chain batch must cut activations by >= 15%: fused {fused} vs unfused {unfused}"
     );
+}
+
+/// Constant shifts are pure plane-index remaps: the compiled batch holds
+/// zero logic gates — only the output copy/zeroing requests remain — and
+/// the bits match the scalar reference, including shift 0 (a copy) and
+/// shifts at or beyond the lane width (all-zero).
+#[test]
+fn const_shifts_remap_planes_with_zero_gates() {
+    let width = 12u32;
+    let lanes = 300usize;
+    let mut rng = SimRng::seed_from_u64(0x5817);
+    let a_values = lane_values(&mut rng, lanes, width);
+    for shift in [0u32, 1, 5, 11, 12, 40] {
+        let mut s = sys();
+        let a = s.alloc_transposed(lanes as u64, width).expect("a");
+        s.store_lanes(&a, &a_values).expect("store a");
+        let shl = s.alloc_transposed(lanes as u64, width).expect("shl");
+        let shr = s.alloc_transposed(lanes as u64, width).expect("shr");
+        let programs = [
+            MicroProgram::shl_const(&a, shift, &shl),
+            MicroProgram::shr_const(&a, shift, &shr),
+        ];
+        let batch =
+            microcode::compile(&programs, CompileOptions::optimized(), &mut s).expect("compile");
+        assert_eq!(batch.live_gates(), 0, "shift by {shift} must be gate-free");
+        batch.execute(&mut s).expect("execute");
+        for (vec, op) in [(&shl, ArithOp::ShlConst), (&shr, ArithOp::ShrConst)] {
+            let want = arith_reference(op, &a_values, None, u64::from(shift), width);
+            assert_eq!(s.load_lanes(vec), want, "{op} by {shift} diverged");
+        }
+        batch.release(&mut s);
+    }
 }
 
 fn assert_close(label: &str, a: f64, b: f64) {
